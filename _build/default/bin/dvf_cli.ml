@@ -1,0 +1,252 @@
+(* dvf — command-line front end to the DVF library.
+
+   Subcommands:
+     profile     evaluate an Aspen model file and print per-structure DVF
+     verify      Fig. 4 model-vs-simulation verification
+     tables      print the paper's static tables
+     fig5/6/7    reproduce the evaluation figures
+     parse       syntax-check and pretty-print a model file
+     models      list the builtin models and machines
+     components  memory-DVF vs cache-DVF per structure
+     protect     selective-protection coverage curves *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle_aspen_errors f =
+  try f () with
+  | e -> (
+      match Aspen.Errors.to_string e with
+      | Some message ->
+          Printf.eprintf "error: %s\n" message;
+          exit 1
+      | None -> raise e)
+
+let load_models = function
+  | None -> Aspen.Builtin_models.load ()
+  | Some path -> Aspen.Parser.parse_file (read_file path)
+
+(* --- common arguments --- *)
+
+let model_file =
+  let doc = "Aspen model file; the builtin models are used when absent." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let machine_name =
+  let doc = "Machine declaration to evaluate against." in
+  Arg.(value & opt string "prof_8mb" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let param_overrides =
+  let doc = "Override an app parameter, e.g. --param n=5000 (repeatable)." in
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let value = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt value with
+        | Some v -> Ok (name, v)
+        | None -> Error (`Msg (Printf.sprintf "bad parameter value in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected NAME=VALUE, got %S" s))
+  in
+  let print fmt (name, v) = Format.fprintf fmt "%s=%g" name v in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let app_names =
+    let doc = "Apps to profile (default: every app in the file)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc)
+  in
+  let run file machine_name overrides app_names =
+    handle_aspen_errors (fun () ->
+        let file = load_models file in
+        let machine = Aspen.Compile.find_machine file machine_name in
+        let apps =
+          match app_names with
+          | [] -> Aspen.Compile.apps ~overrides file
+          | names ->
+              List.map (Aspen.Compile.find_app ~overrides file) names
+        in
+        Printf.printf "machine %s: %s, FIT=%g\n\n"
+          machine.Aspen.Compile.machine_name
+          (Format.asprintf "%a" Cachesim.Config.pp machine.Aspen.Compile.cache)
+          machine.Aspen.Compile.fit;
+        List.iter
+          (fun app ->
+            let d = Aspen.Compile.dvf machine app in
+            Format.printf "%a@.@." Core.Dvf.pp_app d)
+          apps)
+  in
+  let term =
+    Term.(const run $ model_file $ machine_name $ param_overrides $ app_names)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Evaluate Aspen models and print per-structure DVF")
+    term
+
+(* --- verify --- *)
+
+let kernel_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "VM" -> Ok Core.Workloads.VM
+    | "CG" -> Ok Core.Workloads.CG
+    | "NB" -> Ok Core.Workloads.NB
+    | "MG" -> Ok Core.Workloads.MG
+    | "FT" -> Ok Core.Workloads.FT
+    | "MC" -> Ok Core.Workloads.MC
+    | _ -> Error (`Msg (Printf.sprintf "unknown kernel %S" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Core.Workloads.name k) in
+  Arg.conv (parse, print)
+
+let kernel_pos_args =
+  let doc = "Kernels (default: all six)." in
+  Arg.(value & pos_all kernel_conv Core.Workloads.all & info [] ~docv:"KERNEL" ~doc)
+
+let verify_cmd =
+  let kernels = kernel_pos_args in
+  let run kernels =
+    let rows = Core.Verify.run_all ~kernels () in
+    Dvf_util.Table.print (Core.Verify.to_table rows)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
+    Term.(const run $ kernels)
+
+(* --- figure/table reproductions --- *)
+
+let simple_cmd name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+
+let tables_cmd =
+  simple_cmd "tables" "Print Tables II, IV, V, VI and VII" (fun () ->
+      Dvf_util.Table.print (Core.Experiments.table2 ());
+      Dvf_util.Table.print (Core.Experiments.table4 ());
+      Dvf_util.Table.print (Core.Experiments.table5 ());
+      Dvf_util.Table.print (Core.Experiments.table6 ());
+      Dvf_util.Table.print (Core.Experiments.table7 ()))
+
+let fig5_cmd =
+  simple_cmd "fig5" "DVF profiling across the four Table IV caches" (fun () ->
+      Dvf_util.Table.print (Core.Profile.to_table (Core.Profile.run_all ())))
+
+let fig6_cmd =
+  simple_cmd "fig6" "CG vs PCG vulnerability over problem size" (fun () ->
+      Dvf_util.Table.print (Core.Experiments.fig6_table (Core.Experiments.fig6 ())))
+
+let fig7_cmd =
+  simple_cmd "fig7" "DVF vs ECC performance degradation" (fun () ->
+      let rows = Core.Experiments.fig7 () in
+      Dvf_util.Table.print (Core.Experiments.fig7_table rows);
+      let s, c = Core.Experiments.fig7_optimum rows in
+      Printf.printf "optimum degradation: SECDED %.0f%%, chipkill %.0f%%\n"
+        (100.0 *. s) (100.0 *. c))
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Model file to check.")
+  in
+  let run path =
+    handle_aspen_errors (fun () ->
+        let ast = Aspen.Parser.parse_file (read_file path) in
+        print_string (Aspen.Pretty.to_string ast);
+        (* Also compile every declaration so semantic errors surface. *)
+        ignore (Aspen.Compile.machines ast);
+        ignore (Aspen.Compile.apps ast);
+        Printf.eprintf "%s: OK (%d declarations)\n" path (List.length ast))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Syntax- and semantics-check a model file, echo it")
+    Term.(const run $ path)
+
+let models_cmd =
+  simple_cmd "models" "List the builtin models" (fun () ->
+      List.iter
+        (fun (name, _) -> Printf.printf "%s\n" name)
+        Aspen.Builtin_models.sources)
+
+(* --- component / protect: the library's extensions --- *)
+
+let components_cmd =
+  let run kernels =
+    let cache = Cachesim.Config.profiling_8mb in
+    List.iter
+      (fun kernel ->
+        let instance = Core.Workloads.profiling_instance kernel in
+        let time =
+          Core.Perf.app_time Core.Perf.default_machine ~cache
+            ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+        in
+        Dvf_util.Table.print
+          (Core.Component.to_table
+             (Core.Component.both ~cache ~time instance.Core.Workloads.spec)))
+      kernels
+  in
+  Cmd.v
+    (Cmd.info "components"
+       ~doc:"Memory vs cache-component DVF per structure")
+    Term.(const run $ kernel_pos_args)
+
+let protect_cmd =
+  let target =
+    let doc = "Residual vulnerability target as a fraction (0,1]." in
+    Arg.(value & opt float 0.10 & info [ "t"; "target" ] ~docv:"FRACTION" ~doc)
+  in
+  let run target kernels =
+    let cache = Cachesim.Config.profiling_8mb in
+    List.iter
+      (fun kernel ->
+        let instance = Core.Workloads.profiling_instance kernel in
+        let time =
+          Core.Perf.app_time Core.Perf.default_machine ~cache
+            ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+        in
+        let app =
+          Core.Dvf.of_spec ~cache ~fit:(Core.Ecc.fit Core.Ecc.No_ecc) ~time
+            instance.Core.Workloads.spec
+        in
+        Printf.printf "=== %s ===\n" instance.Core.Workloads.label;
+        Dvf_util.Table.print
+          (Core.Selective.to_table
+             (Core.Selective.coverage_curve ~scheme:Core.Ecc.Chipkill app));
+        match
+          Core.Selective.structures_for_target ~scheme:Core.Ecc.Chipkill
+            ~target_fraction:target app
+        with
+        | [] -> Printf.printf "already within target\n"
+        | names ->
+            Printf.printf "protect {%s} to keep <= %.0f%% of the DVF\n"
+              (String.concat ", " names) (100.0 *. target)
+        | exception Invalid_argument m -> Printf.printf "%s\n" m)
+      kernels
+  in
+  Cmd.v
+    (Cmd.info "protect"
+       ~doc:"Selective-protection coverage curves (chipkill on top-k structures)")
+    Term.(const run $ target $ kernel_pos_args)
+
+let main_cmd =
+  let doc = "Data Vulnerability Factor modeling (SC'14 reproduction)" in
+  Cmd.group
+    (Cmd.info "dvf" ~version:"1.0.0" ~doc)
+    [
+      profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
+      parse_cmd; models_cmd; components_cmd; protect_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cg_vs_pcg.ml: Array Core Dvf_util List Printf Sys

@@ -1,0 +1,1 @@
+examples/cg_vs_pcg.mli:

@@ -1,0 +1,1 @@
+examples/ecc_tradeoff.ml: Cachesim Core Dvf_util List Printf

@@ -1,0 +1,1 @@
+examples/ecc_tradeoff.mli:

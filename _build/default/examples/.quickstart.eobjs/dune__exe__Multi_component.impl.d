@@ -1,0 +1,1 @@
+examples/multi_component.ml: Cachesim Core Dvf_util List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access_patterns Cachesim Core Format List

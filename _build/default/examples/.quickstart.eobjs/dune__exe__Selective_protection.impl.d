@@ -1,0 +1,1 @@
+examples/selective_protection.ml: Cachesim Core Dvf_util List Printf String

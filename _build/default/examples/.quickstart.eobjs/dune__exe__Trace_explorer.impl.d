@@ -1,0 +1,1 @@
+examples/trace_explorer.ml: Access_patterns Cachesim Dvf_util Format Kernels List Memtrace Printf

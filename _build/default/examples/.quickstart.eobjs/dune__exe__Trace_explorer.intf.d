@@ -1,0 +1,1 @@
+examples/trace_explorer.mli:

@@ -1,0 +1,58 @@
+(* Hardware-protection study (paper §V-B, Fig. 7): how much performance is
+   it worth sacrificing for ECC, and which code should you pick?
+
+   Run with: dune exec examples/ecc_tradeoff.exe *)
+
+let () =
+  let cache = Cachesim.Config.profiling_8mb in
+  let instance = Core.Workloads.profiling_instance Core.Workloads.VM in
+  let spec = instance.Core.Workloads.spec in
+  let base_time =
+    Core.Perf.app_time Core.Perf.default_machine ~cache
+      ~flops:instance.Core.Workloads.flops spec
+  in
+  Printf.printf "Application: %s, unprotected DVF_a = %.4g\n\n"
+    instance.Core.Workloads.label
+    (Core.Dvf.of_spec ~cache ~fit:(Core.Ecc.fit Core.Ecc.No_ecc)
+       ~time:base_time spec)
+      .Core.Dvf.total;
+  List.iter
+    (fun scheme ->
+      if scheme <> Core.Ecc.No_ecc then begin
+        let degradation, dvf =
+          Core.Ecc.optimal_degradation ~cache ~base_time ~max_degradation:0.30
+            ~steps:60 scheme spec
+        in
+        Printf.printf
+          "%-18s floor FIT %-8g best degradation %4.1f%%  ->  DVF %.4g\n"
+          (Core.Ecc.name scheme) (Core.Ecc.fit scheme) (100.0 *. degradation)
+          dvf
+      end)
+    Core.Ecc.all;
+  print_newline ();
+  (* Sweep a few degradation levels to show the U-shape. *)
+  let t =
+    Dvf_util.Table.create ~title:"DVF vs performance invested in protection"
+      [
+        ("degradation %", Dvf_util.Table.Right);
+        ("SECDED", Dvf_util.Table.Right); ("Chipkill", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun pct ->
+      let d = float_of_int pct /. 100.0 in
+      let dvf scheme =
+        (Core.Ecc.protected_dvf ~cache ~base_time ~degradation:d scheme spec)
+          .Core.Dvf.total
+      in
+      Dvf_util.Table.add_row t
+        [
+          string_of_int pct;
+          Dvf_util.Table.cell_float (dvf Core.Ecc.Secded);
+          Dvf_util.Table.cell_float (dvf Core.Ecc.Chipkill);
+        ])
+    [ 0; 2; 5; 10; 20; 30 ];
+  Dvf_util.Table.print t;
+  Printf.printf
+    "Past the protection's full strength (~5%%), extra slowdown only\n\
+     lengthens the exposure window and vulnerability rises again.\n"

@@ -1,0 +1,1 @@
+lib/aspen/builtin_models.ml: List Parser String

@@ -1,0 +1,1 @@
+lib/aspen/builtin_models.mli: Ast

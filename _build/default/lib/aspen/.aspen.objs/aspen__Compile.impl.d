@@ -1,0 +1,1 @@
+lib/aspen/compile.ml: Access_patterns Array Ast Cachesim Core Errors Eval Float List Printf

@@ -1,0 +1,1 @@
+lib/aspen/compile.mli: Access_patterns Ast Cachesim Core Eval

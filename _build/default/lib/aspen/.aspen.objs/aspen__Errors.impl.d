@@ -1,0 +1,1 @@
+lib/aspen/errors.ml: Printf

@@ -1,0 +1,1 @@
+lib/aspen/eval.ml: Access_patterns Ast Errors Float List Printf

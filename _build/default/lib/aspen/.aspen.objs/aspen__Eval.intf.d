@@ -1,0 +1,1 @@
+lib/aspen/eval.mli: Access_patterns Ast

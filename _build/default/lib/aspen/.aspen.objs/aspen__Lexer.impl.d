@@ -1,0 +1,1 @@
+lib/aspen/lexer.ml: Buffer Errors List Printf String Token

@@ -1,0 +1,1 @@
+lib/aspen/lexer.mli: Token

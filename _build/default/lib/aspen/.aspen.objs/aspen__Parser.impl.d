@@ -1,0 +1,1 @@
+lib/aspen/parser.ml: Ast Errors Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/aspen/parser.mli: Ast

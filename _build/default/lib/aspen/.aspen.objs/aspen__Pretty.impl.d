@@ -1,0 +1,1 @@
+lib/aspen/pretty.ml: Ast Float Format List

@@ -1,0 +1,1 @@
+lib/aspen/pretty.mli: Ast Format

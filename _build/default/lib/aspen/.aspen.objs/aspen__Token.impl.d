@@ -1,0 +1,1 @@
+lib/aspen/token.ml: Format Printf

@@ -1,0 +1,69 @@
+type binop = Add | Sub | Mul | Div | Pow
+
+type expr =
+  | Num of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type arg_value =
+  | Scalar of expr
+  | Tuple of expr list
+  | Flag            (** bare identifier argument, e.g. [writeback] *)
+
+type args = (string * arg_value) list
+
+type reference = { array : string; indices : expr list }
+
+type generator =
+  | Refs of reference list
+  | Range of { step : expr; from_ : reference list; to_ : reference list }
+  | Pass of { start : expr; count : expr; stride : expr }
+  | Zip of { count : expr; streams : (reference * expr) list }
+  | Repeat of expr * generator list
+
+type pattern =
+  | Stream of args
+  | Random of args
+  | Template of { args : args; generators : generator list }
+  | Reuse
+
+type data_decl = {
+  data_name : string;
+  size : expr option;       (** bytes; inferred from the pattern if absent *)
+  data_pattern : pattern option;
+}
+
+type occurrence = {
+  occ_structure : string;
+  occ_pattern : pattern;
+  times : expr option;
+}
+
+type order_decl = {
+  iterations : expr option;  (** defaults to 1 *)
+  phases : occurrence list list;
+}
+
+type app = {
+  app_name : string;
+  params : (string * expr) list;
+  datas : data_decl list;
+  order : order_decl option;
+  flops : expr option;
+  time : expr option;        (** seconds; overrides the roofline model *)
+}
+
+type machine_section = {
+  section_name : string;     (** "cache", "memory", "perf" *)
+  fields : (string * expr) list;
+}
+
+type machine = {
+  machine_name : string;
+  sections : machine_section list;
+}
+
+type decl = Machine of machine | App of app
+
+type file = decl list

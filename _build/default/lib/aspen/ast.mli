@@ -1,0 +1,113 @@
+(** Abstract syntax of the extended-Aspen language.
+
+    The language models the paper's §III-D programs.  A file holds
+    [machine] and [app] declarations:
+
+    {v
+    machine small_verif {
+      cache  { assoc = 4; sets = 64; line = 32 }
+      memory { fit = 5000 }
+      perf   { flops = 100e9; bandwidth = 50e9 }
+    }
+
+    app vm {
+      param n = 100000
+      data A { pattern stream(elem = 4, count = n * 4, stride = 4) }
+      data B { pattern stream(elem = 4, count = n, stride = 1) }
+      data C { pattern stream(elem = 4, count = n, stride = 1, writeback) }
+      flops 2 * n
+    }
+    v}
+
+    Template patterns carry the paper's Matlab-like generators:
+
+    {v
+    data R {
+      pattern template(elem = 8, shape = (n3, n2, n1)) {
+        range step 1
+          from (R(2,1,1), R(2,3,1), R(1,2,1), R(2,2,1))
+          to   (R(n3-1,n2-2,n1), R(n3-1,n2,n1), R(n3-2,n2-1,n1), R(n3,n2-1,n1))
+      }
+    }
+    v}
+
+    and compositions mirror the CG access-order strings:
+
+    {v
+    order iterations = iters {
+      phase { r : stream(elem = 8, count = n, stride = 1) }
+      phase { A : stream(elem = 8, count = n * n, stride = 1);
+              p : reuse * n }
+      ...
+    }
+    v} *)
+
+type binop = Add | Sub | Mul | Div | Pow
+
+type expr =
+  | Num of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type arg_value =
+  | Scalar of expr
+  | Tuple of expr list
+  | Flag            (** bare identifier argument, e.g. [writeback] *)
+
+type args = (string * arg_value) list
+
+type reference = { array : string; indices : expr list }
+
+type generator =
+  | Refs of reference list
+  | Range of { step : expr; from_ : reference list; to_ : reference list }
+  | Pass of { start : expr; count : expr; stride : expr }
+  | Zip of { count : expr; streams : (reference * expr) list }
+  | Repeat of expr * generator list
+
+type pattern =
+  | Stream of args
+  | Random of args
+  | Template of { args : args; generators : generator list }
+  | Reuse
+
+type data_decl = {
+  data_name : string;
+  size : expr option;       (** bytes; inferred from the pattern if absent *)
+  data_pattern : pattern option;
+}
+
+type occurrence = {
+  occ_structure : string;
+  occ_pattern : pattern;
+  times : expr option;
+}
+
+type order_decl = {
+  iterations : expr option;  (** defaults to 1 *)
+  phases : occurrence list list;
+}
+
+type app = {
+  app_name : string;
+  params : (string * expr) list;
+  datas : data_decl list;
+  order : order_decl option;
+  flops : expr option;
+  time : expr option;        (** seconds; overrides the roofline model *)
+}
+
+type machine_section = {
+  section_name : string;     (** "cache", "memory", "perf" *)
+  fields : (string * expr) list;
+}
+
+type machine = {
+  machine_name : string;
+  sections : machine_section list;
+}
+
+type decl = Machine of machine | App of app
+
+type file = decl list

@@ -1,0 +1,179 @@
+let machines =
+  {|
+// Table IV cache configurations; main memory without ECC (Table VII).
+machine small_verif {
+  cache  { assoc = 4; sets = 64; line = 32 }
+  memory { fit = 5000 }
+  perf   { flops = 100e9; bandwidth = 50e9 }
+}
+
+machine large_verif {
+  cache  { assoc = 16; sets = 4096; line = 64 }
+  memory { fit = 5000 }
+  perf   { flops = 100e9; bandwidth = 50e9 }
+}
+
+machine prof_16kb {
+  cache  { assoc = 2; sets = 1024; line = 8 }
+  memory { fit = 5000 }
+}
+
+machine prof_128kb {
+  cache  { assoc = 4; sets = 2048; line = 16 }
+  memory { fit = 5000 }
+}
+
+machine prof_1mb {
+  cache  { assoc = 6; sets = 4096; line = 32 }
+  memory { fit = 5000 }
+}
+
+machine prof_8mb {
+  cache  { assoc = 8; sets = 8192; line = 64 }
+  memory { fit = 5000 }
+}
+|}
+
+let vm =
+  {|
+// Vector multiplication (Algorithm 1): C_i += A_{i*sa} * B_{i*sb}.
+// Streaming patterns; A's larger stride is what makes it the most
+// vulnerable structure in Fig. 5(a).
+app vm {
+  param n = 100000
+  param esize = 4
+  param stride_a = 4
+
+  data A { pattern stream(elem = esize, count = n * stride_a, stride = stride_a) }
+  data B { pattern stream(elem = esize, count = n, stride = 1) }
+  data C { pattern stream(elem = esize, count = n, stride = 1, writeback) }
+
+  flops 2 * n
+}
+|}
+
+let cg =
+  {|
+// Conjugate gradient (Algorithm 4), paper access order:
+//   r (A p) p (x p) (A p) r (r p)   with patterns s (tt) s (ss) (tt) s (ss).
+// The matrix-vector phases stream A and re-touch p once per row.
+app cg {
+  param n = 500
+  param iters = 8
+
+  data A { size = 8 * n * n }
+  data x { size = 8 * n }
+  data p { size = 8 * n }
+  data r { size = 8 * n }
+
+  order iterations = iters {
+    phase { r : stream(elem = 8, count = n, stride = 1) }
+    phase { A : stream(elem = 8, count = n * n, stride = 1);
+            p : reuse * n }
+    phase { p : stream(elem = 8, count = n, stride = 1) }
+    phase { x : stream(elem = 8, count = n, stride = 1, writeback);
+            p : stream(elem = 8, count = n, stride = 1) }
+    phase { A : stream(elem = 8, count = n * n, stride = 1);
+            p : reuse * n }
+    phase { r : stream(elem = 8, count = n, stride = 1, writeback) }
+    phase { r : stream(elem = 8, count = n, stride = 1);
+            p : stream(elem = 8, count = n, stride = 1, writeback) }
+  }
+
+  flops iters * (4 * n * n + 10 * n)
+}
+|}
+
+let nb =
+  {|
+// Barnes-Hut (Algorithm 2) with the paper's literal example parameters:
+// 1000 tree nodes of 32 bytes, 200 comparisons per body, 1000 bodies.
+app nb {
+  param nodes = 1000
+  param bodies = 1000
+  param k = 200
+
+  data T { pattern random(elems = nodes, elem = 32, visits = k,
+                          iters = bodies, ratio = 1.0) }
+  data P { pattern stream(elem = 32, count = bodies, stride = 1, writeback) }
+
+  flops 12 * k * bodies
+}
+|}
+
+let mg =
+  {|
+// Multi-grid smoother (Algorithm 3): four reference streams advancing by
+// one element per iteration from the paper's start references to the grid
+// boundary, linearized as R(i,j,k) = i*n2*n1 + j*n1 + k.
+app mg {
+  param n1 = 32
+  param n2 = 32
+  param n3 = 32
+
+  data R {
+    size = 8 * n1 * n2 * n3
+    pattern template(elem = 8, shape = (n3, n2, n1)) {
+      range step 1
+        from (R(2,1,1), R(2,3,1), R(1,2,1), R(2,2,1))
+        to   (R(n3-1, n2-2, n1), R(n3-1, n2, n1),
+              R(n3-2, n2-1, n1), R(n3, n2-1, n1))
+    }
+  }
+
+  flops 4 * n1 * n2 * n3
+}
+|}
+
+let ft =
+  {|
+// 1-D FFT: a bit-reversal pass then log2(n) butterfly passes, each a full
+// traverse of the signal -- the repeated-traversal template whose DVF
+// jumps once the cache no longer holds the array (Fig. 5(e)).
+app ft {
+  param n = 2048
+  param passes = 12   // 1 + log2 n
+
+  data X {
+    size = 16 * n
+    pattern template(elem = 16) {
+      repeat passes {
+        pass(start = 0, count = n, stride = 1)
+      }
+    }
+  }
+
+  flops 5 * n * passes
+}
+|}
+
+let mc =
+  {|
+// Monte Carlo cross-section lookups (XSBench): the unionized grid G and
+// the nuclide data E are accessed randomly and concurrently; each gets a
+// cache share proportional to its size (paper SS III-C). A lookup reads 2
+// adjacent grid points and gathers 2 rows of 16 nuclide values.
+app mc {
+  param grid = 4096
+  param nuclides = 16
+  param lookups = 100000
+
+  data G { pattern random(elems = grid, elem = 8, visits = 2,
+                          iters = lookups, ratio = 1 / 17, run = 2) }
+  data E { pattern random(elems = grid * nuclides, elem = 8,
+                          visits = 2 * nuclides, iters = lookups,
+                          ratio = 16 / 17, run = nuclides) }
+
+  flops 4 * nuclides * lookups
+}
+|}
+
+let sources =
+  [
+    ("machines", machines); ("vm", vm); ("cg", cg); ("nb", nb); ("mg", mg);
+    ("ft", ft); ("mc", mc);
+  ]
+
+let everything = String.concat "\n" (List.map snd sources)
+
+let load () = Parser.parse_file everything

@@ -1,0 +1,41 @@
+(** The paper's Aspen programs (§III-D) as embedded DSL sources.
+
+    One source per Table II kernel plus the Table IV machines.  The same
+    texts are installed under [models/*.aspen] for use with the CLI; the
+    embedded copies keep the library self-contained and are what the test
+    suite parses. *)
+
+val machines : string
+(** The six Table IV cache configurations as [machine] declarations
+    (FIT = 5000, no ECC). *)
+
+val vm : string
+(** Vector multiplication: three streaming structures (Algorithm 1). *)
+
+val cg : string
+(** Conjugate gradient: the access-order composition
+    [r (A p) p (x p) (A p) r (r p)] (Algorithm 4). *)
+
+val nb : string
+(** Barnes–Hut with the paper's literal random-access example parameters
+    [(1000, 32, 200, 1000, 1.0)] (Algorithm 2). *)
+
+val mg : string
+(** The Multi-grid smoother template of Algorithm 3, four reference
+    streams advancing to the grid boundary. *)
+
+val ft : string
+(** 1-D FFT: repeated full traversals of one structure. *)
+
+val mc : string
+(** Monte Carlo: two concurrent random structures with size-proportional
+    cache shares. *)
+
+val sources : (string * string) list
+(** [(name, source)] for all of the above, machines first. *)
+
+val everything : string
+(** All sources concatenated into one parseable file. *)
+
+val load : unit -> Ast.file
+(** Parse {!everything}. *)

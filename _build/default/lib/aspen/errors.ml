@@ -1,0 +1,8 @@
+exception Error of { line : int; col : int; message : string }
+
+let fail ~line ~col message = raise (Error { line; col; message })
+
+let to_string = function
+  | Error { line; col; message } ->
+      Some (Printf.sprintf "line %d, column %d: %s" line col message)
+  | _ -> None

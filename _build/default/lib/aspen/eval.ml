@@ -1,0 +1,55 @@
+module TE = Access_patterns.Template_lang.Expr
+
+type env = (string * float) list
+
+let fail message = Errors.fail ~line:0 ~col:0 message
+
+let rec expr env = function
+  | Ast.Num f -> f
+  | Ast.Var name -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> fail (Printf.sprintf "unbound parameter '%s'" name))
+  | Ast.Neg e -> -.expr env e
+  | Ast.Binop (op, a, b) -> (
+      let va = expr env a and vb = expr env b in
+      match op with
+      | Ast.Add -> va +. vb
+      | Ast.Sub -> va -. vb
+      | Ast.Mul -> va *. vb
+      | Ast.Div ->
+          if vb = 0.0 then fail "division by zero";
+          va /. vb
+      | Ast.Pow -> va ** vb)
+
+let int_expr env e =
+  let v = expr env e in
+  let r = Float.round v in
+  if Float.abs (v -. r) > 1e-9 then
+    fail (Printf.sprintf "expected an integer value, got %g" v);
+  int_of_float r
+
+let rec to_template_expr = function
+  | Ast.Num f ->
+      let r = Float.round f in
+      if Float.abs (f -. r) > 1e-9 then
+        fail (Printf.sprintf "template index literal %g is not an integer" f);
+      TE.Int (int_of_float r)
+  | Ast.Var name -> TE.Var name
+  | Ast.Neg e -> TE.Neg (to_template_expr e)
+  | Ast.Binop (Ast.Add, a, b) -> TE.Add (to_template_expr a, to_template_expr b)
+  | Ast.Binop (Ast.Sub, a, b) -> TE.Sub (to_template_expr a, to_template_expr b)
+  | Ast.Binop (Ast.Mul, a, b) -> TE.Mul (to_template_expr a, to_template_expr b)
+  | Ast.Binop (Ast.Div, a, b) -> TE.Div (to_template_expr a, to_template_expr b)
+  | Ast.Binop (Ast.Pow, base, e) -> (
+      (* Expand constant integer powers into repeated multiplication. *)
+      match e with
+      | Ast.Num f when Float.is_integer f && f >= 0.0 && f <= 16.0 ->
+          let n = int_of_float f in
+          if n = 0 then TE.Int 1
+          else begin
+            let b = to_template_expr base in
+            let rec build k acc = if k = 1 then acc else build (k - 1) (TE.Mul (acc, b)) in
+            build n b
+          end
+      | _ -> fail "template indices only support constant integer exponents")

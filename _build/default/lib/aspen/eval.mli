@@ -1,0 +1,17 @@
+(** Expression evaluation over a parameter environment. *)
+
+type env = (string * float) list
+
+val expr : env -> Ast.expr -> float
+(** Raises {!Errors.Error} (position 0,0) on unbound variables or
+    division by zero. *)
+
+val int_expr : env -> Ast.expr -> int
+(** [expr] then checked to be integral (within 1e-9) — sizes, counts and
+    strides must be whole numbers. *)
+
+val to_template_expr : Ast.expr -> Access_patterns.Template_lang.Expr.t
+(** Lower an index expression to the template language (integer
+    semantics).  Constant subexpressions may be float-valued as long as
+    they evaluate to integers; [^] is only allowed with a constant
+    integer exponent. *)

@@ -1,0 +1,169 @@
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let line = st.line and col = st.col in
+      advance st;
+      advance st;
+      let rec loop () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            loop ()
+        | None, _ -> Errors.fail ~line ~col "unterminated block comment"
+      in
+      loop ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      let next = peek2 st in
+      let exp_ok =
+        match next with
+        | Some c when is_digit c -> true
+        | Some ('+' | '-') -> true
+        | _ -> false
+      in
+      if exp_ok then begin
+        is_float := true;
+        advance st;
+        (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+        if not (match peek st with Some c -> is_digit c | None -> false) then
+          Errors.fail ~line ~col "malformed exponent";
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+      end
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  let token =
+    if !is_float then Token.Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some n -> Token.Int n
+      | None -> Token.Float (float_of_string text)
+  in
+  { Token.token; line; col }
+
+let lex_ident st =
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  { Token.token = Token.Ident (String.sub st.src start (st.pos - start)); line; col }
+
+let lex_string st =
+  let line = st.line and col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; loop ()
+        | Some c -> Buffer.add_char buf c; advance st; loop ()
+        | None -> Errors.fail ~line ~col "unterminated string")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+    | None -> Errors.fail ~line ~col "unterminated string"
+  in
+  loop ();
+  { Token.token = Token.Str (Buffer.contents buf); line; col }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let push token = out := token :: !out in
+  let rec loop () =
+    skip_trivia st;
+    let line = st.line and col = st.col in
+    let simple token =
+      advance st;
+      push { Token.token; line; col }
+    in
+    match peek st with
+    | None -> push { Token.token = Token.Eof; line; col }
+    | Some c when is_digit c ->
+        push (lex_number st);
+        loop ()
+    | Some c when is_ident_start c ->
+        push (lex_ident st);
+        loop ()
+    | Some '"' ->
+        push (lex_string st);
+        loop ()
+    | Some '{' -> simple Token.Lbrace; loop ()
+    | Some '}' -> simple Token.Rbrace; loop ()
+    | Some '(' -> simple Token.Lparen; loop ()
+    | Some ')' -> simple Token.Rparen; loop ()
+    | Some ',' -> simple Token.Comma; loop ()
+    | Some ';' -> simple Token.Semicolon; loop ()
+    | Some ':' -> simple Token.Colon; loop ()
+    | Some '=' -> simple Token.Equals; loop ()
+    | Some '*' -> simple Token.Star; loop ()
+    | Some '+' -> simple Token.Plus; loop ()
+    | Some '-' -> simple Token.Minus; loop ()
+    | Some '/' -> simple Token.Slash; loop ()
+    | Some '^' -> simple Token.Caret; loop ()
+    | Some c ->
+        Errors.fail ~line ~col (Printf.sprintf "unexpected character %C" c)
+  in
+  loop ();
+  List.rev !out

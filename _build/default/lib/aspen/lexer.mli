@@ -1,0 +1,9 @@
+(** Hand-written lexer for the extended-Aspen language.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    integers, floats (with optional exponent, e.g. [50e9]), double-quoted
+    strings, and the punctuation in {!Token.t}.  Raises {!Errors.Error}
+    on malformed input. *)
+
+val tokenize : string -> Token.located list
+(** The whole input, ending with an [Eof] token. *)

@@ -1,0 +1,479 @@
+open Ast
+
+type state = { mutable tokens : Token.located list }
+
+let current st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the lexer always appends Eof *)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> ()
+
+let fail_at (t : Token.located) message =
+  Errors.fail ~line:t.Token.line ~col:t.Token.col message
+
+let expect st token =
+  let t = current st in
+  if t.Token.token = token then advance st
+  else
+    fail_at t
+      (Printf.sprintf "expected %s but found %s" (Token.describe token)
+         (Token.describe t.Token.token))
+
+let expect_ident st =
+  let t = current st in
+  match t.Token.token with
+  | Token.Ident name ->
+      advance st;
+      name
+  | other -> fail_at t ("expected an identifier but found " ^ Token.describe other)
+
+let expect_keyword st kw =
+  let t = current st in
+  match t.Token.token with
+  | Token.Ident name when name = kw -> advance st
+  | other ->
+      fail_at t
+        (Printf.sprintf "expected keyword '%s' but found %s" kw
+           (Token.describe other))
+
+let peek_is st token = (current st).Token.token = token
+
+let peek_keyword st kw =
+  match (current st).Token.token with
+  | Token.Ident name -> name = kw
+  | _ -> false
+
+(* --- Expressions: precedence climbing --- *)
+
+let rec parse_expression st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match (current st).Token.token with
+    | Token.Plus ->
+        advance st;
+        lhs := Binop (Add, !lhs, parse_multiplicative st);
+        loop ()
+    | Token.Minus ->
+        advance st;
+        lhs := Binop (Sub, !lhs, parse_multiplicative st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_power st) in
+  let rec loop () =
+    match (current st).Token.token with
+    | Token.Star ->
+        advance st;
+        lhs := Binop (Mul, !lhs, parse_power st);
+        loop ()
+    | Token.Slash ->
+        advance st;
+        lhs := Binop (Div, !lhs, parse_power st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_power st =
+  let base = parse_unary st in
+  if peek_is st Token.Caret then begin
+    advance st;
+    (* Right associative. *)
+    Binop (Pow, base, parse_power st)
+  end
+  else base
+
+and parse_unary st =
+  match (current st).Token.token with
+  | Token.Minus ->
+      advance st;
+      Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = current st in
+  match t.Token.token with
+  | Token.Int n ->
+      advance st;
+      Num (float_of_int n)
+  | Token.Float f ->
+      advance st;
+      Num f
+  | Token.Ident name ->
+      advance st;
+      Var name
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expression st in
+      expect st Token.Rparen;
+      e
+  | other -> fail_at t ("expected an expression but found " ^ Token.describe other)
+
+(* --- References: R(2, 1, 1) --- *)
+
+let parse_reference st =
+  let array = expect_ident st in
+  expect st Token.Lparen;
+  let rec indices acc =
+    let e = parse_expression st in
+    if peek_is st Token.Comma then begin
+      advance st;
+      indices (e :: acc)
+    end
+    else begin
+      expect st Token.Rparen;
+      List.rev (e :: acc)
+    end
+  in
+  { array; indices = indices [] }
+
+let parse_reference_tuple st =
+  expect st Token.Lparen;
+  let rec loop acc =
+    let r = parse_reference st in
+    if peek_is st Token.Comma then begin
+      advance st;
+      loop (r :: acc)
+    end
+    else begin
+      expect st Token.Rparen;
+      List.rev (r :: acc)
+    end
+  in
+  loop []
+
+(* --- Named argument lists: (elem = 8, shape = (a, b), writeback) --- *)
+
+let parse_args st =
+  expect st Token.Lparen;
+  if peek_is st Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let parse_one () =
+      let name = expect_ident st in
+      if peek_is st Token.Equals then begin
+        advance st;
+        if peek_is st Token.Lparen then begin
+          (* Either a tuple or a parenthesized scalar: decide by whether a
+             comma follows the first expression. *)
+          advance st;
+          let first = parse_expression st in
+          if peek_is st Token.Comma then begin
+            let rec loop acc =
+              advance st (* the comma *);
+              let e = parse_expression st in
+              if peek_is st Token.Comma then loop (e :: acc)
+              else begin
+                expect st Token.Rparen;
+                List.rev (e :: acc)
+              end
+            in
+            (name, Tuple (loop [ first ]))
+          end
+          else begin
+            expect st Token.Rparen;
+            (name, Scalar first)
+          end
+        end
+        else (name, Scalar (parse_expression st))
+      end
+      else (name, Flag)
+    in
+    let rec loop acc =
+      let a = parse_one () in
+      if peek_is st Token.Comma then begin
+        advance st;
+        loop (a :: acc)
+      end
+      else begin
+        expect st Token.Rparen;
+        List.rev (a :: acc)
+      end
+    in
+    loop []
+  end
+
+(* --- Template generators --- *)
+
+let rec parse_generator st =
+  let t = current st in
+  match t.Token.token with
+  | Token.Ident "range" ->
+      advance st;
+      expect_keyword st "step";
+      let step = parse_expression st in
+      expect_keyword st "from";
+      let from_ = parse_reference_tuple st in
+      expect_keyword st "to";
+      let to_ = parse_reference_tuple st in
+      Range { step; from_; to_ }
+  | Token.Ident "pass" ->
+      advance st;
+      let args = parse_args st in
+      let get name =
+        match List.assoc_opt name args with
+        | Some (Scalar e) -> e
+        | _ ->
+            fail_at t (Printf.sprintf "pass requires argument '%s'" name)
+      in
+      Pass { start = get "start"; count = get "count"; stride = get "stride" }
+  | Token.Ident "refs" ->
+      advance st;
+      Refs (parse_reference_tuple st)
+  | Token.Ident "zip" ->
+      advance st;
+      expect_keyword st "count";
+      let count = parse_expression st in
+      expect st Token.Lbrace;
+      let rec loop acc =
+        if peek_is st Token.Rbrace then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let r = parse_reference st in
+          expect_keyword st "step";
+          let step = parse_expression st in
+          if peek_is st Token.Semicolon then advance st;
+          loop ((r, step) :: acc)
+        end
+      in
+      Zip { count; streams = loop [] }
+  | Token.Ident "repeat" ->
+      advance st;
+      let count = parse_expression st in
+      expect st Token.Lbrace;
+      let body = parse_generators st in
+      Repeat (count, body)
+  | other -> fail_at t ("expected a template generator but found " ^ Token.describe other)
+
+and parse_generators st =
+  let rec loop acc =
+    if peek_is st Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_generator st :: acc)
+  in
+  loop []
+
+(* --- Patterns --- *)
+
+let parse_pattern st =
+  let t = current st in
+  match t.Token.token with
+  | Token.Ident "stream" ->
+      advance st;
+      Stream (parse_args st)
+  | Token.Ident "random" ->
+      advance st;
+      Random (parse_args st)
+  | Token.Ident "template" ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.Lbrace;
+      let generators = parse_generators st in
+      Template { args; generators }
+  | Token.Ident "reuse" ->
+      advance st;
+      Reuse
+  | other ->
+      fail_at t
+        ("expected a pattern (stream/random/template/reuse) but found "
+        ^ Token.describe other)
+
+(* --- data declarations --- *)
+
+let parse_data st =
+  let data_name = expect_ident st in
+  expect st Token.Lbrace;
+  let size = ref None and data_pattern = ref None in
+  let rec loop () =
+    if peek_is st Token.Rbrace then advance st
+    else begin
+      let t = current st in
+      (match t.Token.token with
+      | Token.Ident "size" ->
+          advance st;
+          expect st Token.Equals;
+          size := Some (parse_expression st)
+      | Token.Ident "pattern" ->
+          advance st;
+          data_pattern := Some (parse_pattern st)
+      | other ->
+          fail_at t
+            ("expected 'size' or 'pattern' in data block but found "
+            ^ Token.describe other));
+      if peek_is st Token.Semicolon then advance st;
+      loop ()
+    end
+  in
+  loop ();
+  { data_name; size = !size; data_pattern = !data_pattern }
+
+(* --- order --- *)
+
+let parse_occurrence st =
+  let occ_structure = expect_ident st in
+  expect st Token.Colon;
+  let occ_pattern = parse_pattern st in
+  let times =
+    if peek_is st Token.Star then begin
+      advance st;
+      Some (parse_expression st)
+    end
+    else None
+  in
+  { occ_structure; occ_pattern; times }
+
+let parse_phase st =
+  expect_keyword st "phase";
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if peek_is st Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let occ = parse_occurrence st in
+      if peek_is st Token.Semicolon then advance st;
+      loop (occ :: acc)
+    end
+  in
+  loop []
+
+let parse_order st =
+  let iterations =
+    if peek_keyword st "iterations" then begin
+      advance st;
+      expect st Token.Equals;
+      Some (parse_expression st)
+    end
+    else None
+  in
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if peek_is st Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_phase st :: acc)
+  in
+  { iterations; phases = loop [] }
+
+(* --- app / machine --- *)
+
+let parse_app st =
+  let app_name = expect_ident st in
+  expect st Token.Lbrace;
+  let params = ref [] and datas = ref [] in
+  let order = ref None and flops = ref None and time = ref None in
+  let rec loop () =
+    if peek_is st Token.Rbrace then advance st
+    else begin
+      let t = current st in
+      (match t.Token.token with
+      | Token.Ident "param" ->
+          advance st;
+          let name = expect_ident st in
+          expect st Token.Equals;
+          params := (name, parse_expression st) :: !params
+      | Token.Ident "data" ->
+          advance st;
+          datas := parse_data st :: !datas
+      | Token.Ident "order" ->
+          advance st;
+          if !order <> None then fail_at t "duplicate order block";
+          order := Some (parse_order st)
+      | Token.Ident "flops" ->
+          advance st;
+          flops := Some (parse_expression st)
+      | Token.Ident "time" ->
+          advance st;
+          time := Some (parse_expression st)
+      | other ->
+          fail_at t
+            ("expected 'param', 'data', 'order', 'flops' or 'time' but found "
+            ^ Token.describe other));
+      if peek_is st Token.Semicolon then advance st;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    app_name;
+    params = List.rev !params;
+    datas = List.rev !datas;
+    order = !order;
+    flops = !flops;
+    time = !time;
+  }
+
+let parse_machine st =
+  let machine_name = expect_ident st in
+  expect st Token.Lbrace;
+  let sections = ref [] in
+  let rec loop () =
+    if peek_is st Token.Rbrace then advance st
+    else begin
+      let section_name = expect_ident st in
+      expect st Token.Lbrace;
+      let fields = ref [] in
+      let rec fields_loop () =
+        if peek_is st Token.Rbrace then advance st
+        else begin
+          let name = expect_ident st in
+          expect st Token.Equals;
+          fields := (name, parse_expression st) :: !fields;
+          if peek_is st Token.Semicolon then advance st;
+          fields_loop ()
+        end
+      in
+      fields_loop ();
+      sections := { section_name; fields = List.rev !fields } :: !sections;
+      loop ()
+    end
+  in
+  loop ();
+  { machine_name; sections = List.rev !sections }
+
+let parse_file src =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec loop acc =
+    let t = current st in
+    match t.Token.token with
+    | Token.Eof -> List.rev acc
+    | Token.Ident "app" ->
+        advance st;
+        loop (App (parse_app st) :: acc)
+    | Token.Ident "machine" ->
+        advance st;
+        loop (Machine (parse_machine st) :: acc)
+    | other ->
+        fail_at t
+          ("expected 'app' or 'machine' at top level but found "
+          ^ Token.describe other)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_expression st in
+  let t = current st in
+  (match t.Token.token with
+  | Token.Eof -> ()
+  | other -> fail_at t ("trailing input after expression: " ^ Token.describe other));
+  e

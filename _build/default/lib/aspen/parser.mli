@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the extended-Aspen language.
+
+    Raises {!Errors.Error} with the offending position on syntax errors. *)
+
+val parse_file : string -> Ast.file
+(** Parse a whole source text. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (for tests and the CLI's [--eval]). *)

@@ -1,0 +1,132 @@
+open Ast
+
+(* Fully parenthesized binary operators: simple and unambiguous to
+   re-parse. *)
+let rec pp_expr fmt = function
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Format.fprintf fmt "%.0f" f
+      else Format.fprintf fmt "%g" f
+  | Var v -> Format.pp_print_string fmt v
+  | Neg e -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Binop (op, a, b) ->
+      let sym =
+        match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Pow -> "^"
+      in
+      Format.fprintf fmt "(%a %s %a)" pp_expr a sym pp_expr b
+
+let pp_list pp fmt xs =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp fmt xs
+
+let pp_reference fmt (r : reference) =
+  Format.fprintf fmt "%s(%a)" r.array (pp_list pp_expr) r.indices
+
+let pp_arg fmt (name, value) =
+  match value with
+  | Scalar e -> Format.fprintf fmt "%s = %a" name pp_expr e
+  | Tuple es -> Format.fprintf fmt "%s = (%a)" name (pp_list pp_expr) es
+  | Flag -> Format.pp_print_string fmt name
+
+let pp_args fmt args = Format.fprintf fmt "(%a)" (pp_list pp_arg) args
+
+let rec pp_generator fmt = function
+  | Refs rs -> Format.fprintf fmt "refs (%a)" (pp_list pp_reference) rs
+  | Range { step; from_; to_ } ->
+      Format.fprintf fmt "range step %a@ from (%a)@ to (%a)" pp_expr step
+        (pp_list pp_reference) from_ (pp_list pp_reference) to_
+  | Pass { start; count; stride } ->
+      Format.fprintf fmt "pass(start = %a, count = %a, stride = %a)" pp_expr
+        start pp_expr count pp_expr stride
+  | Zip { count; streams } ->
+      Format.fprintf fmt "zip count %a {@ %a }" pp_expr count
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+           (fun fmt (r, step) ->
+             Format.fprintf fmt "%a step %a" pp_reference r pp_expr step))
+        streams
+  | Repeat (count, body) ->
+      Format.fprintf fmt "repeat %a {@ %a }" pp_expr count
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_generator)
+        body
+
+let pp_pattern fmt = function
+  | Stream args -> Format.fprintf fmt "stream%a" pp_args args
+  | Random args -> Format.fprintf fmt "random%a" pp_args args
+  | Template { args; generators } ->
+      Format.fprintf fmt "@[<v 2>template%a {@,%a@]@,}" pp_args args
+        (Format.pp_print_list pp_generator)
+        generators
+  | Reuse -> Format.pp_print_string fmt "reuse"
+
+let pp_data fmt (d : data_decl) =
+  Format.fprintf fmt "@[<v 2>data %s {" d.data_name;
+  (match d.size with
+  | Some e -> Format.fprintf fmt "@,size = %a" pp_expr e
+  | None -> ());
+  (match d.data_pattern with
+  | Some p -> Format.fprintf fmt "@,pattern %a" pp_pattern p
+  | None -> ());
+  Format.fprintf fmt "@]@,}"
+
+let pp_occurrence fmt (o : occurrence) =
+  Format.fprintf fmt "%s : %a" o.occ_structure pp_pattern o.occ_pattern;
+  match o.times with
+  | Some e -> Format.fprintf fmt " * %a" pp_expr e
+  | None -> ()
+
+let pp_phase fmt phase =
+  Format.fprintf fmt "@[<v 2>phase {@,%a@]@,}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@,")
+       pp_occurrence)
+    phase
+
+let pp_order fmt (o : order_decl) =
+  Format.fprintf fmt "@[<v 2>order";
+  (match o.iterations with
+  | Some e -> Format.fprintf fmt " iterations = %a" pp_expr e
+  | None -> ());
+  Format.fprintf fmt " {@,%a@]@,}"
+    (Format.pp_print_list pp_phase)
+    o.phases
+
+let pp_app fmt (a : app) =
+  Format.fprintf fmt "@[<v 2>app %s {" a.app_name;
+  List.iter
+    (fun (name, e) -> Format.fprintf fmt "@,param %s = %a" name pp_expr e)
+    a.params;
+  List.iter (fun d -> Format.fprintf fmt "@,%a" pp_data d) a.datas;
+  (match a.order with
+  | Some o -> Format.fprintf fmt "@,%a" pp_order o
+  | None -> ());
+  (match a.flops with
+  | Some e -> Format.fprintf fmt "@,flops %a" pp_expr e
+  | None -> ());
+  (match a.time with
+  | Some e -> Format.fprintf fmt "@,time %a" pp_expr e
+  | None -> ());
+  Format.fprintf fmt "@]@,}"
+
+let pp_machine fmt (m : machine) =
+  Format.fprintf fmt "@[<v 2>machine %s {" m.machine_name;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "@,%s { %a }" s.section_name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+           (fun fmt (name, e) -> Format.fprintf fmt "%s = %a" name pp_expr e))
+        s.fields)
+    m.sections;
+  Format.fprintf fmt "@]@,}"
+
+let pp_file fmt file =
+  Format.fprintf fmt "@[<v>";
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,@,")
+    (fun fmt -> function
+      | Machine m -> pp_machine fmt m
+      | App a -> pp_app fmt a)
+    fmt file;
+  Format.fprintf fmt "@]"
+
+let to_string file = Format.asprintf "%a@." pp_file file

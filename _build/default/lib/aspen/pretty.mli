@@ -1,0 +1,12 @@
+(** Pretty-printer for Aspen ASTs.
+
+    [parse (print ast) = ast] up to redundant parentheses; the round trip
+    is property-tested.  Used by the CLI's [dvf parse] subcommand to echo
+    the normalized model. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_pattern : Format.formatter -> Ast.pattern -> unit
+val pp_app : Format.formatter -> Ast.app -> unit
+val pp_machine : Format.formatter -> Ast.machine -> unit
+val pp_file : Format.formatter -> Ast.file -> unit
+val to_string : Ast.file -> string

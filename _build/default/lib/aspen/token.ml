@@ -1,0 +1,53 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Colon
+  | Equals
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Caret
+  | Eof
+
+type located = {
+  token : t;
+  line : int;
+  col : int;
+}
+
+let pp fmt = function
+  | Ident s -> Format.fprintf fmt "%s" s
+  | Int n -> Format.fprintf fmt "%d" n
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Lbrace -> Format.pp_print_string fmt "{"
+  | Rbrace -> Format.pp_print_string fmt "}"
+  | Lparen -> Format.pp_print_string fmt "("
+  | Rparen -> Format.pp_print_string fmt ")"
+  | Comma -> Format.pp_print_string fmt ","
+  | Semicolon -> Format.pp_print_string fmt ";"
+  | Colon -> Format.pp_print_string fmt ":"
+  | Equals -> Format.pp_print_string fmt "="
+  | Star -> Format.pp_print_string fmt "*"
+  | Plus -> Format.pp_print_string fmt "+"
+  | Minus -> Format.pp_print_string fmt "-"
+  | Slash -> Format.pp_print_string fmt "/"
+  | Caret -> Format.pp_print_string fmt "^"
+  | Eof -> Format.pp_print_string fmt "<eof>"
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Float f -> Printf.sprintf "number %g" f
+  | Str s -> Printf.sprintf "string %S" s
+  | Eof -> "end of input"
+  | t -> Printf.sprintf "'%s'" (Format.asprintf "%a" pp t)

@@ -1,0 +1,31 @@
+(** Lexical tokens of the extended-Aspen modeling language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Lbrace          (** [{] *)
+  | Rbrace          (** [}] *)
+  | Lparen          (** [(] *)
+  | Rparen          (** [)] *)
+  | Comma
+  | Semicolon
+  | Colon
+  | Equals
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Caret
+  | Eof
+
+type located = {
+  token : t;
+  line : int;   (** 1-based *)
+  col : int;    (** 1-based *)
+}
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string
+(** Human-readable form for error messages ("identifier 'foo'", "'{'"). *)

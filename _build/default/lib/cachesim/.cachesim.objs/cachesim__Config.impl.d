@@ -1,0 +1,1 @@
+lib/cachesim/config.ml: Dvf_util Format

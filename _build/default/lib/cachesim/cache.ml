@@ -1,0 +1,107 @@
+(* Slot state is stored structure-of-arrays per cache: for slot [s*CA+w]:
+   tag (line number, -1 when invalid), owner, dirty flag and last-use stamp.
+   LRU uses a monotonically increasing clock; 63-bit ints cannot wrap in
+   any realistic simulation. *)
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  tags : int array;
+  owners : int array;
+  dirty : bool array;
+  stamps : int array;
+  mutable clock : int;
+  line_shift : int;
+  set_mask : int;
+}
+
+let log2 n =
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let create config =
+  let open Config in
+  let slots = config.associativity * config.sets in
+  {
+    config;
+    stats = Stats.create ();
+    tags = Array.make slots (-1);
+    owners = Array.make slots 0;
+    dirty = Array.make slots false;
+    stamps = Array.make slots 0;
+    clock = 0;
+    line_shift = log2 config.line;
+    set_mask = config.sets - 1;
+  }
+
+let config t = t.config
+let stats t = t.stats
+
+let touch_line t ~owner ~write ~line_addr =
+  if line_addr < 0 then invalid_arg "Cache.touch_line: negative address";
+  let line = line_addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let ca = t.config.Config.associativity in
+  let base = set * ca in
+  t.clock <- t.clock + 1;
+  (* Search the set for the tag; track LRU victim as we go. *)
+  let hit_way = ref (-1) in
+  let victim = ref base in
+  let victim_stamp = ref max_int in
+  for w = base to base + ca - 1 do
+    if t.tags.(w) = line then hit_way := w;
+    if t.stamps.(w) < !victim_stamp then begin
+      victim_stamp := t.stamps.(w);
+      victim := w
+    end
+  done;
+  let hit = !hit_way >= 0 in
+  Stats.record_access t.stats ~owner ~write ~hit;
+  if hit then begin
+    let w = !hit_way in
+    t.stamps.(w) <- t.clock;
+    if write then t.dirty.(w) <- true
+  end
+  else begin
+    let w = !victim in
+    if t.tags.(w) >= 0 && t.dirty.(w) then
+      Stats.record_writeback t.stats ~owner:t.owners.(w);
+    t.tags.(w) <- line;
+    t.owners.(w) <- owner;
+    t.dirty.(w) <- write;
+    t.stamps.(w) <- t.clock
+  end;
+  hit
+
+let access t ~owner ~write ~addr ~size =
+  if size <= 0 then invalid_arg "Cache.access: non-positive size";
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  let line_bytes = t.config.Config.line in
+  let first = addr / line_bytes in
+  let last = (addr + size - 1) / line_bytes in
+  for line = first to last do
+    ignore (touch_line t ~owner ~write ~line_addr:(line * line_bytes))
+  done
+
+let flush t =
+  Array.iteri
+    (fun w tag ->
+      if tag >= 0 then begin
+        if t.dirty.(w) then Stats.record_writeback t.stats ~owner:t.owners.(w);
+        t.tags.(w) <- -1;
+        t.dirty.(w) <- false;
+        t.stamps.(w) <- 0
+      end)
+    t.tags
+
+let invalidate t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let resident_lines t ~owner =
+  let count = ref 0 in
+  Array.iteri
+    (fun w tag -> if tag >= 0 && t.owners.(w) = owner then incr count)
+    t.tags;
+  !count

@@ -1,0 +1,43 @@
+(** Set-associative LRU cache simulator.
+
+    This is the reproduction's substitute for the authors' "configurable
+    cache simulator" (paper §IV): it consumes a per-structure address
+    stream (from {!Memtrace}) and reports LLC misses and writebacks per
+    data structure, which together define the measured number of main
+    memory accesses the analytical models are verified against (Fig. 4).
+
+    The replacement policy is strict LRU within each set, matching the
+    paper ("the cache simulation is based on the popular LRU algorithm and
+    can report the number of cache misses and writebacks").  Writes
+    allocate (write-allocate, write-back). *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+val access : t -> owner:int -> write:bool -> addr:int -> size:int -> unit
+(** Simulate one program reference of [size] bytes at byte address [addr]
+    by owner (data structure) [owner].  The reference is split at cache-line
+    boundaries; each touched line is looked up, counted as hit or miss, and
+    installed on miss (evicting the set's LRU line, recording a writeback if
+    dirty).  Raises [Invalid_argument] if [size <= 0] or [addr < 0]. *)
+
+val touch_line : t -> owner:int -> write:bool -> line_addr:int -> bool
+(** Low-level single-line lookup used by the trace driver and tests;
+    [line_addr] is a byte address (any byte within the line).  Returns
+    [true] on hit. *)
+
+val flush : t -> unit
+(** Evict everything, recording writebacks for dirty lines.  Called at the
+    end of a simulation when the experiment counts end-of-run evictions. *)
+
+val invalidate : t -> unit
+(** Drop all contents without recording writebacks (cold restart between
+    phases). *)
+
+val resident_lines : t -> owner:int -> int
+(** Number of lines currently cached for [owner] — used by tests and by the
+    reuse-model validation experiments. *)

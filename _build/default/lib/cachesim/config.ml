@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  associativity : int;
+  sets : int;
+  line : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let make ~name ~associativity ~sets ~line =
+  if associativity <= 0 then invalid_arg "Config.make: associativity <= 0";
+  if not (is_power_of_two sets) then
+    invalid_arg "Config.make: sets must be a positive power of two";
+  if not (is_power_of_two line) then
+    invalid_arg "Config.make: line must be a positive power of two";
+  { name; associativity; sets; line }
+
+let capacity t = t.associativity * t.sets * t.line
+let blocks t = t.associativity * t.sets
+
+let small_verification =
+  make ~name:"Small (Verification)" ~associativity:4 ~sets:64 ~line:32
+
+let large_verification =
+  make ~name:"Large (Verification)" ~associativity:16 ~sets:4096 ~line:64
+
+let profiling_16kb = make ~name:"16KB" ~associativity:2 ~sets:1024 ~line:8
+let profiling_128kb = make ~name:"128KB" ~associativity:4 ~sets:2048 ~line:16
+let profiling_1mb = make ~name:"1MB" ~associativity:6 ~sets:4096 ~line:32
+let profiling_8mb = make ~name:"8MB" ~associativity:8 ~sets:8192 ~line:64
+
+let profiling_set =
+  [ profiling_16kb; profiling_128kb; profiling_1mb; profiling_8mb ]
+
+let verification_set = [ small_verification; large_verification ]
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d-way, %d sets, %dB lines, %a" t.name
+    t.associativity t.sets t.line Dvf_util.Units.pp_bytes (capacity t)

@@ -1,0 +1,94 @@
+type counters = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  writebacks : int;
+}
+
+let zero = { reads = 0; writes = 0; hits = 0; misses = 0; writebacks = 0 }
+
+type cell = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type t = { mutable cells : cell array }
+
+let fresh_cell () =
+  { reads = 0; writes = 0; hits = 0; misses = 0; writebacks = 0 }
+
+let create () = { cells = Array.init 8 (fun _ -> fresh_cell ()) }
+
+let ensure t owner =
+  if owner < 0 then invalid_arg "Stats: negative owner";
+  let n = Array.length t.cells in
+  if owner >= n then begin
+    let n' = max (owner + 1) (2 * n) in
+    let cells = Array.init n' (fun i -> if i < n then t.cells.(i) else fresh_cell ()) in
+    t.cells <- cells
+  end;
+  t.cells.(owner)
+
+let record_access t ~owner ~write ~hit =
+  let c = ensure t owner in
+  if write then c.writes <- c.writes + 1 else c.reads <- c.reads + 1;
+  if hit then c.hits <- c.hits + 1 else c.misses <- c.misses + 1
+
+let record_writeback t ~owner =
+  let c = ensure t owner in
+  c.writebacks <- c.writebacks + 1
+
+let counters_of_cell (c : cell) : counters =
+  {
+    reads = c.reads;
+    writes = c.writes;
+    hits = c.hits;
+    misses = c.misses;
+    writebacks = c.writebacks;
+  }
+
+let owner_counters t owner =
+  if owner < 0 || owner >= Array.length t.cells then zero
+  else counters_of_cell t.cells.(owner)
+
+let totals t =
+  Array.fold_left
+    (fun (acc : counters) (c : cell) ->
+      {
+        reads = acc.reads + c.reads;
+        writes = acc.writes + c.writes;
+        hits = acc.hits + c.hits;
+        misses = acc.misses + c.misses;
+        writebacks = acc.writebacks + c.writebacks;
+      })
+    zero t.cells
+
+let main_memory_accesses t owner =
+  let c = owner_counters t owner in
+  c.misses + c.writebacks
+
+let total_main_memory_accesses t =
+  let c = totals t in
+  c.misses + c.writebacks
+
+let is_empty (c : cell) =
+  c.reads = 0 && c.writes = 0 && c.hits = 0 && c.misses = 0 && c.writebacks = 0
+
+let owners t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if not (is_empty c) then acc := i :: !acc) t.cells;
+  List.rev !acc
+
+let reset t =
+  Array.iter
+    (fun (c : cell) ->
+      c.reads <- 0;
+      c.writes <- 0;
+      c.hits <- 0;
+      c.misses <- 0;
+      c.writebacks <- 0)
+    t.cells

@@ -1,0 +1,36 @@
+(** Per-data-structure cache statistics.
+
+    Owners are small integer identifiers handed out by the trace layer's
+    region registry; owner [0] is conventionally "anonymous".  Main-memory
+    accesses for a structure are its LLC misses plus the writebacks of its
+    dirty lines (the paper counts "last level cache misses and evictions"). *)
+
+type t
+
+type counters = {
+  reads : int;       (** line-granular read lookups *)
+  writes : int;      (** line-granular write lookups *)
+  hits : int;
+  misses : int;
+  writebacks : int;  (** dirty evictions attributed to the line's owner *)
+}
+
+val create : unit -> t
+
+val record_access : t -> owner:int -> write:bool -> hit:bool -> unit
+val record_writeback : t -> owner:int -> unit
+
+val owner_counters : t -> int -> counters
+(** All-zero counters for owners never seen. *)
+
+val totals : t -> counters
+
+val main_memory_accesses : t -> int -> int
+(** [misses + writebacks] for the owner. *)
+
+val total_main_memory_accesses : t -> int
+
+val owners : t -> int list
+(** Owners with at least one recorded event, ascending. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/core/component.ml: Access_patterns Cachesim Dvf Dvf_util Ecc Format List Printf

@@ -1,0 +1,1 @@
+lib/core/component.mli: Access_patterns Cachesim Dvf Dvf_util

@@ -1,0 +1,1 @@
+lib/core/dvf.ml: Access_patterns Array Dvf_util Format List

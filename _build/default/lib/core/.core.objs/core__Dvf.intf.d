@@ -1,0 +1,1 @@
+lib/core/dvf.mli: Access_patterns Cachesim Format

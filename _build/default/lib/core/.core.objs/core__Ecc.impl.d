@@ -1,0 +1,1 @@
+lib/core/ecc.ml: Dvf Dvf_util

@@ -1,0 +1,1 @@
+lib/core/ecc.mli: Access_patterns Cachesim Dvf

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Cachesim Dvf Dvf_util Ecc Format Kernels List Perf Printf String Workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Cachesim Dvf_util Perf Workloads

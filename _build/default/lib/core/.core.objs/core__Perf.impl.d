@@ -1,0 +1,1 @@
+lib/core/perf.ml: Access_patterns Cachesim Float List

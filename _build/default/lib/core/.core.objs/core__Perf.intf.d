@@ -1,0 +1,1 @@
+lib/core/perf.mli: Access_patterns Cachesim

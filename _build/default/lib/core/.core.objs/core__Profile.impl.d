@@ -1,0 +1,1 @@
+lib/core/profile.ml: Access_patterns Cachesim Dvf Dvf_util Ecc Format List Perf Workloads

@@ -1,0 +1,1 @@
+lib/core/profile.mli: Cachesim Dvf_util Perf Workloads

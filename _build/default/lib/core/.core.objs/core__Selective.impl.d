@@ -1,0 +1,1 @@
+lib/core/selective.ml: Array Dvf Dvf_util Ecc List Printf String

@@ -1,0 +1,1 @@
+lib/core/selective.mli: Dvf Dvf_util Ecc

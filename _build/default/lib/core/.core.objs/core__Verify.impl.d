@@ -1,0 +1,1 @@
+lib/core/verify.ml: Access_patterns Cachesim Dvf_util List Memtrace Printf Workloads

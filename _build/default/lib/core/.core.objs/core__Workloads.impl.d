@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Access_patterns Kernels Memtrace

@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Access_patterns Memtrace

@@ -1,0 +1,75 @@
+module Table = Dvf_util.Table
+
+type row = {
+  kernel : Workloads.kernel;
+  cache : Cachesim.Config.t;
+  structure : string;
+  dvf : float;
+  n_ha : float;
+  bytes : int;
+  time : float;
+}
+
+let profile_instance ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
+    ~cache (instance : Workloads.instance) =
+  let spec = instance.Workloads.spec in
+  let time = Perf.app_time machine ~cache ~flops:instance.Workloads.flops spec in
+  let app = Dvf.of_spec ~cache ~fit ~time spec in
+  let structure_rows =
+    List.map
+      (fun (s : Dvf.structure_dvf) ->
+        {
+          kernel = instance.Workloads.kernel;
+          cache;
+          structure = s.Dvf.name;
+          dvf = s.Dvf.dvf;
+          n_ha = s.Dvf.n_ha;
+          bytes = s.Dvf.bytes;
+          time;
+        })
+      app.Dvf.structures
+  in
+  structure_rows
+  @ [
+      {
+        kernel = instance.Workloads.kernel;
+        cache;
+        structure = Workloads.name instance.Workloads.kernel;
+        dvf = app.Dvf.total;
+        n_ha = List.fold_left (fun acc r -> acc +. r.n_ha) 0.0 structure_rows;
+        bytes = Access_patterns.App_spec.total_bytes spec;
+        time;
+      };
+    ]
+
+let run_all ?machine ?fit ?(caches = Cachesim.Config.profiling_set)
+    ?(kernels = Workloads.all) () =
+  List.concat_map
+    (fun kernel ->
+      let instance = Workloads.profiling_instance kernel in
+      List.concat_map
+        (fun cache -> profile_instance ?machine ?fit ~cache instance)
+        caches)
+    kernels
+
+let to_table rows =
+  let t =
+    Table.create
+      ~title:"Fig. 5 - DVF profiling (per data structure, per cache)"
+      [
+        ("kernel", Table.Left); ("structure", Table.Left);
+        ("cache", Table.Left); ("S_d", Table.Right); ("N_ha", Table.Right);
+        ("T (s)", Table.Right); ("DVF", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Workloads.name r.kernel; r.structure; r.cache.Cachesim.Config.name;
+          Format.asprintf "%a" Dvf_util.Units.pp_bytes r.bytes;
+          Table.cell_float r.n_ha; Table.cell_float r.time;
+          Table.cell_float r.dvf;
+        ])
+    rows;
+  t

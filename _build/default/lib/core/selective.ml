@@ -1,0 +1,92 @@
+let rank (app : Dvf.app_dvf) =
+  List.sort
+    (fun (a : Dvf.structure_dvf) b -> compare b.Dvf.dvf a.Dvf.dvf)
+    app.Dvf.structures
+
+let protect_structures ~scheme ~names (app : Dvf.app_dvf) =
+  List.iter
+    (fun name ->
+      if
+        not
+          (List.exists (fun (s : Dvf.structure_dvf) -> s.Dvf.name = name)
+             app.Dvf.structures)
+      then invalid_arg ("Selective.protect_structures: unknown structure " ^ name))
+    names;
+  let protected_fit = Ecc.fit scheme in
+  let counts =
+    List.map
+      (fun (s : Dvf.structure_dvf) -> (s.Dvf.name, s.Dvf.bytes, s.Dvf.n_ha))
+      app.Dvf.structures
+  in
+  (* Eq. 1 is linear in FIT, so recompute each structure with its own
+     rate and sum. *)
+  let structures =
+    List.map
+      (fun (name, bytes, n_ha) ->
+        let fit = if List.mem name names then protected_fit else app.Dvf.fit in
+        Dvf.structure ~fit ~time:app.Dvf.time ~bytes ~n_ha name)
+      counts
+  in
+  let total =
+    Dvf_util.Maths.sum
+      (Array.of_list (List.map (fun (s : Dvf.structure_dvf) -> s.Dvf.dvf) structures))
+  in
+  { app with Dvf.structures; total }
+
+type coverage_point = {
+  protected_count : int;
+  protected_names : string list;
+  residual_dvf : float;
+  residual_fraction : float;
+}
+
+let coverage_curve ~scheme (app : Dvf.app_dvf) =
+  let ranked = List.map (fun (s : Dvf.structure_dvf) -> s.Dvf.name) (rank app) in
+  let unprotected_total = app.Dvf.total in
+  List.init
+    (List.length ranked + 1)
+    (fun k ->
+      let names = List.filteri (fun i _ -> i < k) ranked in
+      let residual = (protect_structures ~scheme ~names app).Dvf.total in
+      {
+        protected_count = k;
+        protected_names = names;
+        residual_dvf = residual;
+        residual_fraction =
+          (if unprotected_total = 0.0 then 0.0 else residual /. unprotected_total);
+      })
+
+let structures_for_target ~scheme ~target_fraction app =
+  if not (target_fraction > 0.0 && target_fraction <= 1.0) then
+    invalid_arg "Selective.structures_for_target: target outside (0,1]";
+  let curve = coverage_curve ~scheme app in
+  match
+    List.find_opt (fun p -> p.residual_fraction <= target_fraction) curve
+  with
+  | Some p -> p.protected_names
+  | None ->
+      invalid_arg
+        "Selective.structures_for_target: target unreachable with this scheme"
+
+let to_table points =
+  let t =
+    Dvf_util.Table.create ~title:"Selective protection coverage"
+      [
+        ("protected", Dvf_util.Table.Right);
+        ("structures", Dvf_util.Table.Left);
+        ("residual DVF", Dvf_util.Table.Right);
+        ("fraction", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Dvf_util.Table.add_row t
+        [
+          string_of_int p.protected_count;
+          (if p.protected_names = [] then "-"
+           else String.concat ", " p.protected_names);
+          Dvf_util.Table.cell_float p.residual_dvf;
+          Printf.sprintf "%.1f%%" (100.0 *. p.residual_fraction);
+        ])
+    points;
+  t

@@ -1,0 +1,43 @@
+(** Selective protection — the use the paper builds DVF for.
+
+    §I: "selectively apply protection mechanisms to its critical
+    components ... selective use of these safeguards is critical when
+    balancing their benefits against the costs of their respective
+    overheads"; §III-A: "we use DVF to determine if a data structure is
+    vulnerable and whether we should enforce extra protection".
+
+    Given an application's per-structure DVF, this module ranks the
+    structures and evaluates what protecting only the top-k buys: each
+    protected structure's [N_error] scales by the protected/unprotected
+    FIT ratio (Eq. 1 is linear in FIT), unprotected structures keep
+    theirs.  The coverage curve answers the designer's question: how few
+    structures must be hardened to remove most of the vulnerability? *)
+
+val rank : Dvf.app_dvf -> Dvf.structure_dvf list
+(** Structures sorted by descending DVF. *)
+
+val protect_structures :
+  scheme:Ecc.scheme -> names:string list -> Dvf.app_dvf -> Dvf.app_dvf
+(** Re-evaluate with the scheme's FIT applied to the named structures
+    only (the paper's per-structure protection, e.g. software ABFT or a
+    protected memory region).  Unknown names raise
+    [Invalid_argument]. *)
+
+type coverage_point = {
+  protected_count : int;
+  protected_names : string list;  (** in protection order *)
+  residual_dvf : float;
+  residual_fraction : float;      (** residual / unprotected total *)
+}
+
+val coverage_curve : scheme:Ecc.scheme -> Dvf.app_dvf -> coverage_point list
+(** Protecting the top-0, top-1, ..., all structures in {!rank} order. *)
+
+val structures_for_target :
+  scheme:Ecc.scheme -> target_fraction:float -> Dvf.app_dvf -> string list
+(** The smallest DVF-ranked prefix whose protection brings the residual
+    DVF to at most [target_fraction] of the unprotected total.  Raises
+    [Invalid_argument] if the target is outside (0, 1] or unreachable
+    even with everything protected. *)
+
+val to_table : coverage_point list -> Dvf_util.Table.t

@@ -1,0 +1,77 @@
+module Table = Dvf_util.Table
+
+type row = {
+  kernel : Workloads.kernel;
+  cache : Cachesim.Config.t;
+  structure : string;
+  simulated : float;
+  modeled : float;
+}
+
+let error row =
+  Dvf_util.Maths.rel_error ~expected:row.simulated ~actual:row.modeled
+
+let verify_instance ~cache (instance : Workloads.instance) =
+  let registry = Memtrace.Region.create () in
+  let recorder = Memtrace.Recorder.create () in
+  let sim_cache = Cachesim.Cache.create cache in
+  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink sim_cache);
+  instance.Workloads.trace registry recorder;
+  Cachesim.Cache.flush sim_cache;
+  let stats = Cachesim.Cache.stats sim_cache in
+  let modeled =
+    Access_patterns.App_spec.main_memory_accesses ~cache instance.Workloads.spec
+  in
+  List.map
+    (fun (structure, model_value) ->
+      let region = Memtrace.Region.lookup registry structure in
+      let simulated =
+        float_of_int
+          (Cachesim.Stats.main_memory_accesses stats region.Memtrace.Region.id)
+      in
+      { kernel = instance.Workloads.kernel; cache; structure; simulated;
+        modeled = model_value })
+    modeled
+
+let run_all ?(kernels = Workloads.all) () =
+  List.concat_map
+    (fun kernel ->
+      let instance = Workloads.verification_instance kernel in
+      List.concat_map
+        (fun cache -> verify_instance ~cache instance)
+        Cachesim.Config.verification_set)
+    kernels
+
+let kernel_error ~rows kernel cache =
+  let relevant =
+    List.filter
+      (fun r -> r.kernel = kernel && r.cache.Cachesim.Config.name = cache.Cachesim.Config.name)
+      rows
+  in
+  if relevant = [] then invalid_arg "Verify.kernel_error: no rows";
+  let total_sim = List.fold_left (fun acc r -> acc +. r.simulated) 0.0 relevant in
+  let total_model = List.fold_left (fun acc r -> acc +. r.modeled) 0.0 relevant in
+  Dvf_util.Maths.rel_error ~expected:total_sim ~actual:total_model
+
+let to_table rows =
+  let t =
+    Table.create
+      ~title:
+        "Fig. 4 - Model verification: estimated vs simulated main-memory \
+         accesses"
+      [
+        ("kernel", Table.Left); ("cache", Table.Left);
+        ("structure", Table.Left); ("simulated", Table.Right);
+        ("modeled", Table.Right); ("error %", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Workloads.name r.kernel; r.cache.Cachesim.Config.name; r.structure;
+          Table.cell_float r.simulated; Table.cell_float r.modeled;
+          Printf.sprintf "%.1f" (100.0 *. error r);
+        ])
+    rows;
+  t

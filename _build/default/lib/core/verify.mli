@@ -1,0 +1,31 @@
+(** Model verification (paper §IV-A, Fig. 4).
+
+    Runs each kernel's instrumented implementation, feeds the trace to the
+    LRU cache simulator, and compares the per-structure main-memory access
+    counts (misses + writebacks) against the CGPMAC analytical estimate.
+    The paper reports estimation error within 15 % in all cases. *)
+
+type row = {
+  kernel : Workloads.kernel;
+  cache : Cachesim.Config.t;
+  structure : string;
+  simulated : float;   (** misses + writebacks from the cache simulator *)
+  modeled : float;     (** CGPMAC estimate *)
+}
+
+val error : row -> float
+(** |modeled - simulated| / simulated. *)
+
+val verify_instance :
+  cache:Cachesim.Config.t -> Workloads.instance -> row list
+(** One kernel instance against one cache configuration. *)
+
+val run_all : ?kernels:Workloads.kernel list -> unit -> row list
+(** Fig. 4: every kernel (Table V sizes) against both verification cache
+    configurations.  [kernels] defaults to all six. *)
+
+val kernel_error :
+  rows:row list -> Workloads.kernel -> Cachesim.Config.t -> float
+(** Aggregate (total-traffic) error for one kernel/cache pair. *)
+
+val to_table : row list -> Dvf_util.Table.t

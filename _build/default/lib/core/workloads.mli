@@ -1,0 +1,44 @@
+(** The six numerical kernels (paper Table II) with the paper's input
+    sizes (Tables V and VI) packaged for the experiment drivers.
+
+    An {!instance} bundles everything an experiment needs: the CGPMAC
+    application spec (for the analytical side), the flop count (for the
+    performance model), and — when tractable — a traced runner (for the
+    cache-simulator side of Fig. 4). *)
+
+type kernel = VM | CG | NB | MG | FT | MC
+
+val all : kernel list
+(** Table II order. *)
+
+val name : kernel -> string
+val computational_class : kernel -> string
+(** Table II's "computational method class". *)
+
+val major_structures : kernel -> string list
+(** Table II's "major data structures". *)
+
+val pattern_classes : kernel -> string
+(** Table II's "memory access patterns" summary. *)
+
+val example_benchmark : kernel -> string
+(** Table II's "example benchmarks" — what the paper ran; ours are
+    reimplementations. *)
+
+type instance = {
+  kernel : kernel;
+  label : string;                     (** e.g. "CG 500x500" *)
+  spec : Access_patterns.App_spec.t;
+  flops : int;
+  trace : Memtrace.Region.t -> Memtrace.Recorder.t -> unit;
+}
+
+val verification_instance : kernel -> instance
+(** Table V input sizes — small enough for trace-driven simulation. *)
+
+val profiling_instance : kernel -> instance
+(** Table VI input sizes (MG's class W scaled to 64^3 as documented in
+    DESIGN.md). *)
+
+val input_size_description : [ `Verification | `Profiling ] -> kernel -> string
+(** The "Input size" column of Table V / Table VI. *)

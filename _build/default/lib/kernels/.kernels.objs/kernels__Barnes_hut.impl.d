@@ -1,0 +1,1 @@
+lib/kernels/barnes_hut.ml: Access_patterns Array Dvf_util Float Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/barnes_hut.mli: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/cg.ml: Access_patterns Array Dvf_util Float List Memtrace Spd

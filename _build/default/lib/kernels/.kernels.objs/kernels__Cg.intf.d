@@ -1,0 +1,1 @@
+lib/kernels/cg.mli: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/csr.ml: Array List Spd

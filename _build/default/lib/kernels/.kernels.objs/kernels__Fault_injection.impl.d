@@ -1,0 +1,1 @@
+lib/kernels/fault_injection.ml: Array Cg Dvf_util Float Hashtbl Int64 List Printf Spd Vm

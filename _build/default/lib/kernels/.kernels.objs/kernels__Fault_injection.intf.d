@@ -1,0 +1,1 @@
+lib/kernels/fault_injection.mli: Cg Dvf_util Vm

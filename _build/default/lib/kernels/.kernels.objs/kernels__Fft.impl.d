@@ -1,0 +1,1 @@
+lib/kernels/fft.ml: Access_patterns Array Complex Dvf_util Float Memtrace

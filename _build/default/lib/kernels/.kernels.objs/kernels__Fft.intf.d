@@ -1,0 +1,1 @@
+lib/kernels/fft.mli: Access_patterns Complex Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/monte_carlo.ml: Access_patterns Array Dvf_util Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/monte_carlo.mli: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/multigrid.ml: Access_patterns Array Dvf_util Memtrace

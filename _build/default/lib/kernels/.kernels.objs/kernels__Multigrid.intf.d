@@ -1,0 +1,1 @@
+lib/kernels/multigrid.mli: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/pcg.mli: Access_patterns Memtrace

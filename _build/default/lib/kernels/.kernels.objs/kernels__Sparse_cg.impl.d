@@ -1,0 +1,1 @@
+lib/kernels/sparse_cg.ml: Access_patterns Array Cg Csr Dvf_util Float List Memtrace Spd

@@ -1,0 +1,1 @@
+lib/kernels/sparse_cg.mli: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/spd.ml: Array Dvf_util

@@ -1,0 +1,1 @@
+lib/kernels/spd.mli: Dvf_util

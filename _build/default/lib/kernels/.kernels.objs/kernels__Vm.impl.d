@@ -1,0 +1,1 @@
+lib/kernels/vm.ml: Access_patterns Memtrace

@@ -1,0 +1,1 @@
+lib/kernels/vm.mli: Access_patterns Memtrace

@@ -1,0 +1,59 @@
+(** Barnes–Hut N-body simulation (paper Table II / Algorithm 2).
+
+    2-D particles in the unit square, organized in a quadtree; the force
+    on each particle is computed by traversing the tree and cutting off
+    recursion when a node is "distant enough" (opening angle criterion
+    [size / distance < theta]).  The number of tree nodes touched per
+    particle — the paper's parameter [k] — depends on the particle
+    distribution and [theta] and is reported in the result, to be fed back
+    into the random-access model exactly as the paper obtains [k] "by
+    profiling application on any available hardware".
+
+    Traced structures: "T" (tree nodes, 32-byte elements, random access)
+    and "P" (particles, 32-byte elements, streamed once per force pass
+    with a write of the accumulated force). *)
+
+type params = {
+  particles : int;
+  theta : float;       (** opening angle, typically 0.3–1.0 *)
+  seed : int;
+  force_passes : int;  (** how many force-computation sweeps to run *)
+}
+
+val make_params : ?theta:float -> ?seed:int -> ?force_passes:int -> int -> params
+
+val verification : params
+(** Table V: 1000 particles. *)
+
+val profiling : params
+(** Table VI: 6000 particles, with [theta = 1.0] so the mean visit count
+    lands near the paper's reported ~80 comparisons per body. *)
+
+type result = {
+  nodes : int;              (** quadtree nodes built *)
+  avg_visits : float;       (** k: mean tree nodes touched per particle *)
+  hot_nodes : int;
+      (** nodes visited by at least half of all traversals — the root and
+          upper tree levels, which every force computation re-touches and
+          which therefore stay cached *)
+  hot_visits : float;       (** mean visits per traversal landing on hot nodes *)
+  forces : (float * float) array;  (** net force per particle *)
+  flops : int;
+}
+
+val run : Memtrace.Region.t -> Memtrace.Recorder.t -> params -> result
+
+val run_untraced : params -> result
+
+val direct_forces : params -> (float * float) array
+(** Exact O(n^2) pairwise forces, for accuracy testing. *)
+
+val spec : ?result:result -> params -> Access_patterns.App_spec.t
+(** Random-access model for T parameterized by the measured [nodes] and
+    [avg_visits] (from [result], or from an untraced run when absent),
+    plus a streaming model for P.  The measured hot set — upper-tree
+    nodes every traversal revisits, which LRU keeps resident — is
+    excluded from the random population ([N - hot_nodes] elements,
+    [k - hot_visits] visits) and its cache occupancy shrinks the random
+    part's cache share; the paper's uniform-visit assumption otherwise
+    overstates NB misses by ~50 %. *)

@@ -1,0 +1,118 @@
+type t = {
+  n : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let create ~n ~row_ptr ~col_idx ~values =
+  if n < 0 then invalid_arg "Csr.create: negative dimension";
+  if Array.length row_ptr <> n + 1 then
+    invalid_arg "Csr.create: row_ptr must have n+1 entries";
+  if row_ptr.(0) <> 0 then invalid_arg "Csr.create: row_ptr must start at 0";
+  let nnz = row_ptr.(n) in
+  if Array.length col_idx <> nnz || Array.length values <> nnz then
+    invalid_arg "Csr.create: col_idx/values length must equal row_ptr.(n)";
+  for i = 0 to n - 1 do
+    if row_ptr.(i + 1) < row_ptr.(i) then
+      invalid_arg "Csr.create: row_ptr must be monotone";
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if col_idx.(k) < 0 || col_idx.(k) >= n then
+        invalid_arg "Csr.create: column index out of range";
+      if k > row_ptr.(i) && col_idx.(k) <= col_idx.(k - 1) then
+        invalid_arg "Csr.create: column indices must be strictly increasing per row"
+    done
+  done;
+  { n; row_ptr; col_idx; values }
+
+let nnz t = t.row_ptr.(t.n)
+
+let laplacian_2d k =
+  if k < 2 then invalid_arg "Csr.laplacian_2d: k < 2";
+  let n = k * k in
+  let row_ptr = Array.make (n + 1) 0 in
+  let cols = ref [] and vals = ref [] in
+  let count = ref 0 in
+  let push c v =
+    cols := c :: !cols;
+    vals := v :: !vals;
+    incr count
+  in
+  for row = 0 to n - 1 do
+    let i = row / k and j = row mod k in
+    (* Columns in increasing order: (i-1,j), (i,j-1), (i,j), (i,j+1),
+       (i+1,j). *)
+    if i > 0 then push (row - k) (-1.0);
+    if j > 0 then push (row - 1) (-1.0);
+    push row 4.0;
+    if j < k - 1 then push (row + 1) (-1.0);
+    if i < k - 1 then push (row + k) (-1.0);
+    row_ptr.(row + 1) <- !count
+  done;
+  let col_idx = Array.of_list (List.rev !cols) in
+  let values = Array.of_list (List.rev !vals) in
+  create ~n ~row_ptr ~col_idx ~values
+
+let spd_tridiagonal n =
+  if n < 2 then invalid_arg "Csr.spd_tridiagonal: n < 2";
+  let row_ptr = Array.make (n + 1) 0 in
+  let cols = ref [] and vals = ref [] in
+  let count = ref 0 in
+  let push c v =
+    cols := c :: !cols;
+    vals := v :: !vals;
+    incr count
+  in
+  for i = 0 to n - 1 do
+    if i > 0 then push (i - 1) (-1.0);
+    push i (Spd.diagonal ~n i);
+    if i < n - 1 then push (i + 1) (-1.0);
+    row_ptr.(i + 1) <- !count
+  done;
+  create ~n ~row_ptr
+    ~col_idx:(Array.of_list (List.rev !cols))
+    ~values:(Array.of_list (List.rev !vals))
+
+let of_dense n a =
+  if Array.length a <> n * n then invalid_arg "Csr.of_dense: size mismatch";
+  let row_ptr = Array.make (n + 1) 0 in
+  let cols = ref [] and vals = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = a.((i * n) + j) in
+      if v <> 0.0 then begin
+        cols := j :: !cols;
+        vals := v :: !vals;
+        incr count
+      end
+    done;
+    row_ptr.(i + 1) <- !count
+  done;
+  create ~n ~row_ptr
+    ~col_idx:(Array.of_list (List.rev !cols))
+    ~values:(Array.of_list (List.rev !vals))
+
+let spmv t x y =
+  if Array.length x <> t.n || Array.length y <> t.n then
+    invalid_arg "Csr.spmv: vector length mismatch";
+  for i = 0 to t.n - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let to_dense t =
+  let a = Array.make (t.n * t.n) 0.0 in
+  for i = 0 to t.n - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      a.((i * t.n) + t.col_idx.(k)) <- t.values.(k)
+    done
+  done;
+  a
+
+let row_bounds t i =
+  if i < 0 || i >= t.n then invalid_arg "Csr.row_bounds: row out of range";
+  (t.row_ptr.(i), t.row_ptr.(i + 1))

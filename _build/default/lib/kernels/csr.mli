@@ -1,0 +1,42 @@
+(** Compressed-sparse-row matrices.
+
+    Table II classifies CG as {e sparse} linear algebra (NPB CG operates
+    on a random sparse matrix); {!Sparse_cg} builds on this
+    representation.  Indices are [int]s but traced as 4-byte entries, the
+    storage NPB uses. *)
+
+type t = private {
+  n : int;                (** square dimension *)
+  row_ptr : int array;    (** length n+1, row_ptr.(0) = 0 *)
+  col_idx : int array;    (** length nnz, column of each entry, sorted per row *)
+  values : float array;   (** length nnz *)
+}
+
+val create :
+  n:int -> row_ptr:int array -> col_idx:int array -> values:float array -> t
+(** Validates monotone [row_ptr], matching lengths and in-range sorted
+    column indices; raises [Invalid_argument] otherwise. *)
+
+val nnz : t -> int
+
+val laplacian_2d : int -> t
+(** [laplacian_2d k] is the 5-point Laplacian on a k x k grid
+    (n = k^2, SPD, ~5 nonzeros per row) — the standard sparse test
+    problem. *)
+
+val spd_tridiagonal : int -> t
+(** The {!Spd} dense test system in CSR form (for cross-checking the
+    sparse solver against the dense one). *)
+
+val of_dense : int -> float array -> t
+(** [of_dense n a] compresses a row-major dense matrix, dropping exact
+    zeros. *)
+
+val spmv : t -> float array -> float array -> unit
+(** [spmv a x y] sets [y <- A x]; untraced reference implementation. *)
+
+val to_dense : t -> float array
+(** Row-major expansion, for tests. *)
+
+val row_bounds : t -> int -> int * int
+(** [(start, stop)] half-open range into [col_idx]/[values] for a row. *)

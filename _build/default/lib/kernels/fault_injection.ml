@@ -1,0 +1,192 @@
+type outcome = Benign | Sdc | Detected
+
+type campaign = {
+  structure : string;
+  trials : int;
+  benign : int;
+  sdc : int;
+  detected : int;
+}
+
+let sdc_rate c =
+  if c.trials = 0 then 0.0 else float_of_int c.sdc /. float_of_int c.trials
+
+let unsafe_rate c =
+  if c.trials = 0 then 0.0
+  else float_of_int (c.sdc + c.detected) /. float_of_int c.trials
+
+let flip_bit v ~bit =
+  if bit < 0 || bit > 63 then invalid_arg "Fault_injection.flip_bit: bit outside 0..63";
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float v) (Int64.shift_left 1L bit))
+
+let tally structure outcomes =
+  List.fold_left
+    (fun c o ->
+      match o with
+      | Benign -> { c with benign = c.benign + 1 }
+      | Sdc -> { c with sdc = c.sdc + 1 }
+      | Detected -> { c with detected = c.detected + 1 })
+    { structure; trials = List.length outcomes; benign = 0; sdc = 0; detected = 0 }
+    outcomes
+
+(* --- VM --- *)
+
+(* The same arithmetic as Vm.run, open-coded so a flip can be injected
+   before a chosen loop iteration. *)
+let vm_trial (p : Vm.params) ~rng ~structure =
+  let n = p.Vm.n in
+  let a = Array.init (n * p.Vm.stride_a) (fun i -> float_of_int ((i mod 97) + 1)) in
+  let b =
+    Array.init (n * p.Vm.stride_b) (fun i -> float_of_int ((i mod 89) + 1) /. 8.0)
+  in
+  let c = Array.make n 0.0 in
+  let flip_at = Dvf_util.Rng.int rng (n + 1) in
+  let bit = Dvf_util.Rng.int rng 64 in
+  let inject () =
+    let target =
+      match structure with "A" -> a | "B" -> b | "C" -> c | _ -> assert false
+    in
+    let e = Dvf_util.Rng.int rng (Array.length target) in
+    target.(e) <- flip_bit target.(e) ~bit
+  in
+  for i = 0 to n - 1 do
+    if i = flip_at then inject ();
+    c.(i) <- c.(i) +. (a.(i * p.Vm.stride_a) *. b.(i * p.Vm.stride_b))
+  done;
+  if flip_at = n then inject ();
+  let checksum = Dvf_util.Maths.sum c in
+  checksum
+
+let vm_clean_checksum p =
+  (* A no-op "injection": flipping bit 0 of an element twice would be
+     cleaner, but simplest is a campaign-free reference run. *)
+  let n = p.Vm.n in
+  let a = Array.init (n * p.Vm.stride_a) (fun i -> float_of_int ((i mod 97) + 1)) in
+  let b =
+    Array.init (n * p.Vm.stride_b) (fun i -> float_of_int ((i mod 89) + 1) /. 8.0)
+  in
+  let c = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    c.(i) <- c.(i) +. (a.(i * p.Vm.stride_a) *. b.(i * p.Vm.stride_b))
+  done;
+  Dvf_util.Maths.sum c
+
+let classify_value ~clean ~tol corrupted =
+  if Float.is_nan corrupted || Float.abs corrupted = Float.infinity then Detected
+  else if Dvf_util.Maths.rel_error ~expected:clean ~actual:corrupted > tol then Sdc
+  else Benign
+
+let vm_campaign ?(trials = 400) ?(seed = 1234) p =
+  let clean = vm_clean_checksum p in
+  List.map
+    (fun structure ->
+      let rng = Dvf_util.Rng.create (seed + Hashtbl.hash structure) in
+      let outcomes =
+        List.init trials (fun _ ->
+            classify_value ~clean ~tol:1e-12 (vm_trial p ~rng ~structure))
+      in
+      tally structure outcomes)
+    [ "A"; "B"; "C" ]
+
+(* --- CG --- *)
+
+let cg_trial (p : Cg.params) ~rng ~structure ~clean_iterations xstar =
+  let n = p.Cg.n in
+  let b = Spd.rhs_of_solution n xstar in
+  let a = Array.make (n * n) 0.0 in
+  Spd.fill_matrix n (fun i j v -> a.((i * n) + j) <- v);
+  let x = Array.make n 0.0 in
+  let pvec = Array.copy b in
+  let r = Array.copy b in
+  let flip_at = 1 + Dvf_util.Rng.int rng clean_iterations in
+  let bit = Dvf_util.Rng.int rng 64 in
+  let inject () =
+    let target =
+      match structure with
+      | "A" -> a
+      | "x" -> x
+      | "p" -> pvec
+      | "r" -> r
+      | _ -> assert false
+    in
+    let e = Dvf_util.Rng.int rng (Array.length target) in
+    target.(e) <- flip_bit target.(e) ~bit
+  in
+  let module O = struct
+    let n = n
+
+    let a_row_dot_p i =
+      let acc = ref 0.0 in
+      let base = i * n in
+      for j = 0 to n - 1 do
+        acc := !acc +. (a.(base + j) *. pvec.(j))
+      done;
+      !acc
+
+    let get_x i = x.(i)
+    let set_x i v = x.(i) <- v
+    let get_p i = pvec.(i)
+    let set_p i v = pvec.(i) <- v
+    let get_r i = r.(i)
+    let set_r i v = r.(i) <- v
+  end in
+  let _, residual =
+    Cg.iterate
+      ~on_iteration:(fun k -> if k = flip_at then inject ())
+      (module O)
+      ~max_iterations:(4 * clean_iterations)
+      ~tolerance:p.Cg.tolerance
+  in
+  if Float.is_nan residual || not (residual <= p.Cg.tolerance) then Detected
+  else begin
+    let err = ref 0.0 in
+    for i = 0 to n - 1 do
+      err := Float.max !err (Float.abs (x.(i) -. xstar.(i)))
+    done;
+    if !err > 1e-5 then Sdc else Benign
+  end
+
+let cg_campaign ?(trials = 200) ?(seed = 91) p =
+  let clean = Cg.run_untraced p in
+  let clean_iterations = max 1 clean.Cg.iterations in
+  let rng0 = Dvf_util.Rng.create p.Cg.seed in
+  let xstar = Spd.known_solution rng0 p.Cg.n in
+  List.map
+    (fun structure ->
+      let rng = Dvf_util.Rng.create (seed + Hashtbl.hash structure) in
+      let outcomes =
+        List.init trials (fun _ ->
+            cg_trial p ~rng ~structure ~clean_iterations xstar)
+      in
+      tally structure outcomes)
+    [ "A"; "x"; "p"; "r" ]
+
+let to_table campaigns =
+  let t =
+    Dvf_util.Table.create ~title:"Fault-injection campaign"
+      [
+        ("structure", Dvf_util.Table.Left); ("trials", Dvf_util.Table.Right);
+        ("benign", Dvf_util.Table.Right); ("SDC", Dvf_util.Table.Right);
+        ("detected", Dvf_util.Table.Right); ("SDC rate", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun c ->
+      Dvf_util.Table.add_row t
+        [
+          c.structure; string_of_int c.trials; string_of_int c.benign;
+          string_of_int c.sdc; string_of_int c.detected;
+          Printf.sprintf "%.2f" (sdc_rate c);
+        ])
+    campaigns;
+  t
+
+let rank_by_sdc campaigns =
+  List.map
+    (fun c -> c.structure)
+    (List.sort
+       (fun a b ->
+         match compare b.sdc a.sdc with
+         | 0 -> compare a.structure b.structure
+         | c -> c)
+       campaigns)

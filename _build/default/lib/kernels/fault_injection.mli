@@ -1,0 +1,58 @@
+(** Statistical fault injection — the baseline methodology the paper
+    argues DVF replaces (§I, §VI: "researchers have to perform a large
+    amount of fault injection operations, which is prohibitively
+    expensive").
+
+    We implement it anyway, as the comparator: campaigns flip one random
+    bit in one random element of one data structure at a uniformly random
+    point of the execution, run to completion, and classify the outcome.
+    Across many trials this estimates each structure's empirical
+    vulnerability, which can be checked against the DVF ranking (the
+    bench's [inject] section does exactly that).
+
+    Outcome classes, following the soft-error literature:
+    - [Benign]   — the final output matches the clean run (the flipped
+                   value was dead, overwritten, or corrected);
+    - [Sdc]      — silent data corruption: the run "succeeds" but its
+                   output is wrong;
+    - [Detected] — the application itself notices (NaN/Inf in the output,
+                   or an iterative solver failing to converge). *)
+
+type outcome = Benign | Sdc | Detected
+
+type campaign = {
+  structure : string;
+  trials : int;
+  benign : int;
+  sdc : int;
+  detected : int;
+}
+
+val sdc_rate : campaign -> float
+(** [sdc / trials] — the probability that a single strike on this
+    structure silently corrupts the output. *)
+
+val unsafe_rate : campaign -> float
+(** [(sdc + detected) / trials]. *)
+
+val flip_bit : float -> bit:int -> float
+(** Flip one bit (0..63) of a double's IEEE-754 representation. *)
+
+val vm_campaign :
+  ?trials:int -> ?seed:int -> Vm.params -> campaign list
+(** One campaign per VM structure (A, B, C): the flip lands before a
+    uniformly random loop iteration; the corrupted product is compared
+    against the clean checksum.  [trials] defaults to 400. *)
+
+val cg_campaign :
+  ?trials:int -> ?seed:int -> Cg.params -> campaign list
+(** One campaign per CG structure (A, x, p, r): the flip lands at a
+    uniformly random iteration boundary of a converging solve.
+    [Detected] = the solver fails to reach its tolerance within an
+    iteration headroom; [Sdc] = it converges to a wrong solution.
+    [trials] defaults to 200. *)
+
+val to_table : campaign list -> Dvf_util.Table.t
+
+val rank_by_sdc : campaign list -> string list
+(** Structure names by descending SDC count (ties broken by name). *)

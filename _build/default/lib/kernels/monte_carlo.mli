@@ -1,0 +1,47 @@
+(** Monte Carlo macroscopic cross-section lookup (paper Table II, the
+    XSBench benchmark).
+
+    Two structures are accessed randomly and concurrently, as in XSBench:
+
+    - "G": the unionized energy grid ([grid_points] entries, 8-byte
+      energies, uniformly spaced so a lookup indexes directly);
+    - "E": the nuclide cross-section data ([grid_points * nuclides]
+      entries, 8 bytes each; a lookup gathers one entry per nuclide at the
+      energy's grid row and interpolates with the next row).
+
+    Each of the [lookups] iterations samples a random energy, reads the
+    two bracketing grid entries from G and [2 * nuclides] entries from E,
+    and accumulates the macroscopic cross section.  The paper splits the
+    cache between G and E proportionally to their sizes
+    ([r_G = S_G / (S_G + S_E)]); {!spec} does the same. *)
+
+type params = {
+  grid_points : int;
+  nuclides : int;
+  lookups : int;
+  seed : int;
+}
+
+val make_params : ?grid_points:int -> ?nuclides:int -> ?seed:int -> int -> params
+(** [make_params lookups]; defaults: 4096 grid points, 16 nuclides. *)
+
+val verification : params
+(** Table V: size small, 10^3 lookups. *)
+
+val profiling : params
+(** Table VI: size small, 10^5 lookups, on a 16384-point grid with 32
+    nuclides (XSBench's "small" data is hundreds of MB; this keeps its
+    defining property — nuclide data far larger than any cache — at a
+    size the analytical sweep evaluates instantly). *)
+
+type result = {
+  total_xs : float;   (** accumulated macroscopic cross section *)
+  flops : int;
+}
+
+val run : Memtrace.Region.t -> Memtrace.Recorder.t -> params -> result
+val run_untraced : params -> result
+
+val spec : params -> Access_patterns.App_spec.t
+(** Random-access models for G (k = 2 visits/lookup) and E
+    (k = 2 * nuclides visits/lookup) with proportional cache shares. *)

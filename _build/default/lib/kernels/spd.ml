@@ -1,0 +1,35 @@
+let diagonal ~n i =
+  let scale = float_of_int n /. 800.0 in
+  3.0 +. (float_of_int i /. 20.0 *. scale *. scale)
+
+let fill_matrix n set =
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v =
+        if i = j then diagonal ~n i
+        else if abs (i - j) = 1 then -1.0
+        else 0.0
+      in
+      set i j v
+    done
+  done
+
+let known_solution rng n =
+  Array.init n (fun _ -> Dvf_util.Rng.float rng 2.0 -. 1.0)
+
+let rhs_of_solution n xstar =
+  Array.init n (fun i ->
+      let acc = ref (diagonal ~n i *. xstar.(i)) in
+      if i > 0 then acc := !acc -. xstar.(i - 1);
+      if i < n - 1 then acc := !acc -. xstar.(i + 1);
+      !acc)
+
+let matvec_dense ~n a x y =
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    let base = i * n in
+    for j = 0 to n - 1 do
+      acc := !acc +. (a.(base + j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done

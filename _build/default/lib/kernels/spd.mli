@@ -1,0 +1,30 @@
+(** Shared SPD test problem for the CG / PCG study (Fig. 6).
+
+    The system is tridiagonal with diagonal [d_i = 3 + (i/20)(n/800)^2] and
+    off-diagonal -1, stored {e dense} (the paper's CG benchmark operates
+    on a dense double matrix).  Two properties matter:
+
+    - the condition number grows with [n], so plain CG needs more
+      iterations on larger problems;
+    - the diagonal spread also grows with [n]: at small sizes the diagonal
+      is nearly constant and Jacobi preconditioning buys almost nothing
+      (PCG performs like CG but carries extra structures — slightly worse
+      DVF), while at large sizes the spread is an order of magnitude and
+      PCG converges far faster — producing exactly the Fig. 6
+      crossover. *)
+
+val diagonal : n:int -> int -> float
+(** [diagonal ~n i] is [d_i] for an n-unknown system. *)
+
+val fill_matrix : int -> (int -> int -> float -> unit) -> unit
+(** [fill_matrix n set] calls [set i j a_ij] for every entry. *)
+
+val known_solution : Dvf_util.Rng.t -> int -> float array
+(** Random target solution in [-1, 1)^n. *)
+
+val rhs_of_solution : int -> float array -> float array
+(** [b = A x*], computed from the tridiagonal stencil directly. *)
+
+val matvec_dense : n:int -> float array -> float array -> float array -> unit
+(** [matvec_dense ~n a x y] sets [y <- A x] for a dense row-major [a];
+    untraced helper for tests. *)

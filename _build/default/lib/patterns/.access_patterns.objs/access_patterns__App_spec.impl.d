@@ -1,0 +1,1 @@
+lib/patterns/app_spec.ml: Compose List Pattern

@@ -1,0 +1,1 @@
+lib/patterns/app_spec.mli: Cachesim Compose Pattern

@@ -1,0 +1,1 @@
+lib/patterns/compose.ml: Array Cachesim Dvf_util Hashtbl List Reuse Streaming Template

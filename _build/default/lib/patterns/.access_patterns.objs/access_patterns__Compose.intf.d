@@ -1,0 +1,1 @@
+lib/patterns/compose.mli: Cachesim Streaming Template

@@ -1,0 +1,1 @@
+lib/patterns/pattern.ml: Array Cachesim Random_access Streaming Template

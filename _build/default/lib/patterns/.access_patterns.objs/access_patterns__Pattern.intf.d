@@ -1,0 +1,1 @@
+lib/patterns/pattern.mli: Cachesim Format Random_access Streaming Template

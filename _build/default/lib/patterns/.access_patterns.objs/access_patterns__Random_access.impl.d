@@ -1,0 +1,1 @@
+lib/patterns/random_access.ml: Cachesim Dvf_util Float Format

@@ -1,0 +1,1 @@
+lib/patterns/random_access.mli: Cachesim Format

@@ -1,0 +1,1 @@
+lib/patterns/reuse.ml: Array Cachesim Dvf_util Float

@@ -1,0 +1,1 @@
+lib/patterns/reuse.mli: Cachesim Dvf_util

@@ -1,0 +1,1 @@
+lib/patterns/streaming.ml: Dvf_util Format

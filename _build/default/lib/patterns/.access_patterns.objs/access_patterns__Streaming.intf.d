@@ -1,0 +1,1 @@
+lib/patterns/streaming.mli: Format

@@ -1,0 +1,1 @@
+lib/patterns/template.ml: Array Cachesim Dvf_util Format Hashtbl

@@ -1,0 +1,1 @@
+lib/patterns/template.mli: Cachesim Format

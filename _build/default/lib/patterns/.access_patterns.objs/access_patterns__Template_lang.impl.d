@@ -1,0 +1,1 @@
+lib/patterns/template_lang.ml: Array Format List

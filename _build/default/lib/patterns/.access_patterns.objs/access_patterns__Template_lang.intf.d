@@ -1,0 +1,1 @@
+lib/patterns/template_lang.mli: Format

@@ -1,0 +1,81 @@
+(** Composition of access patterns along an access order (paper §III-D,
+    the Conjugate Gradient example).
+
+    The paper describes complex kernels by three coupled inputs: a list of
+    data structures, an access {e order} such as [r (A p) p (x p) (A p) r (r p)]
+    — parenthesized groups are accessed concurrently — and a per-occurrence
+    pattern string such as [s (t t) s (s s) (t t) s (s s)].  One iteration
+    of the kernel's main loop performs the phases in order; the loop runs
+    [iterations] times.
+
+    Cost semantics implemented here (CGPMAC's coarse-grained reuse
+    analysis):
+
+    - the {e first} occurrence of a structure is charged by its occurrence
+      pattern (streaming / template model — compulsory traffic);
+    - every later occurrence is charged by the reuse model ({!Reuse}) with
+      [F_A] = the structure's footprint in blocks and [F_B] = the combined
+      footprint of the {e distinct other} structures touched strictly
+      between the two occurrences plus the co-occupants of the current
+      phase; the scenario is [`Concurrent] when the occurrence shares its
+      phase, [`Lru_protected] otherwise;
+    - iteration 1 is simulated cold and iteration 2 with wrap-around
+      history; total cost = cold + (iterations - 1) * steady-state. *)
+
+type occurrence_pattern =
+  | Stream of Streaming.t
+  | Tmpl of Template.t
+  | Reuse_only
+      (** A full re-traverse whose cost comes entirely from the reuse
+          model (the paper's "reuse" pattern class). *)
+
+type occurrence = {
+  structure : string;
+  pattern : occurrence_pattern;
+  times : int;
+      (** Traverse repetitions {e within} the phase, >= 1.  A dense
+          matrix–vector product reads the vector once per matrix row:
+          the vector occurrence has [times = rows].  Repeats after the
+          first are charged by the reuse model against the co-occupants'
+          footprint divided by [times] (the slice of the streaming
+          partner interleaved with each repeat), scenario
+          [`Concurrent]. *)
+}
+
+val occ : ?times:int -> string -> occurrence_pattern -> occurrence
+(** Occurrence constructor; [times] defaults to 1. *)
+
+type phase = occurrence list
+(** Occurrences within a phase are concurrent (a parenthesized group). *)
+
+type structure = {
+  name : string;
+  bytes : int;       (** S_d, for footprints and DVF *)
+}
+
+type t = {
+  structures : structure list;
+  order : phase list;
+  iterations : int;
+}
+
+val make : structures:structure list -> order:phase list -> iterations:int -> t
+(** Validates that every occurrence references a declared structure and
+    [iterations >= 1]. *)
+
+val footprint_blocks : cache:Cachesim.Config.t -> t -> string -> int
+(** Blocks the named structure occupies: the max over its occurrences of
+    the occurrence footprint, bounded by [ceil (bytes / CL)]. *)
+
+val main_memory_accesses :
+  cache:Cachesim.Config.t -> t -> (string * float) list
+(** Estimated main-memory accesses per structure over the full run, in
+    declaration order. *)
+
+val total : cache:Cachesim.Config.t -> t -> float
+
+val references : cache:Cachesim.Config.t -> t -> (string * float) list
+(** Estimated {e program references} (cache accesses) per structure over
+    the whole run: streaming/template occurrences contribute their
+    reference counts, [Reuse_only] a full block re-traverse, [times]
+    multiplies — the input for cache-component DVF. *)

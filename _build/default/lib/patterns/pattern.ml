@@ -1,0 +1,38 @@
+type t =
+  | Stream of Streaming.t
+  | Random of Random_access.t
+  | Templated of Template.t
+
+let main_memory_accesses ~cache = function
+  | Stream s ->
+      Streaming.main_memory_accesses ~line:cache.Cachesim.Config.line s
+  | Random r -> Random_access.main_memory_accesses ~cache r
+  | Templated t -> Template.main_memory_accesses ~cache t
+
+let data_bytes = function
+  | Stream s -> Streaming.data_bytes s
+  | Random r -> r.Random_access.elements * r.Random_access.elem_size
+  | Templated t ->
+      (* Extent implied by the largest referenced element. *)
+      let hi = Array.fold_left max 0 t.Template.refs in
+      (hi + 1) * t.Template.elem_size
+
+let references = function
+  | Stream s ->
+      let per_traverse = float_of_int (Streaming.touched_elements s) in
+      if s.Streaming.writeback then 2.0 *. per_traverse else per_traverse
+  | Random r ->
+      float_of_int r.Random_access.elements
+      +. (float_of_int r.Random_access.visits
+         *. float_of_int r.Random_access.iterations)
+  | Templated t -> float_of_int (Array.length t.Template.refs)
+
+let class_letter = function
+  | Stream _ -> "s"
+  | Random _ -> "r"
+  | Templated _ -> "t"
+
+let pp fmt = function
+  | Stream s -> Streaming.pp fmt s
+  | Random r -> Random_access.pp fmt r
+  | Templated t -> Template.pp fmt t

@@ -1,0 +1,32 @@
+(** Unified view of a single data structure's access pattern.
+
+    The DVF engine needs one number per data structure — the estimated main
+    memory accesses [N_ha].  A structure is described either by one of the
+    three standalone patterns, or it takes part in a {!Compose.t}
+    composition (evaluated at the application level, since composition
+    couples structures together). *)
+
+type t =
+  | Stream of Streaming.t
+  | Random of Random_access.t
+  | Templated of Template.t
+
+val main_memory_accesses : cache:Cachesim.Config.t -> t -> float
+
+val data_bytes : t -> int
+(** The structure's size [S_d] implied by the pattern parameters. *)
+
+val references : t -> float
+(** Estimated number of {e program references} the pattern performs —
+    accesses that reach the cache, as opposed to the main-memory accesses
+    of {!main_memory_accesses}.  Streaming: one per visited element;
+    random: the construction pass plus [k * iter]; template: the
+    reference-stream length.  This is the [N_ha] of the {e cache} when
+    DVF is evaluated for the cache component itself (paper §I: "the
+    definition of DVF is also applicable to other hardware components
+    (e.g., cache hierarchy)"). *)
+
+val class_letter : t -> string
+(** "s", "r" or "t" — the paper's pattern-class abbreviations. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+module Maths = Dvf_util.Maths
+
+type t = {
+  elements : int;
+  elem_size : int;
+  visits : int;
+  iterations : int;
+  cache_ratio : float;
+  run_length : int;
+  resident_bytes : int;
+}
+
+let make ?(run_length = 1) ?(resident_bytes = 0) ~elements ~elem_size ~visits
+    ~iterations ~cache_ratio () =
+  if elements <= 0 then invalid_arg "Random_access.make: elements <= 0";
+  if elem_size <= 0 then invalid_arg "Random_access.make: elem_size <= 0";
+  if visits < 0 then invalid_arg "Random_access.make: negative visits";
+  if visits > elements then
+    invalid_arg "Random_access.make: visits exceed element count";
+  if iterations < 0 then invalid_arg "Random_access.make: negative iterations";
+  if not (cache_ratio > 0.0 && cache_ratio <= 1.0) then
+    invalid_arg "Random_access.make: cache_ratio outside (0,1]";
+  if run_length < 1 || run_length > max 1 visits then
+    invalid_arg "Random_access.make: run_length outside [1, visits]";
+  if resident_bytes < 0 then
+    invalid_arg "Random_access.make: negative resident_bytes";
+  { elements; elem_size; visits; iterations; cache_ratio; run_length;
+    resident_bytes }
+
+let cache_share ~cache t =
+  Float.max 0.0
+    ((float_of_int (Cachesim.Config.capacity cache) *. t.cache_ratio)
+    -. float_of_int t.resident_bytes)
+
+let cached_elements ~cache t =
+  int_of_float (cache_share ~cache t /. float_of_int t.elem_size)
+
+let fits_in_cache ~cache t =
+  float_of_int (t.elem_size * t.elements) <= cache_share ~cache t
+
+let miss_pmf ~cache t ~x =
+  (* X = k - (visited elements found among the m cached ones);
+     the in-cache count is Hypergeom(total=N, marked=k, drawn=m). *)
+  let m = cached_elements ~cache t in
+  Maths.hypergeom_pmf ~total:t.elements ~marked:t.visits ~drawn:m
+    (t.visits - x)
+
+let expected_misses_per_iteration ~cache t =
+  let m = cached_elements ~cache t in
+  if m >= t.elements then 0.0
+  else begin
+    let k = t.visits in
+    (* Explicit Eq. 6 sum over the support; equals k * (1 - m/N). *)
+    let upper = min (t.elements - m) k in
+    let acc = ref 0.0 in
+    for x = 1 to upper do
+      acc := !acc +. (float_of_int x *. miss_pmf ~cache t ~x)
+    done;
+    !acc
+  end
+
+let compulsory_accesses ~cache t =
+  let line = cache.Cachesim.Config.line in
+  float_of_int (Maths.cdiv (t.elem_size * t.elements) line)
+
+let reload_blocks_per_iteration ~cache t =
+  if fits_in_cache ~cache t then 0.0
+  else begin
+    let line = cache.Cachesim.Config.line in
+    let xe = expected_misses_per_iteration ~cache t in
+    let belm =
+      if line < t.elem_size then
+        float_of_int (Maths.cdiv t.elem_size line) *. xe
+      else begin
+        (* Small elements: the paper charges one block per missing
+           element (an upper bound); contiguous runs share lines, so a
+           run of [run_length] missing elements loads only
+           ceil(run*E/CL) blocks. *)
+        let blocks_per_run = Maths.cdiv (t.run_length * t.elem_size) line in
+        xe *. float_of_int blocks_per_run /. float_of_int t.run_length
+      end
+    in
+    let total_blocks =
+      float_of_int (t.elem_size * t.elements) /. float_of_int line
+    in
+    let cached_blocks =
+      cache_share ~cache t /. float_of_int line
+    in
+    let bout = total_blocks -. cached_blocks in
+    Float.max 0.0 (Float.min belm bout)
+  end
+
+let main_memory_accesses ~cache t =
+  compulsory_accesses ~cache t
+  +. (reload_blocks_per_iteration ~cache t *. float_of_int t.iterations)
+
+let pp fmt t =
+  Format.fprintf fmt "random(N=%d,E=%d,k=%d,iter=%d,r=%g,run=%d)" t.elements
+    t.elem_size t.visits t.iterations t.cache_ratio t.run_length

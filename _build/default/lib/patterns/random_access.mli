@@ -1,0 +1,67 @@
+(** Random access-pattern model (paper §III-C, Eq. 5–7).
+
+    Models a loop of [iterations] iterations, each randomly visiting
+    [visits] (the paper's [k]) distinct elements of the structure, after an
+    initial construction traverse.  Cache interference between concurrently
+    accessed structures is modeled by granting each structure a fraction
+    [cache_ratio] (the paper's [r]) of the cache, proportional to its
+    size. *)
+
+type t = {
+  elements : int;      (** N *)
+  elem_size : int;     (** E, bytes *)
+  visits : int;        (** k: average distinct elements visited per iteration *)
+  iterations : int;    (** iter *)
+  cache_ratio : float; (** r in (0, 1] *)
+  run_length : int;
+      (** Spatial contiguity of the visits: the [k] elements arrive in
+          contiguous runs of this many elements (1 = the paper's model,
+          fully scattered).  The paper notes its [Belm = XE] "is the
+          largest possible number of needed cache blocks (the number of
+          needed cache blocks could be smaller)"; gathers like XSBench's
+          per-nuclide row reads share lines, and this parameter supplies
+          the sharing factor: a missing run of [run_length] elements
+          needs only [ceil(run_length * E / CL)] blocks. *)
+  resident_bytes : int;
+      (** Bytes of permanently cache-resident data competing with the
+          random visits — e.g. the hot upper levels of the Barnes–Hut
+          tree, which every traversal revisits and LRU never evicts.
+          Subtracted from the structure's cache share at evaluation time
+          (0 = the paper's model). *)
+}
+
+val make :
+  ?run_length:int -> ?resident_bytes:int -> elements:int -> elem_size:int ->
+  visits:int -> iterations:int -> cache_ratio:float -> unit -> t
+(** Validates: positive sizes/counts, [visits <= elements],
+    [0 < cache_ratio <= 1], [1 <= run_length <= max 1 visits],
+    [resident_bytes >= 0].  [run_length] defaults to 1 and
+    [resident_bytes] to 0. *)
+
+val cached_elements : cache:Cachesim.Config.t -> t -> int
+(** [m = Cc * r / E]: how many elements fit in the structure's share of the
+    cache. *)
+
+val fits_in_cache : cache:Cachesim.Config.t -> t -> bool
+(** First case: [E * N <= Cc * r]. *)
+
+val miss_pmf : cache:Cachesim.Config.t -> t -> x:int -> float
+(** Eq. 5: probability that exactly [x] of the [k] visited elements are not
+    cached, i.e. [k - X ~ Hypergeom(N, k, m)]. *)
+
+val expected_misses_per_iteration : cache:Cachesim.Config.t -> t -> float
+(** Eq. 6: [XE].  Equals the closed-form hypergeometric mean
+    [k * (1 - m/N)]; both forms are implemented and cross-checked in the
+    test suite. *)
+
+val reload_blocks_per_iteration : cache:Cachesim.Config.t -> t -> float
+(** Eq. 7: [Breload = min(Belm, Bout)], clamped to be non-negative. *)
+
+val compulsory_accesses : cache:Cachesim.Config.t -> t -> float
+(** [ceil (E*N / CL)]: the construction traverse. *)
+
+val main_memory_accesses : cache:Cachesim.Config.t -> t -> float
+(** Total: [ceil(E*N/CL) + Breload * iter] (second case), or just the
+    compulsory accesses when the structure fits in its cache share. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Maths = Dvf_util.Maths
+module Dist = Dvf_util.Dist
+
+type scenario = [ `Lru_protected | `Concurrent ]
+type allocation = [ `Bernoulli | `Uniform ]
+
+let occupancy_dist ?(alloc = `Uniform) ~cache ~blocks () =
+  if blocks < 0 then invalid_arg "Reuse.occupancy_dist: negative blocks";
+  let ca = cache.Cachesim.Config.associativity in
+  let na = cache.Cachesim.Config.sets in
+  match alloc with
+  | `Bernoulli ->
+      (* Eq. 8 with the binomial coefficient restored; per-set counts
+         saturate at the associativity. *)
+      let p = 1.0 /. float_of_int na in
+      Dist.of_fun ~support:ca (fun x ->
+          if x < ca then Maths.binomial_pmf ~n:blocks ~p x
+          else Maths.binomial_sf ~n:blocks ~p ca)
+  | `Uniform ->
+      (* Contiguous layout: consecutive lines stripe round-robin over the
+         sets, so each set holds floor(F/NA) or ceil(F/NA) blocks. *)
+      let base = blocks / na in
+      let frac = float_of_int (blocks mod na) /. float_of_int na in
+      let lo = min base ca and hi = min (base + 1) ca in
+      let w = Array.make (ca + 1) 0.0 in
+      w.(lo) <- w.(lo) +. (1.0 -. frac);
+      w.(hi) <- w.(hi) +. frac;
+      Dist.create w
+
+let expected_occupancy ?alloc ~cache ~blocks () =
+  Dist.expectation (occupancy_dist ?alloc ~cache ~blocks ())
+
+(* Conditional distribution of R_A given per-set occupancies (x, y). *)
+let conditional_survivors ~cache ~combined_resident ~scenario ~x ~y =
+  let ca = cache.Cachesim.Config.associativity in
+  if x + y <= ca then Dist.point ~support:ca x
+  else
+    match scenario with
+    | `Lru_protected ->
+        (* Eq. 11: A was just accessed, so LRU evicts B's blocks first;
+           A loses only the (x + y - CA) overflow. *)
+        Dist.point ~support:ca (max 0 (ca - y))
+    | `Concurrent ->
+        (* Eq. 12: y replacement victims drawn uniformly from the I
+           resident blocks, x of which belong to A; R_A = x - evicted_A. *)
+        let i = max combined_resident x in
+        let drawn = min y i in
+        Dist.of_fun ~support:ca (fun r ->
+            if r > x then 0.0
+            else Maths.hypergeom_pmf ~total:i ~marked:x ~drawn (x - r))
+
+let survivor_dist ?(alloc = `Uniform) ~cache ~fa ~fb ~scenario () =
+  if fa < 0 || fb < 0 then invalid_arg "Reuse.survivor_dist: negative blocks";
+  let ca = cache.Cachesim.Config.associativity in
+  let da = occupancy_dist ~alloc ~cache ~blocks:fa () in
+  let db = occupancy_dist ~alloc ~cache ~blocks:fb () in
+  let combined_resident =
+    (* I in Eq. 12: expected per-set blocks when A and B are regarded as
+       one combined structure (Eq. 8-9 applied to F_A + F_B). *)
+    int_of_float
+      (Float.round (expected_occupancy ~alloc ~cache ~blocks:(fa + fb) ()))
+  in
+  let weights = Array.make (ca + 1) 0.0 in
+  for x = 0 to ca do
+    for y = 0 to ca do
+      let w = Dist.prob da x *. Dist.prob db y in
+      if w > 0.0 then begin
+        let cond =
+          conditional_survivors ~cache ~combined_resident ~scenario ~x ~y
+        in
+        for r = 0 to ca do
+          weights.(r) <- weights.(r) +. (w *. Dist.prob cond r)
+        done
+      end
+    done
+  done;
+  Dist.create weights
+
+let expected_survivors ?alloc ~cache ~fa ~fb ~scenario () =
+  Dist.expectation (survivor_dist ?alloc ~cache ~fa ~fb ~scenario ())
+
+let misses_per_reuse ?alloc ~cache ~fa ~fb ~scenario () =
+  let na = float_of_int cache.Cachesim.Config.sets in
+  let e_ra = expected_survivors ?alloc ~cache ~fa ~fb ~scenario () in
+  Maths.clamp ~lo:0.0 ~hi:(float_of_int fa) (float_of_int fa -. (na *. e_ra))
+
+let blocks_of_bytes ~cache bytes =
+  if bytes < 0 then invalid_arg "Reuse.blocks_of_bytes: negative size";
+  if bytes = 0 then 0 else Maths.cdiv bytes cache.Cachesim.Config.line

@@ -1,0 +1,67 @@
+type t = {
+  elem_size : int;
+  elements : int;
+  stride : int;
+  writeback : bool;
+}
+
+let make ?(writeback = false) ~elem_size ~elements ~stride () =
+  if elem_size <= 0 then invalid_arg "Streaming.make: elem_size <= 0";
+  if elements < 0 then invalid_arg "Streaming.make: negative elements";
+  if stride <= 0 then invalid_arg "Streaming.make: stride <= 0";
+  { elem_size; elements; stride; writeback }
+
+let data_bytes t = t.elements * t.elem_size
+let stride_bytes t = t.stride * t.elem_size
+
+let nonalignment_probability ~elem_size ~line =
+  if elem_size <= 0 then invalid_arg "Streaming.nonalignment_probability";
+  if line <= 0 then invalid_arg "Streaming.nonalignment_probability";
+  float_of_int ((elem_size - 1) mod line) /. float_of_int line
+
+(* The paper's Eq. 4 writes AE = floor(E/CL) + p, which coincides with the
+   true expectation only when CL divides E: an element of E bytes at a
+   uniformly random offset spans ceil(E/CL) lines plus one more with
+   probability p = ((E-1) mod CL)/CL.  We implement the corrected
+   ceil-based form (identical to the paper's for all its experiments,
+   which use power-of-two element sizes). *)
+let accesses_per_element ~elem_size ~line =
+  float_of_int (Dvf_util.Maths.cdiv elem_size line)
+  +. nonalignment_probability ~elem_size ~line
+
+let touched_elements t = Dvf_util.Maths.cdiv t.elements t.stride
+
+let main_memory_accesses ~line t =
+  if line <= 0 then invalid_arg "Streaming.main_memory_accesses: line <= 0";
+  let wb_factor = if t.writeback then 2.0 else 1.0 in
+  if t.elements = 0 then 0.0
+  else
+    wb_factor
+    *.
+    begin
+    let d = data_bytes t in
+    let s = stride_bytes t in
+    let e = t.elem_size in
+    let p = nonalignment_probability ~elem_size:e ~line in
+    if line <= e then
+      if s > e then
+        (* Strided large elements: each visited element loads its own
+           lines; no sharing between elements. *)
+        float_of_int (Dvf_util.Maths.cdiv d s) *. accesses_per_element ~elem_size:e ~line
+      else
+        (* Unit stride: the traverse touches every line exactly once. *)
+        float_of_int (Dvf_util.Maths.cdiv d line)
+    else if line <= s then
+      (* E < CL <= S: each visited element costs 1 or 2 lines. *)
+      float_of_int (Dvf_util.Maths.cdiv d s) *. (1.0 +. p)
+    else
+      (* S < CL: consecutive visits share lines; every line is loaded. *)
+      float_of_int (Dvf_util.Maths.cdiv d line)
+  end
+
+let footprint_bytes ~line t = main_memory_accesses ~line t *. float_of_int line
+
+let pp fmt t =
+  Format.fprintf fmt "stream(E=%d,N=%d,S=%d%s)" t.elem_size t.elements
+    t.stride
+    (if t.writeback then ",wb" else "")

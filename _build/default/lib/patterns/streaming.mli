@@ -1,0 +1,60 @@
+(** Streaming access-pattern model (paper §III-C, Eq. 3–4 and three cases).
+
+    A streaming access is a single sequential traverse of a data structure
+    with fixed stride; every main-memory access is a compulsory miss.  The
+    parameter triple matches the paper's Aspen syntax [(E, N, S)]: element
+    size in bytes, number of elements, stride in {e elements}
+    (the paper's VM example "(8,200,4)" is 8-byte elements, 200 of them,
+    stride 8*4 = 32 bytes). *)
+
+type t = {
+  elem_size : int;     (** E, bytes *)
+  elements : int;      (** number of elements in the structure *)
+  stride : int;        (** stride in elements, >= 1 *)
+  writeback : bool;
+      (** The traverse also writes its elements, so every touched line is
+          eventually evicted dirty: main-memory traffic doubles (the cache
+          simulator counts misses + writebacks the same way). *)
+}
+
+val make :
+  ?writeback:bool -> elem_size:int -> elements:int -> stride:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive [elem_size]/[stride] or a
+    negative element count.  [writeback] defaults to [false]. *)
+
+val data_bytes : t -> int
+(** D = elements * elem_size. *)
+
+val stride_bytes : t -> int
+(** S = stride * elem_size. *)
+
+val nonalignment_probability : elem_size:int -> line:int -> float
+(** Eq. 3: [p = ((E-1) mod CL) / CL] — probability that an element straddles
+    one more line than [floor(E/CL)], under the paper's uniform-placement
+    assumption. *)
+
+val accesses_per_element : elem_size:int -> line:int -> float
+(** Eq. 4, corrected: [AE = ceil(E/CL) + p].  The paper prints
+    [floor(E/CL) + p], which equals this whenever [CL] divides [E] (true
+    for every element size in the paper's experiments) but undercounts by
+    one line otherwise — an element of 47 bytes in 32-byte lines spans 2
+    or 3 lines, never 1. *)
+
+val main_memory_accesses : line:int -> t -> float
+(** Expected number of main-memory accesses for one full traverse:
+    - [CL <= E], stride > 1 element: [ceil(D/S) * AE];
+    - [CL <= E], unit stride:        [ceil(D/CL)];
+    - [E < CL <= S]:                 [ceil(D/S) * (1 + p)];
+    - [S < CL]:                      [ceil(D/CL)];
+    doubled when [writeback] is set (each compulsory load of a streaming
+    traverse touches a distinct line, so dirty evictions mirror the
+    loads one-for-one). *)
+
+val touched_elements : t -> int
+(** [ceil (elements / stride)] — how many elements one traverse visits. *)
+
+val footprint_bytes : line:int -> t -> float
+(** Expected number of distinct bytes of cache traffic (accesses * CL);
+    used by the DVF engine for working-set reporting. *)
+
+val pp : Format.formatter -> t -> unit

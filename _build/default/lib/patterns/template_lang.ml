@@ -1,0 +1,166 @@
+module Expr = struct
+  type t =
+    | Int of int
+    | Var of string
+    | Add of t * t
+    | Sub of t * t
+    | Mul of t * t
+    | Div of t * t
+    | Neg of t
+
+  type env = (string * int) list
+
+  let rec eval env = function
+    | Int n -> n
+    | Var v -> (
+        match List.assoc_opt v env with
+        | Some n -> n
+        | None -> failwith ("Template_lang: unbound dimension variable " ^ v))
+    | Add (a, b) -> eval env a + eval env b
+    | Sub (a, b) -> eval env a - eval env b
+    | Mul (a, b) -> eval env a * eval env b
+    | Div (a, b) ->
+        let d = eval env b in
+        if d = 0 then failwith "Template_lang: division by zero";
+        eval env a / d
+    | Neg a -> -eval env a
+
+  let rec pp fmt = function
+    | Int n -> Format.pp_print_int fmt n
+    | Var v -> Format.pp_print_string fmt v
+    | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp a pp b
+    | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp a pp b
+    | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp a pp b
+    | Div (a, b) -> Format.fprintf fmt "(%a / %a)" pp a pp b
+    | Neg a -> Format.fprintf fmt "(-%a)" pp a
+end
+
+type reference = Expr.t list
+
+type t =
+  | Refs of reference list
+  | Range of { start : reference list; step : Expr.t; stop : reference list }
+  | Pass of { start : Expr.t; count : Expr.t; stride : Expr.t }
+  | Zip of { streams : (reference * Expr.t) list; count : Expr.t }
+  | Repeat of Expr.t * t list
+  | Seq of t list
+
+let linearize ~shape indices =
+  if List.length shape <> List.length indices then
+    invalid_arg "Template_lang.linearize: rank mismatch";
+  (* Row-major strides: stride of slot m is the product of the extents of
+     the slots after it. *)
+  let rec strides = function
+    | [] -> []
+    | _ :: rest ->
+        let s = List.fold_left ( * ) 1 rest in
+        s :: strides rest
+  in
+  List.fold_left2 (fun acc i s -> acc + (i * s)) 0 indices (strides shape)
+
+let eval_ref env shape_ints r =
+  linearize ~shape:shape_ints (List.map (Expr.eval env) r)
+
+(* Iteration count of a range generator: the sweep "advances accesses ...
+   until reaching the grid boundary", so it stops when the FIRST stream
+   reaches its stop reference (the paper's own MG example has slightly
+   unequal stream spans). *)
+let range_iterations env shape_ints ~start ~step ~stop =
+  let step_v = Expr.eval env step in
+  if step_v = 0 then failwith "Template_lang: range step is zero";
+  if List.length start <> List.length stop then
+    failwith "Template_lang: range start/stop stream counts differ";
+  if start = [] then failwith "Template_lang: empty range";
+  let spans =
+    List.map2
+      (fun s e ->
+        let os = eval_ref env shape_ints s and oe = eval_ref env shape_ints e in
+        let span = oe - os in
+        if span mod step_v <> 0 || span / step_v < 0 then
+          failwith "Template_lang: range stop not reachable from start";
+        (span / step_v) + 1)
+      start stop
+  in
+  List.fold_left min max_int spans
+
+let rec length_of env shape_ints = function
+  | Refs rs -> List.length rs
+  | Range { start; step; stop } ->
+      range_iterations env shape_ints ~start ~step ~stop * List.length start
+  | Pass { count; _ } ->
+      let c = Expr.eval env count in
+      if c < 0 then failwith "Template_lang: negative pass count";
+      c
+  | Zip { streams; count } ->
+      let c = Expr.eval env count in
+      if c < 0 then failwith "Template_lang: negative zip count";
+      c * List.length streams
+  | Repeat (n, body) ->
+      let reps = Expr.eval env n in
+      if reps < 0 then failwith "Template_lang: negative repeat count";
+      reps * List.fold_left (fun acc g -> acc + length_of env shape_ints g) 0 body
+  | Seq gs -> List.fold_left (fun acc g -> acc + length_of env shape_ints g) 0 gs
+
+let shape_of env shape = List.map (Expr.eval env) shape
+
+let expansion_length ~env ~shape t = length_of env (shape_of env shape) t
+
+let expand ~env ~shape t =
+  let shape_ints = shape_of env shape in
+  let total = length_of env shape_ints t in
+  let out = Array.make total 0 in
+  let pos = ref 0 in
+  let push v =
+    out.(!pos) <- v;
+    incr pos
+  in
+  let rec go = function
+    | Refs rs -> List.iter (fun r -> push (eval_ref env shape_ints r)) rs
+    | Range { start; step; stop } ->
+        let iters = range_iterations env shape_ints ~start ~step ~stop in
+        let step_v = Expr.eval env step in
+        let origins = List.map (eval_ref env shape_ints) start in
+        for it = 0 to iters - 1 do
+          List.iter (fun o -> push (o + (it * step_v))) origins
+        done
+    | Pass { start; count; stride } ->
+        let s = Expr.eval env start
+        and c = Expr.eval env count
+        and st = Expr.eval env stride in
+        for i = 0 to c - 1 do
+          push (s + (i * st))
+        done
+    | Zip { streams; count } ->
+        let c = Expr.eval env count in
+        let resolved =
+          List.map
+            (fun (r, step) -> (eval_ref env shape_ints r, Expr.eval env step))
+            streams
+        in
+        for t = 0 to c - 1 do
+          List.iter (fun (o, st) -> push (o + (t * st))) resolved
+        done
+    | Repeat (n, body) ->
+        for _ = 1 to Expr.eval env n do
+          List.iter go body
+        done
+    | Seq gs -> List.iter go gs
+  in
+  go t;
+  assert (!pos = total);
+  out
+
+let rec pp fmt = function
+  | Refs rs ->
+      Format.fprintf fmt "refs(%d)" (List.length rs)
+  | Range { start; _ } -> Format.fprintf fmt "range[%d streams]" (List.length start)
+  | Pass { start; count; stride } ->
+      Format.fprintf fmt "pass(%a,%a,%a)" Expr.pp start Expr.pp count Expr.pp
+        stride
+  | Zip { streams; count } ->
+      Format.fprintf fmt "zip[%d streams x %a]" (List.length streams) Expr.pp
+        count
+  | Repeat (n, body) ->
+      Format.fprintf fmt "repeat(%a){%a}" Expr.pp n
+        (Format.pp_print_list pp) body
+  | Seq gs -> Format.fprintf fmt "seq{%a}" (Format.pp_print_list pp) gs

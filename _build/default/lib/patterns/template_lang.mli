@@ -1,0 +1,76 @@
+(** Symbolic template language (paper §III-C / §III-D).
+
+    The paper lets users write templates over data-structure {e elements},
+    "expressed in a regular expression similar to the one in Matlab", e.g.
+    for the MG smoother:
+
+    {v (R(2,1,1), R(2,3,1), R(1,2,1), R(2,2,1))
+         : 1 :
+       (R(n3-1,n2-2,n1), R(n3-1,n2,n1), R(n3-2,n2-1,n1), R(n3,n2-1,n1)) v}
+
+    — four reference streams that advance by one element per iteration
+    until each reaches its stop reference.  This module is the evaluated
+    form: integer index expressions over named dimensions, multi-index
+    references linearized row-major (paper: [R(i,j,k) = i*n2*n1 + j*n1 + k]),
+    and generators that expand to the flat element-index sequence consumed
+    by {!Template}. *)
+
+module Expr : sig
+  type t =
+    | Int of int
+    | Var of string
+    | Add of t * t
+    | Sub of t * t
+    | Mul of t * t
+    | Div of t * t    (** integer division, truncating *)
+    | Neg of t
+
+  type env = (string * int) list
+
+  val eval : env -> t -> int
+  (** Raises [Failure] on unknown variables or division by zero. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type reference = Expr.t list
+(** A multi-index reference like [R(i, j-1, k)]; its length must equal the
+    number of dimensions of the shape it is evaluated against. *)
+
+type t =
+  | Refs of reference list
+      (** Literal sequence of references, emitted once in order. *)
+  | Range of { start : reference list; step : Expr.t; stop : reference list }
+      (** [G] parallel streams: iteration [t] emits, for each stream [g],
+          the element [linear(start_g) + t * step]; runs until the first
+          stream reaches its [linear(stop_g)] (the paper's MG template has
+          slightly unequal stream spans — the sweep stops at the grid
+          boundary). *)
+  | Pass of { start : Expr.t; count : Expr.t; stride : Expr.t }
+      (** A strided sweep: [start + i*stride] for [i = 0 .. count-1], in
+          element units — the building block for FFT butterfly passes. *)
+  | Zip of { streams : (reference * Expr.t) list; count : Expr.t }
+      (** Parallel streams with {e per-stream} steps: iteration [t] emits
+          [linear(start_g) + t*step_g] for each stream — e.g. a multigrid
+          restriction reads the fine grid with step 2 while writing the
+          coarse grid with step 1. *)
+  | Repeat of Expr.t * t list
+      (** Repeat a sub-template a computed number of times. *)
+  | Seq of t list
+
+val linearize : shape:int list -> int list -> int
+(** Row-major linearization; [shape] gives the extent of each index slot,
+    outermost first, so with [shape = \[n3; n2; n1\]] the reference
+    [(i, j, k)] maps to [i*n2*n1 + j*n1 + k].  Raises [Invalid_argument] on
+    a rank mismatch. *)
+
+val expand : env:Expr.env -> shape:Expr.t list -> t -> int array
+(** Evaluate shape and generators under [env] and produce the element-index
+    sequence.  Raises [Failure] on inconsistent range streams (mismatched
+    iteration counts, step evaluating to 0, stop not reachable from start
+    with the given step). *)
+
+val expansion_length : env:Expr.env -> shape:Expr.t list -> t -> int
+(** Length of [expand] without materializing it (used for sanity limits). *)
+
+val pp : Format.formatter -> t -> unit

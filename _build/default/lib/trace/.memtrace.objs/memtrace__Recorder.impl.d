@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Cachesim Event List

@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Cachesim Event Lazy

@@ -1,0 +1,1 @@
+lib/trace/tracked.ml: Array Recorder Region

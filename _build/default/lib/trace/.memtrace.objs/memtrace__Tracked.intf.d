@@ -1,0 +1,1 @@
+lib/trace/tracked.mli: Recorder Region

@@ -1,0 +1,17 @@
+(** A single memory reference in a trace.
+
+    [addr] is a byte address in the simulated address space laid out by
+    {!Region}; [size] is the reference width in bytes; [owner] identifies
+    the data structure the address belongs to. *)
+
+type t = {
+  owner : int;
+  write : bool;
+  addr : int;
+  size : int;
+}
+
+val read : owner:int -> addr:int -> size:int -> t
+val write : owner:int -> addr:int -> size:int -> t
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,32 @@
+type sink = Event.t -> unit
+
+type t = { mutable sinks : sink list; mutable count : int }
+
+let create () = { sinks = []; count = 0 }
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let cache_sink cache (e : Event.t) =
+  Cachesim.Cache.access cache ~owner:e.owner ~write:e.write ~addr:e.addr
+    ~size:e.size
+
+let buffer_sink () =
+  let buf = ref [] in
+  let sink e = buf := e :: !buf in
+  (sink, fun () -> List.rev !buf)
+
+let counting_sink () =
+  let n = ref 0 in
+  let sink _ = incr n in
+  (sink, fun () -> !n)
+
+let emit t e =
+  t.count <- t.count + 1;
+  List.iter (fun sink -> sink e) t.sinks
+
+let read t ~owner ~addr ~size = emit t (Event.read ~owner ~addr ~size)
+let write t ~owner ~addr ~size = emit t (Event.write ~owner ~addr ~size)
+
+let events_emitted t = t.count
+
+let null = lazy (create ())

@@ -1,0 +1,33 @@
+(** Trace recording: where instrumented kernels send their references.
+
+    A recorder fans each {!Event.t} out to zero or more sinks.  The usual
+    setup streams events straight into a {!Cachesim.Cache} (no trace is
+    materialized — multi-gigabyte traces never touch memory), but tests and
+    the trace-explorer example also attach a buffering sink. *)
+
+type t
+
+type sink = Event.t -> unit
+
+val create : unit -> t
+
+val add_sink : t -> sink -> unit
+
+val cache_sink : Cachesim.Cache.t -> sink
+(** Forward each event into the cache simulator. *)
+
+val buffer_sink : unit -> sink * (unit -> Event.t list)
+(** [buffer_sink ()] returns a sink and a function extracting everything
+    recorded so far (in order). *)
+
+val counting_sink : unit -> sink * (unit -> int)
+
+val emit : t -> Event.t -> unit
+val read : t -> owner:int -> addr:int -> size:int -> unit
+val write : t -> owner:int -> addr:int -> size:int -> unit
+
+val events_emitted : t -> int
+(** Total events seen by this recorder. *)
+
+val null : t Lazy.t
+(** A shared recorder with no sinks, for running kernels untraced. *)

@@ -1,0 +1,1 @@
+lib/util/maths.ml: Array Float Lazy

@@ -1,0 +1,65 @@
+type t = { probs : float array }
+
+let create w =
+  if Array.length w = 0 then invalid_arg "Dist.create: empty weight array";
+  Array.iter
+    (fun x ->
+      if x < 0.0 || Float.is_nan x then
+        invalid_arg "Dist.create: negative or NaN weight")
+    w;
+  let total = Maths.sum w in
+  if total <= 0.0 then invalid_arg "Dist.create: all weights zero";
+  { probs = Array.map (fun x -> x /. total) w }
+
+let point ~support v =
+  if v < 0 || v > support then invalid_arg "Dist.point: value out of support";
+  let w = Array.make (support + 1) 0.0 in
+  w.(v) <- 1.0;
+  { probs = w }
+
+let of_fun ~support f =
+  if support < 0 then invalid_arg "Dist.of_fun: negative support";
+  create (Array.init (support + 1) f)
+
+let prob d v = if v < 0 || v >= Array.length d.probs then 0.0 else d.probs.(v)
+let support d = Array.length d.probs - 1
+
+let expectation d =
+  let acc = ref 0.0 in
+  Array.iteri (fun v p -> acc := !acc +. (float_of_int v *. p)) d.probs;
+  !acc
+
+let variance d =
+  let mu = expectation d in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun v p ->
+      let dv = float_of_int v -. mu in
+      acc := !acc +. (dv *. dv *. p))
+    d.probs;
+  !acc
+
+let map_value f d =
+  let n = Array.length d.probs in
+  let w = Array.make n 0.0 in
+  Array.iteri
+    (fun v p ->
+      let v' = Maths.clampi ~lo:0 ~hi:(n - 1) (f v) in
+      w.(v') <- w.(v') +. p)
+    d.probs;
+  { probs = w }
+
+let clamp_upper hi d = map_value (fun v -> min v hi) d
+
+let total_mass d = Maths.sum d.probs
+
+let to_list d =
+  Array.to_list (Array.mapi (fun v p -> (v, p)) d.probs)
+
+let pp fmt d =
+  Format.fprintf fmt "@[<h>{";
+  Array.iteri
+    (fun v p ->
+      if p > 1e-12 then Format.fprintf fmt " %d:%.4f" v p)
+    d.probs;
+  Format.fprintf fmt " }@]"

@@ -1,0 +1,47 @@
+(** Finite discrete distributions over integer support.
+
+    The reuse model (paper Eq. 8–15) manipulates small distributions over
+    [0 .. associativity]; this module gives them a first-class
+    representation with the operations the model needs. *)
+
+type t
+(** A distribution with support [\[0; n\]], represented densely. *)
+
+val create : float array -> t
+(** [create w] builds a distribution from non-negative weights [w]
+    (index = value), normalizing them to sum to 1.  Raises
+    [Invalid_argument] on an empty or all-zero array or on a negative
+    weight. *)
+
+val point : support:int -> int -> t
+(** [point ~support v] is the distribution over [\[0;support\]] that puts all
+    mass on [v]. *)
+
+val of_fun : support:int -> (int -> float) -> t
+(** [of_fun ~support f] tabulates [f 0 .. f support] and normalizes. *)
+
+val prob : t -> int -> float
+(** [prob d v] is P[d = v]; 0 outside the support. *)
+
+val support : t -> int
+(** Largest value of the support (inclusive). *)
+
+val expectation : t -> float
+val variance : t -> float
+
+val map_value : (int -> int) -> t -> t
+(** [map_value f d] pushes the distribution forward through [f]; values are
+    clamped to [\[0; support d\]]. *)
+
+val clamp_upper : int -> t -> t
+(** [clamp_upper hi d] moves all mass above [hi] onto [hi] — used for
+    Eq. 8's saturation of per-set block counts at the associativity. *)
+
+val total_mass : t -> float
+(** Always 1.0 up to float rounding; exposed for property tests. *)
+
+val to_list : t -> (int * float) list
+(** Support/probability pairs in increasing value order, zero entries
+    included. *)
+
+val pp : Format.formatter -> t -> unit

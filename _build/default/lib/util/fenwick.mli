@@ -1,0 +1,24 @@
+(** Fenwick (binary indexed) tree over [0 .. n-1] with integer weights.
+
+    Used by the template-pattern model to compute LRU stack (reuse)
+    distances in O(log n) per access. *)
+
+type t
+
+val create : int -> t
+(** All-zero tree of the given size.  Raises [Invalid_argument] if the size
+    is negative. *)
+
+val size : t -> int
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] at index [i]. *)
+
+val prefix_sum : t -> int -> int
+(** [prefix_sum t i] is the sum of weights at indices [0 .. i] ([0] when
+    [i < 0]). *)
+
+val range_sum : t -> lo:int -> hi:int -> int
+(** Sum over [lo .. hi] inclusive; 0 when the range is empty. *)
+
+val total : t -> int

@@ -1,0 +1,64 @@
+(** Numerical substrate for the CGPMAC probability models.
+
+    All combinatorial quantities are computed in log space via the Lanczos
+    approximation of [lgamma], so the hypergeometric and binomial models in
+    {!Access_patterns} remain stable for data structures with up to ~10^9
+    elements.  Notation follows Table III of the paper. *)
+
+val pi : float
+
+val lgamma : float -> float
+(** [lgamma x] is [log (Gamma x)] for [x > 0].  Accurate to ~1e-13 relative
+    error (Lanczos g=7, n=9 coefficients). *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [log n!]; results for [n <= 1024] are memoized. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] is [log (n choose k)].  [neg_infinity] when the
+    coefficient is zero ([k < 0] or [k > n]). *)
+
+val choose : int -> int -> float
+(** [choose n k] as a float; [exp (log_choose n k)] for large arguments,
+    exact products for small ones. *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+(** [binomial_pmf ~n ~p k] is P[Bin(n,p) = k]. *)
+
+val binomial_sf : n:int -> p:float -> int -> float
+(** [binomial_sf ~n ~p k] is P[Bin(n,p) >= k] (survival function, inclusive). *)
+
+val hypergeom_pmf : total:int -> marked:int -> drawn:int -> int -> float
+(** [hypergeom_pmf ~total:n ~marked:m ~drawn:d k] is the probability of
+    drawing exactly [k] marked items when drawing [d] items without
+    replacement from a population of [n] containing [m] marked items. *)
+
+val hypergeom_mean : total:int -> marked:int -> drawn:int -> float
+(** Closed-form mean [d * m / n] of the hypergeometric distribution. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+val clampi : lo:int -> hi:int -> int -> int
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [ceil (a / b)] on non-negative integers. Raises
+    [Invalid_argument] if [b <= 0] or [a < 0]. *)
+
+val fceil : float -> float -> float
+(** [fceil a b] is [ceil (a /. b)] as a float, for possibly fractional
+    block counts. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Relative comparison: |a-b| <= eps * max(1, |a|, |b|).  [eps] defaults to
+    1e-9. *)
+
+val sum : float array -> float
+(** Kahan-compensated summation. *)
+
+val mean : float array -> float
+val geomean : float array -> float
+
+val rel_error : expected:float -> actual:float -> float
+(** |actual - expected| / |expected|, or |actual| when [expected = 0]. *)
+
+val log1p : float -> float
+val expm1 : float -> float

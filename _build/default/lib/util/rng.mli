@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random numbers (splitmix64 + xoshiro256-star-star).
+
+    Every stochastic component of the reproduction (particle placement in
+    Barnes–Hut, Monte Carlo lookups, random SPD systems, property-test
+    workload generators) draws from this generator so runs are exactly
+    reproducible from a seed, independent of OCaml's [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] seeds a xoshiro256-star-star state via splitmix64
+    expansion. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0; bound)].  Raises [Invalid_argument]
+    if [bound <= 0].  Uses rejection sampling, so it is exactly uniform. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0; bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int array
+(** [sample_without_replacement t ~n ~k] draws [k] distinct values from
+    [\[0; n)].  Raises [Invalid_argument] if [k > n] or [k < 0]. *)
+
+val split : t -> t
+(** Derive an independent child generator (for per-structure streams). *)

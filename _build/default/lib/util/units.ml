@@ -1,0 +1,48 @@
+let bytes_of_kib k = k * 1024
+let bytes_of_mib m = m * 1024 * 1024
+
+let mbit_of_bytes b = 8.0 *. float_of_int b /. 1.0e6
+
+let hours_of_seconds s = s /. 3600.0
+
+let expected_errors ~fit ~seconds ~bytes =
+  if fit < 0.0 then invalid_arg "Units.expected_errors: negative FIT";
+  if seconds < 0.0 then invalid_arg "Units.expected_errors: negative time";
+  if bytes < 0 then invalid_arg "Units.expected_errors: negative size";
+  (* FIT = failures / (1e9 hours * Mbit) *)
+  fit /. 1.0e9 *. hours_of_seconds seconds *. mbit_of_bytes bytes
+
+let pp_bytes fmt b =
+  if b >= 1024 * 1024 && b mod (1024 * 1024) = 0 then
+    Format.fprintf fmt "%dMB" (b / (1024 * 1024))
+  else if b >= 1024 && b mod 1024 = 0 then Format.fprintf fmt "%dKB" (b / 1024)
+  else Format.fprintf fmt "%dB" b
+
+let pp_count fmt x =
+  if Float.is_integer x && abs_float x < 1.0e7 then
+    Format.fprintf fmt "%.0f" x
+  else Format.fprintf fmt "%.4g" x
+
+let parse_size s =
+  let s = String.trim s in
+  let num_end =
+    let rec loop i =
+      if i < String.length s && (s.[i] >= '0' && s.[i] <= '9') then
+        loop (i + 1)
+      else i
+    in
+    loop 0
+  in
+  if num_end = 0 then None
+  else
+    let n = int_of_string (String.sub s 0 num_end) in
+    let suffix =
+      String.uppercase_ascii
+        (String.trim (String.sub s num_end (String.length s - num_end)))
+    in
+    match suffix with
+    | "" | "B" -> Some n
+    | "K" | "KB" | "KIB" -> Some (bytes_of_kib n)
+    | "M" | "MB" | "MIB" -> Some (bytes_of_mib n)
+    | "G" | "GB" | "GIB" -> Some (n * 1024 * 1024 * 1024)
+    | _ -> None

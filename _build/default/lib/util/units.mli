@@ -1,0 +1,29 @@
+(** Unit conversions used by the DVF definition (paper Eq. 1).
+
+    FIT is "failures per billion device-hours per Mbit"; execution time is
+    measured in seconds; data-structure sizes in bytes.  Keeping the
+    conversions in one place keeps Eq. 1 readable and testable. *)
+
+val bytes_of_kib : int -> int
+val bytes_of_mib : int -> int
+
+val mbit_of_bytes : int -> float
+(** [mbit_of_bytes b] is the size in megabits ([8 b / 1e6]).  The FIT rates
+    in Table VII are quoted per Mbit (decimal mega, following the memory
+    reliability literature the paper cites). *)
+
+val hours_of_seconds : float -> float
+
+val expected_errors : fit:float -> seconds:float -> bytes:int -> float
+(** [expected_errors ~fit ~seconds ~bytes] is [N_error = FIT * T * S_d] in
+    physical units: expected number of failures striking the structure
+    during execution. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable size: "8KB", "4MB", "512B", ... *)
+
+val pp_count : Format.formatter -> float -> unit
+(** Large counts with engineering notation: "1.25e6". *)
+
+val parse_size : string -> int option
+(** Parse "8KB", "4MB", "32", "512B" into bytes (binary units: KB=1024). *)

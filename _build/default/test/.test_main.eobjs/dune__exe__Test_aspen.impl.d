@@ -1,0 +1,1 @@
+test/test_aspen.ml: Access_patterns Alcotest Array Aspen Cachesim Dvf_util Format Kernels List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cachesim Dvf_util Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_component.ml: Access_patterns Alcotest Cachesim Core Dvf_util Kernels List Memtrace Printf String

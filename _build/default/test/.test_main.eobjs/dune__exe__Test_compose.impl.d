@@ -1,0 +1,1 @@
+test/test_compose.ml: Access_patterns Alcotest Cachesim Dvf_util List Printf

@@ -1,0 +1,1 @@
+test/test_core_misc.ml: Access_patterns Alcotest Cachesim Core Dvf_util Float List Printf String

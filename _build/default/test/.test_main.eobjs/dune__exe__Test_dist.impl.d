@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dvf_util Gen List Printf QCheck QCheck_alcotest

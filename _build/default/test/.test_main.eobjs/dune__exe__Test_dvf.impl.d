@@ -1,0 +1,1 @@
+test/test_dvf.ml: Access_patterns Alcotest Cachesim Core Dvf_util Kernels List Printf QCheck QCheck_alcotest

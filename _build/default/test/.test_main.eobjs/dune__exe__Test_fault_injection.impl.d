@@ -1,0 +1,1 @@
+test/test_fault_injection.ml: Alcotest Dvf_util Int64 Kernels List Printf String

@@ -1,0 +1,1 @@
+test/test_fenwick.ml: Alcotest Array Dvf_util Gen List QCheck QCheck_alcotest

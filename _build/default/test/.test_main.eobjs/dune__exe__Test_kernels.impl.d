@@ -1,0 +1,1 @@
+test/test_kernels.ml: Access_patterns Alcotest Array Cachesim Complex Dvf_util Float Kernels List Memtrace Printf

@@ -1,0 +1,1 @@
+test/test_maths.ml: Alcotest Array Dvf_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_random_access.ml: Access_patterns Alcotest Array Cachesim Dvf_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dvf_util Hashtbl Int64 Printf

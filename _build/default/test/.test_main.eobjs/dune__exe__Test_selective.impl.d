@@ -1,0 +1,1 @@
+test/test_selective.ml: Alcotest Cachesim Core Dvf_util Kernels List Printf String

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Access_patterns Alcotest Array Cachesim Core Dvf_util Kernels List Memtrace Printf

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Access_patterns Alcotest Cachesim Dvf_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Dvf_util List String

@@ -1,0 +1,1 @@
+test/test_template.ml: Access_patterns Alcotest Array Cachesim Dvf_util Expr Gen Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Cachesim List Memtrace

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Dvf_util Format List Printf

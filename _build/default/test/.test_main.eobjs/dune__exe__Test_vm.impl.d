@@ -1,0 +1,1 @@
+test/test_vm.ml: Access_patterns Alcotest Cachesim Dvf_util Kernels List Memtrace Printf

@@ -1,0 +1,227 @@
+module C = Cachesim
+
+let tiny_config =
+  (* 2-way, 2 sets, 16 B lines: 64 B cache, small enough to reason about
+     every eviction by hand. *)
+  C.Config.make ~name:"tiny" ~associativity:2 ~sets:2 ~line:16
+
+let test_config_capacity () =
+  Alcotest.(check int) "capacity" 64 (C.Config.capacity tiny_config);
+  Alcotest.(check int) "blocks" 4 (C.Config.blocks tiny_config)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad sets"
+    (Invalid_argument "Config.make: sets must be a positive power of two")
+    (fun () -> ignore (C.Config.make ~name:"x" ~associativity:1 ~sets:3 ~line:16));
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Config.make: line must be a positive power of two")
+    (fun () -> ignore (C.Config.make ~name:"x" ~associativity:1 ~sets:2 ~line:10));
+  Alcotest.check_raises "bad assoc"
+    (Invalid_argument "Config.make: associativity <= 0") (fun () ->
+      ignore (C.Config.make ~name:"x" ~associativity:0 ~sets:2 ~line:16))
+
+let test_table_iv_presets () =
+  Alcotest.(check int) "small verif 8KB" 8192
+    (C.Config.capacity C.Config.small_verification);
+  Alcotest.(check int) "16KB profiling" 16384
+    (C.Config.capacity C.Config.profiling_16kb);
+  Alcotest.(check int) "128KB profiling" 131072
+    (C.Config.capacity C.Config.profiling_128kb)
+
+let test_cold_miss_then_hit () =
+  let cache = C.Cache.create tiny_config in
+  Alcotest.(check bool) "cold miss" false
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  Alcotest.(check bool) "hit" true
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  Alcotest.(check bool) "same line different byte" true
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:15)
+
+let test_lru_eviction_order () =
+  let cache = C.Cache.create tiny_config in
+  (* Set 0 holds lines with (line mod 2 = 0): lines 0, 2, 4 (addresses 0,
+     32, 64).  2-way: loading 0 then 2 then touching 0 again then loading
+     4 must evict 2 (the LRU), not 0. *)
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:32);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:64);
+  Alcotest.(check bool) "0 survives" true
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  Alcotest.(check bool) "32 evicted" false
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:32)
+
+let test_set_mapping () =
+  let cache = C.Cache.create tiny_config in
+  (* Lines 0 and 1 (addresses 0 and 16) map to different sets and never
+     conflict. *)
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:16);
+  Alcotest.(check bool) "line 0 resident" true
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  Alcotest.(check bool) "line 1 resident" true
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:16)
+
+let test_writeback_on_dirty_eviction () =
+  let cache = C.Cache.create tiny_config in
+  (* Dirty line 0 in set 0, then evict it with two more set-0 lines. *)
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:true ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:32);
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:64);
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:96);
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 3 in
+  Alcotest.(check int) "one writeback" 1 c.C.Stats.writebacks
+
+let test_clean_eviction_no_writeback () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:32);
+  ignore (C.Cache.touch_line cache ~owner:3 ~write:false ~line_addr:64);
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 3 in
+  Alcotest.(check int) "no writebacks" 0 c.C.Stats.writebacks
+
+let test_writeback_attributed_to_line_owner () =
+  let cache = C.Cache.create tiny_config in
+  (* Owner 1 dirties a line; owner 2 evicts it.  The writeback belongs to
+     owner 1. *)
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:true ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:2 ~write:false ~line_addr:32);
+  ignore (C.Cache.touch_line cache ~owner:2 ~write:false ~line_addr:64);
+  let s = C.Cache.stats cache in
+  Alcotest.(check int) "owner 1 writeback" 1
+    (C.Stats.owner_counters s 1).C.Stats.writebacks;
+  Alcotest.(check int) "owner 2 none" 0
+    (C.Stats.owner_counters s 2).C.Stats.writebacks
+
+let test_access_spans_lines () =
+  let cache = C.Cache.create tiny_config in
+  (* A 20-byte access at address 10 touches lines 0 and 1. *)
+  C.Cache.access cache ~owner:1 ~write:false ~addr:10 ~size:20;
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+  Alcotest.(check int) "two lookups" 2 (c.C.Stats.reads);
+  Alcotest.(check int) "two misses" 2 c.C.Stats.misses
+
+let test_flush_counts_dirty () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:true ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:16);
+  C.Cache.flush cache;
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+  Alcotest.(check int) "one writeback from flush" 1 c.C.Stats.writebacks;
+  (* After flush everything misses again. *)
+  Alcotest.(check bool) "cold after flush" false
+    (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0)
+
+let test_invalidate_drops_silently () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:true ~line_addr:0);
+  C.Cache.invalidate cache;
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+  Alcotest.(check int) "no writeback" 0 c.C.Stats.writebacks
+
+let test_resident_lines () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:2 ~write:false ~line_addr:16);
+  Alcotest.(check int) "owner 1" 1 (C.Cache.resident_lines cache ~owner:1);
+  Alcotest.(check int) "owner 2" 1 (C.Cache.resident_lines cache ~owner:2)
+
+let test_streaming_miss_count () =
+  (* A unit-stride traverse of D bytes must miss exactly ceil(D/CL). *)
+  let cache = C.Cache.create tiny_config in
+  let bytes = 1000 in
+  for addr = 0 to bytes - 1 do
+    C.Cache.access cache ~owner:1 ~write:false ~addr ~size:1
+  done;
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+  Alcotest.(check int) "compulsory misses" (Dvf_util.Maths.cdiv bytes 16)
+    c.C.Stats.misses
+
+let test_working_set_fits_no_capacity_misses () =
+  (* 4 lines fit exactly; repeated traversal of 2 lines per set never
+     misses after the first pass. *)
+  let cache = C.Cache.create tiny_config in
+  for _pass = 1 to 10 do
+    List.iter
+      (fun addr ->
+        ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:addr))
+      [ 0; 16; 32; 48 ]
+  done;
+  let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+  Alcotest.(check int) "only 4 cold misses" 4 c.C.Stats.misses
+
+let test_stats_totals () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:5 ~write:true ~line_addr:16);
+  let totals = C.Stats.totals (C.Cache.stats cache) in
+  Alcotest.(check int) "reads" 1 totals.C.Stats.reads;
+  Alcotest.(check int) "writes" 1 totals.C.Stats.writes;
+  Alcotest.(check int) "misses" 2 totals.C.Stats.misses;
+  Alcotest.(check (list int)) "owners" [ 1; 5 ]
+    (C.Stats.owners (C.Cache.stats cache))
+
+(* Property: the simulator never reports more hits than lookups, and
+   misses + hits = lookups. *)
+let prop_stats_consistent =
+  QCheck.Test.make ~count:100 ~name:"hits + misses = lookups"
+    QCheck.(list_of_size (Gen.int_range 1 500) (pair (int_range 0 2048) bool))
+    (fun ops ->
+      let cache = C.Cache.create tiny_config in
+      List.iter
+        (fun (addr, write) ->
+          ignore (C.Cache.touch_line cache ~owner:1 ~write ~line_addr:addr))
+        ops;
+      let c = C.Stats.owner_counters (C.Cache.stats cache) 1 in
+      c.C.Stats.hits + c.C.Stats.misses = c.C.Stats.reads + c.C.Stats.writes)
+
+(* Property: an LRU cache of B blocks total hits whenever the stack
+   distance is < associativity within a set; cross-check against a naive
+   per-set LRU list model. *)
+let prop_matches_reference_lru =
+  QCheck.Test.make ~count:100 ~name:"matches reference LRU model"
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 1023))
+    (fun line_addrs ->
+      let cache = C.Cache.create tiny_config in
+      let sets = Array.make 2 [] in
+      let ok = ref true in
+      List.iter
+        (fun addr ->
+          let line = addr / 16 in
+          let set = line mod 2 in
+          let expected_hit = List.mem line sets.(set) in
+          let lru = sets.(set) in
+          let without = List.filter (fun l -> l <> line) lru in
+          sets.(set) <- line :: (if List.length without > 1 then [ List.hd without ] else without);
+          let got = C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:(line * 16) in
+          if got <> expected_hit then ok := false)
+        line_addrs;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "config capacity" `Quick test_config_capacity;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "Table IV presets" `Quick test_table_iv_presets;
+    Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "set mapping" `Quick test_set_mapping;
+    Alcotest.test_case "writeback on dirty eviction" `Quick
+      test_writeback_on_dirty_eviction;
+    Alcotest.test_case "clean eviction no writeback" `Quick
+      test_clean_eviction_no_writeback;
+    Alcotest.test_case "writeback attribution" `Quick
+      test_writeback_attributed_to_line_owner;
+    Alcotest.test_case "access spans lines" `Quick test_access_spans_lines;
+    Alcotest.test_case "flush counts dirty lines" `Quick
+      test_flush_counts_dirty;
+    Alcotest.test_case "invalidate drops silently" `Quick
+      test_invalidate_drops_silently;
+    Alcotest.test_case "resident lines" `Quick test_resident_lines;
+    Alcotest.test_case "streaming miss count" `Quick test_streaming_miss_count;
+    Alcotest.test_case "no capacity misses when fits" `Quick
+      test_working_set_fits_no_capacity_misses;
+    Alcotest.test_case "stats totals" `Quick test_stats_totals;
+    QCheck_alcotest.to_alcotest prop_stats_consistent;
+    QCheck_alcotest.to_alcotest prop_matches_reference_lru;
+  ]

@@ -1,0 +1,156 @@
+module C = Access_patterns.Compose
+module S = Access_patterns.Streaming
+
+let cache = Cachesim.Config.small_verification
+
+let stream_occ name elements =
+  C.occ name (C.Stream (S.make ~elem_size:8 ~elements ~stride:1 ()))
+
+let test_validation () =
+  Alcotest.check_raises "undeclared"
+    (Invalid_argument "Compose.make: occurrence of undeclared structure x")
+    (fun () ->
+      ignore
+        (C.make
+           ~structures:[ { C.name = "a"; bytes = 80 } ]
+           ~order:[ [ stream_occ "x" 10 ] ]
+           ~iterations:1));
+  Alcotest.check_raises "iterations" (Invalid_argument "Compose.make: iterations < 1")
+    (fun () ->
+      ignore
+        (C.make
+           ~structures:[ { C.name = "a"; bytes = 80 } ]
+           ~order:[ [ stream_occ "a" 10 ] ]
+           ~iterations:0))
+
+let test_single_structure_single_phase () =
+  (* One small structure swept once per iteration: cold cost on iteration
+     1, then it stays resident — reuse cost ~0. *)
+  let t =
+    C.make
+      ~structures:[ { C.name = "a"; bytes = 800 } ]
+      ~order:[ [ stream_occ "a" 100 ] ]
+      ~iterations:10
+  in
+  let costs = C.main_memory_accesses ~cache t in
+  let a = List.assoc "a" costs in
+  let cold = float_of_int (Dvf_util.Maths.cdiv 800 32) in
+  Alcotest.(check bool)
+    (Printf.sprintf "a=%.1f close to cold %.1f" a cold)
+    true
+    (a >= cold && a <= cold *. 1.5)
+
+let test_thrashing_structures () =
+  (* Two structures that together exceed the cache, alternating: each
+     reuse pays. 600 blocks each in a 256-block cache. *)
+  let bytes = 600 * 32 in
+  let t =
+    C.make
+      ~structures:[ { C.name = "a"; bytes }; { C.name = "b"; bytes } ]
+      ~order:[ [ stream_occ "a" (600 * 4) ]; [ stream_occ "b" (600 * 4) ] ]
+      ~iterations:10
+  in
+  let costs = C.main_memory_accesses ~cache t in
+  let a = List.assoc "a" costs in
+  let cold = 600.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "a=%.0f should thrash well beyond cold %.0f" a cold)
+    true
+    (a > 3.0 *. cold)
+
+let test_iterations_scale () =
+  let mk iters =
+    C.make
+      ~structures:
+        [ { C.name = "a"; bytes = 600 * 32 }; { C.name = "b"; bytes = 600 * 32 } ]
+      ~order:[ [ stream_occ "a" 2400 ]; [ stream_occ "b" 2400 ] ]
+      ~iterations:iters
+  in
+  let total_10 = C.total ~cache (mk 10) in
+  let total_20 = C.total ~cache (mk 20) in
+  (* Steady-state per-iteration cost is constant: doubling iterations
+     roughly doubles total minus the cold part. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "10 iters %.0f < 20 iters %.0f < 2.2x" total_10 total_20)
+    true
+    (total_20 > total_10 && total_20 < 2.2 *. total_10)
+
+let test_footprint_blocks () =
+  let t =
+    C.make
+      ~structures:[ { C.name = "a"; bytes = 3200 } ]
+      ~order:[ [ stream_occ "a" 100 ] ]
+      ~iterations:1
+  in
+  (* 100 8-byte elements unit stride = 800 bytes = 25 lines of 32 B. *)
+  Alcotest.(check int) "footprint" 25 (C.footprint_blocks ~cache t "a")
+
+let test_reuse_only_occurrence () =
+  let t =
+    C.make
+      ~structures:[ { C.name = "a"; bytes = 3200 } ]
+      ~order:[ [ C.occ "a" C.Reuse_only ] ]
+      ~iterations:5
+  in
+  let a = List.assoc "a" (C.main_memory_accesses ~cache t) in
+  (* Cold = 100 blocks; resident afterwards; total stays near cold. *)
+  Alcotest.(check bool) (Printf.sprintf "a=%.1f" a) true (a >= 100.0 && a < 130.0)
+
+(* Compare against a trace-driven simulation of the same phase structure:
+   alternating full traverses of two structures, both streaming. *)
+let simulate_alternating ~blocks_a ~blocks_b ~iterations =
+  let line = cache.Cachesim.Config.line in
+  let c = Cachesim.Cache.create cache in
+  let b_base = 1 lsl 24 in
+  for _ = 1 to iterations do
+    for b = 0 to blocks_a - 1 do
+      Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(b * line) ~size:1
+    done;
+    for b = 0 to blocks_b - 1 do
+      Cachesim.Cache.access c ~owner:2 ~write:false ~addr:(b_base + (b * line)) ~size:1
+    done
+  done;
+  let s1 = Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1 in
+  float_of_int s1.Cachesim.Stats.misses
+
+let test_compose_tracks_simulation () =
+  List.iter
+    (fun (blocks_a, blocks_b) ->
+      let elements b = b * 4 (* 8-byte elements, 32-byte lines *) in
+      let iterations = 10 in
+      let t =
+        C.make
+          ~structures:
+            [
+              { C.name = "a"; bytes = blocks_a * 32 };
+              { C.name = "b"; bytes = blocks_b * 32 };
+            ]
+          ~order:
+            [ [ stream_occ "a" (elements blocks_a) ];
+              [ stream_occ "b" (elements blocks_b) ] ]
+          ~iterations
+      in
+      let model = List.assoc "a" (C.main_memory_accesses ~cache t) in
+      let sim = simulate_alternating ~blocks_a ~blocks_b ~iterations in
+      let err = Dvf_util.Maths.rel_error ~expected:sim ~actual:model in
+      (* Coarse model: within 30% on thrashing mixes, and on fitting mixes
+         both should be close to cold-only. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "a=%d b=%d blocks: model %.0f sim %.0f (err %.0f%%)"
+           blocks_a blocks_b model sim (100.0 *. err))
+        true (err <= 0.30))
+    [ (600, 600); (400, 400); (100, 50) ]
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "single structure stays resident" `Quick
+      test_single_structure_single_phase;
+    Alcotest.test_case "thrashing structures pay per reuse" `Quick
+      test_thrashing_structures;
+    Alcotest.test_case "iterations scale" `Quick test_iterations_scale;
+    Alcotest.test_case "footprint blocks" `Quick test_footprint_blocks;
+    Alcotest.test_case "reuse-only occurrence" `Quick test_reuse_only_occurrence;
+    Alcotest.test_case "compose tracks simulation" `Quick
+      test_compose_tracks_simulation;
+  ]

@@ -1,0 +1,102 @@
+module D = Dvf_util.Dist
+module M = Dvf_util.Maths
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let test_create_normalizes () =
+  let d = D.create [| 1.0; 1.0; 2.0 |] in
+  checkf "p0" 0.25 (D.prob d 0);
+  checkf "p1" 0.25 (D.prob d 1);
+  checkf "p2" 0.5 (D.prob d 2);
+  checkf "mass" 1.0 (D.total_mass d)
+
+let test_create_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.create: empty weight array")
+    (fun () -> ignore (D.create [||]));
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Dist.create: all weights zero") (fun () ->
+      ignore (D.create [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dist.create: negative or NaN weight") (fun () ->
+      ignore (D.create [| 1.0; -0.5 |]))
+
+let test_point () =
+  let d = D.point ~support:4 2 in
+  checkf "mass at 2" 1.0 (D.prob d 2);
+  checkf "expectation" 2.0 (D.expectation d);
+  checkf "variance" 0.0 (D.variance d);
+  Alcotest.(check int) "support" 4 (D.support d)
+
+let test_prob_outside_support () =
+  let d = D.point ~support:3 1 in
+  checkf "below" 0.0 (D.prob d (-1));
+  checkf "above" 0.0 (D.prob d 4)
+
+let test_expectation_variance () =
+  (* Uniform over {0,1,2,3}: mean 1.5, variance 1.25. *)
+  let d = D.create [| 1.0; 1.0; 1.0; 1.0 |] in
+  checkf "mean" 1.5 (D.expectation d);
+  checkf "var" 1.25 (D.variance d)
+
+let test_map_value () =
+  let d = D.create [| 0.5; 0.0; 0.5 |] in
+  let doubled = D.map_value (fun v -> 2 * v) d in
+  (* 2*2 = 4 clamps onto support max = 2. *)
+  checkf "p0" 0.5 (D.prob doubled 0);
+  checkf "p2 (clamped)" 0.5 (D.prob doubled 2)
+
+let test_clamp_upper () =
+  let d = D.create [| 0.1; 0.2; 0.3; 0.4 |] in
+  let c = D.clamp_upper 1 d in
+  checkf "p0" 0.1 (D.prob c 0);
+  checkf "p1 absorbs" 0.9 (D.prob c 1);
+  checkf "p2 emptied" 0.0 (D.prob c 2)
+
+let test_of_fun () =
+  let d = D.of_fun ~support:2 (fun v -> float_of_int (v + 1)) in
+  checkf "p2" 0.5 (D.prob d 2)
+
+let prop_expectation_within_support =
+  QCheck.Test.make ~count:200 ~name:"expectation lies within support"
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 10.0))
+    (fun weights ->
+      QCheck.assume (List.exists (fun w -> w > 0.0) weights);
+      let d = D.create (Array.of_list weights) in
+      let e = D.expectation d in
+      e >= 0.0 && e <= float_of_int (D.support d))
+
+let prop_mass_one =
+  QCheck.Test.make ~count:200 ~name:"total mass is one"
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 10.0))
+    (fun weights ->
+      QCheck.assume (List.exists (fun w -> w > 0.0) weights);
+      let d = D.create (Array.of_list weights) in
+      M.approx_equal ~eps:1e-9 1.0 (D.total_mass d))
+
+let prop_clamp_preserves_mass =
+  QCheck.Test.make ~count:200 ~name:"clamp_upper preserves mass"
+    QCheck.(pair (int_range 0 10) (list_of_size (Gen.int_range 1 12) (float_range 0.1 5.0)))
+    (fun (hi, weights) ->
+      let d = D.create (Array.of_list weights) in
+      M.approx_equal ~eps:1e-9 1.0 (D.total_mass (D.clamp_upper hi d)))
+
+let suite =
+  [
+    Alcotest.test_case "create normalizes" `Quick test_create_normalizes;
+    Alcotest.test_case "create rejects bad input" `Quick
+      test_create_rejects_bad_input;
+    Alcotest.test_case "point mass" `Quick test_point;
+    Alcotest.test_case "prob outside support" `Quick test_prob_outside_support;
+    Alcotest.test_case "expectation and variance" `Quick
+      test_expectation_variance;
+    Alcotest.test_case "map_value clamps" `Quick test_map_value;
+    Alcotest.test_case "clamp_upper" `Quick test_clamp_upper;
+    Alcotest.test_case "of_fun" `Quick test_of_fun;
+    QCheck_alcotest.to_alcotest prop_expectation_within_support;
+    QCheck_alcotest.to_alcotest prop_mass_one;
+    QCheck_alcotest.to_alcotest prop_clamp_preserves_mass;
+  ]

@@ -1,0 +1,113 @@
+module Fi = Kernels.Fault_injection
+
+let test_flip_bit_involution () =
+  List.iter
+    (fun v ->
+      for bit = 0 to 63 do
+        let flipped = Fi.flip_bit v ~bit in
+        Alcotest.(check bool)
+          (Printf.sprintf "flip changes %g bit %d" v bit)
+          true
+          (Int64.bits_of_float flipped <> Int64.bits_of_float v);
+        Alcotest.(check (float 0.0)) "involution" v (Fi.flip_bit flipped ~bit)
+      done)
+    [ 0.0; 1.0; -3.25; 1e300; 4.9e-324 ]
+
+let test_flip_bit_bounds () =
+  Alcotest.check_raises "bit 64"
+    (Invalid_argument "Fault_injection.flip_bit: bit outside 0..63") (fun () ->
+      ignore (Fi.flip_bit 1.0 ~bit:64))
+
+let test_vm_campaign_accounting () =
+  let p = Kernels.Vm.make_params 200 in
+  let campaigns = Fi.vm_campaign ~trials:100 p in
+  Alcotest.(check int) "three structures" 3 (List.length campaigns);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "outcomes partition trials" c.Fi.trials
+        (c.Fi.benign + c.Fi.sdc + c.Fi.detected);
+      Alcotest.(check bool) "some benign, some not" true
+        (c.Fi.benign > 0 && c.Fi.benign < c.Fi.trials))
+    campaigns
+
+let test_vm_campaign_deterministic () =
+  let p = Kernels.Vm.make_params 100 in
+  let a = Fi.vm_campaign ~trials:50 ~seed:7 p in
+  let b = Fi.vm_campaign ~trials:50 ~seed:7 p in
+  Alcotest.(check bool) "same counts" true (a = b)
+
+let test_vm_output_structure_always_vulnerable () =
+  (* C is the output: a surviving flip in C always lands in the result,
+     while flips in A/B after their last read are dead.  So C's combined
+     unsafe rate is the highest rate among the three. *)
+  let p = Kernels.Vm.make_params 300 in
+  let campaigns = Fi.vm_campaign ~trials:300 p in
+  let rate name =
+    Fi.unsafe_rate (List.find (fun c -> c.Fi.structure = name) campaigns)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "C %.2f >= A %.2f" (rate "C") (rate "A"))
+    true
+    (rate "C" >= rate "A" -. 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "C %.2f >= B %.2f" (rate "C") (rate "B"))
+    true
+    (rate "C" >= rate "B" -. 0.05)
+
+let test_cg_campaign_accounting () =
+  let p = Kernels.Cg.make_params ~max_iterations:200 ~tolerance:1e-9 60 in
+  let campaigns = Fi.cg_campaign ~trials:60 p in
+  Alcotest.(check int) "four structures" 4 (List.length campaigns);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "partition" c.Fi.trials
+        (c.Fi.benign + c.Fi.sdc + c.Fi.detected))
+    campaigns
+
+let test_cg_per_structure_physics () =
+  (* The empirically observed per-strike behaviour of CG:
+     - x accumulates: a flip lands directly in the final solution (the
+       highest SDC rate);
+     - r feeds the recurrence: flips either converge to a wrong solution
+       or break convergence;
+     - p is rebuilt from r every iteration (p = r + beta p): corruption
+       shows up as non-convergence (detected), almost never silently;
+     - A is heavily logically masked (a dense-stored tridiagonal system
+       is mostly zeros; most single-bit perturbations shift the solution
+       by less than the tolerance).
+     The masking on A is exactly the application-semantics effect DVF's
+     exposure-based metric abstracts away -- worth pinning down. *)
+  let p = Kernels.Cg.make_params ~max_iterations:200 ~tolerance:1e-9 60 in
+  let campaigns = Fi.cg_campaign ~trials:150 p in
+  let by name = List.find (fun c -> c.Fi.structure = name) campaigns in
+  let sdc name = Fi.sdc_rate (by name) in
+  Alcotest.(check bool)
+    (Printf.sprintf "x %.2f > r %.2f > A %.2f (SDC)" (sdc "x") (sdc "r") (sdc "A"))
+    true
+    (sdc "x" > sdc "r" && sdc "r" > sdc "A");
+  Alcotest.(check bool) "p corruptions are detected, not silent" true
+    ((by "p").Fi.detected > 0 && sdc "p" <= 0.02)
+
+let test_rank_and_table () =
+  let p = Kernels.Vm.make_params 100 in
+  let campaigns = Fi.vm_campaign ~trials:50 p in
+  Alcotest.(check int) "rank covers all" 3
+    (List.length (Fi.rank_by_sdc campaigns));
+  Alcotest.(check bool) "table renders" true
+    (String.length (Dvf_util.Table.render (Fi.to_table campaigns)) > 100)
+
+let suite =
+  [
+    Alcotest.test_case "flip_bit involution" `Quick test_flip_bit_involution;
+    Alcotest.test_case "flip_bit bounds" `Quick test_flip_bit_bounds;
+    Alcotest.test_case "VM campaign accounting" `Quick
+      test_vm_campaign_accounting;
+    Alcotest.test_case "VM campaign deterministic" `Quick
+      test_vm_campaign_deterministic;
+    Alcotest.test_case "VM output structure most exposed" `Slow
+      test_vm_output_structure_always_vulnerable;
+    Alcotest.test_case "CG campaign accounting" `Slow test_cg_campaign_accounting;
+    Alcotest.test_case "CG per-structure physics" `Slow
+      test_cg_per_structure_physics;
+    Alcotest.test_case "rank and table" `Quick test_rank_and_table;
+  ]

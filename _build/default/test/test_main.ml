@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "dvf"
+    [
+      ("maths", Test_maths.suite);
+      ("dist", Test_dist.suite);
+      ("rng", Test_rng.suite);
+      ("units", Test_units.suite);
+      ("table", Test_table.suite);
+      ("fenwick", Test_fenwick.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("trace", Test_trace.suite);
+      ("streaming", Test_streaming.suite);
+      ("random-access", Test_random_access.suite);
+      ("template", Test_template.suite);
+      ("reuse", Test_reuse.suite);
+      ("compose", Test_compose.suite);
+      ("kernel-vm", Test_vm.suite);
+      ("kernel-cg", Test_cg.suite);
+      ("kernels", Test_kernels.suite);
+      ("dvf", Test_dvf.suite);
+      ("ecc", Test_ecc.suite);
+      ("core-misc", Test_core_misc.suite);
+      ("aspen", Test_aspen.suite);
+      ("sparse", Test_sparse.suite);
+      ("component", Test_component.suite);
+      ("kernel-pcg", Test_pcg.suite);
+      ("selective", Test_selective.suite);
+      ("fault-injection", Test_fault_injection.suite);
+    ]

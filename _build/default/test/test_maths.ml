@@ -1,0 +1,200 @@
+module M = Dvf_util.Maths
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let test_lgamma_small_integers () =
+  (* Gamma(n) = (n-1)! *)
+  checkf "lgamma 1" 0.0 (M.lgamma 1.0);
+  checkf "lgamma 2" 0.0 (M.lgamma 2.0);
+  checkf "lgamma 5" (log 24.0) (M.lgamma 5.0);
+  checkf "lgamma 11" (log 3628800.0) (M.lgamma 11.0)
+
+let test_lgamma_half () =
+  (* Gamma(1/2) = sqrt(pi) *)
+  checkf "lgamma 0.5" (0.5 *. log M.pi) (M.lgamma 0.5);
+  (* Gamma(3/2) = sqrt(pi)/2 *)
+  checkf "lgamma 1.5" (log (sqrt M.pi /. 2.0)) (M.lgamma 1.5)
+
+let test_log_factorial_matches_lgamma () =
+  for n = 0 to 50 do
+    checkf
+      (Printf.sprintf "log %d!" n)
+      (M.lgamma (float_of_int n +. 1.0))
+      (M.log_factorial n)
+  done;
+  (* Beyond the memo table. *)
+  checkf "log 2000!" (M.lgamma 2001.0) (M.log_factorial 2000)
+
+let test_choose_exact_values () =
+  checkf "C(0,0)" 1.0 (M.choose 0 0);
+  checkf "C(5,2)" 10.0 (M.choose 5 2);
+  checkf "C(10,5)" 252.0 (M.choose 10 5);
+  checkf "C(52,5)" 2598960.0 (M.choose 52 5);
+  Alcotest.(check (float 0.0)) "C(5,7)" 0.0 (M.choose 5 7);
+  Alcotest.(check (float 0.0)) "C(5,-1)" 0.0 (M.choose 5 (-1))
+
+let test_choose_symmetry () =
+  for n = 1 to 40 do
+    for k = 0 to n do
+      checkf ~eps:1e-10
+        (Printf.sprintf "C(%d,%d) symmetric" n k)
+        (M.choose n k)
+        (M.choose n (n - k))
+    done
+  done
+
+let test_choose_pascal () =
+  (* C(n,k) = C(n-1,k-1) + C(n-1,k), exercised across the exact/log-space
+     implementation boundary. *)
+  List.iter
+    (fun (n, k) ->
+      checkf ~eps:1e-9
+        (Printf.sprintf "Pascal C(%d,%d)" n k)
+        (M.choose (n - 1) (k - 1) +. M.choose (n - 1) k)
+        (M.choose n k))
+    [ (10, 3); (100, 50); (350, 40); (1000, 500) ]
+
+let test_log_choose_large () =
+  (* C(1e6, 3) = 1e6 * (1e6 - 1) * (1e6 - 2) / 6 *)
+  let n = 1_000_000 in
+  let expected =
+    log (float_of_int n) +. log (float_of_int (n - 1))
+    +. log (float_of_int (n - 2)) -. log 6.0
+  in
+  checkf ~eps:1e-9 "log C(1e6,3)" expected (M.log_choose n 3)
+
+let test_binomial_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0.0 in
+      for k = 0 to n do
+        total := !total +. M.binomial_pmf ~n ~p k
+      done;
+      checkf ~eps:1e-9 (Printf.sprintf "binomial(%d,%g) sums" n p) 1.0 !total)
+    [ (10, 0.5); (100, 0.01); (64, 1.0 /. 64.0); (1, 0.3); (0, 0.7) ]
+
+let test_binomial_pmf_known () =
+  checkf "Bin(4,0.5) at 2" 0.375 (M.binomial_pmf ~n:4 ~p:0.5 2);
+  checkf "Bin(3,0.25) at 0" (0.75 ** 3.0) (M.binomial_pmf ~n:3 ~p:0.25 0);
+  checkf "Bin(3,1.0) at 3" 1.0 (M.binomial_pmf ~n:3 ~p:1.0 3);
+  checkf "Bin(3,0.0) at 0" 1.0 (M.binomial_pmf ~n:3 ~p:0.0 0)
+
+let test_binomial_sf () =
+  (* P[Bin(4, 0.5) >= 2] = (6 + 4 + 1) / 16 *)
+  checkf "sf" (11.0 /. 16.0) (M.binomial_sf ~n:4 ~p:0.5 2);
+  checkf "sf 0" 1.0 (M.binomial_sf ~n:4 ~p:0.5 0);
+  Alcotest.(check (float 0.0)) "sf beyond n" 0.0 (M.binomial_sf ~n:4 ~p:0.5 5)
+
+let test_hypergeom_pmf_sums_to_one () =
+  List.iter
+    (fun (total, marked, drawn) ->
+      let acc = ref 0.0 in
+      for k = 0 to drawn do
+        acc := !acc +. M.hypergeom_pmf ~total ~marked ~drawn k
+      done;
+      checkf ~eps:1e-9
+        (Printf.sprintf "hypergeom(%d,%d,%d) sums" total marked drawn)
+        1.0 !acc)
+    [ (50, 10, 5); (100, 100, 10); (20, 0, 5); (7, 3, 7); (1000, 17, 40) ]
+
+let test_hypergeom_known () =
+  (* Drawing 2 from {2 marked, 2 unmarked}: P[both marked] = 1/6. *)
+  checkf "both marked" (1.0 /. 6.0) (M.hypergeom_pmf ~total:4 ~marked:2 ~drawn:2 2);
+  checkf "one marked" (4.0 /. 6.0) (M.hypergeom_pmf ~total:4 ~marked:2 ~drawn:2 1)
+
+let test_hypergeom_mean_matches_pmf () =
+  List.iter
+    (fun (total, marked, drawn) ->
+      let acc = ref 0.0 in
+      for k = 0 to drawn do
+        acc := !acc +. (float_of_int k *. M.hypergeom_pmf ~total ~marked ~drawn k)
+      done;
+      checkf ~eps:1e-9 "mean" (M.hypergeom_mean ~total ~marked ~drawn) !acc)
+    [ (50, 10, 5); (100, 30, 50); (12, 12, 4) ]
+
+let test_cdiv () =
+  Alcotest.(check int) "7/2" 4 (M.cdiv 7 2);
+  Alcotest.(check int) "8/2" 4 (M.cdiv 8 2);
+  Alcotest.(check int) "0/5" 0 (M.cdiv 0 5);
+  Alcotest.(check int) "1/5" 1 (M.cdiv 1 5);
+  Alcotest.check_raises "negative" (Invalid_argument "Maths.cdiv: negative dividend")
+    (fun () -> ignore (M.cdiv (-1) 5))
+
+let test_kahan_sum () =
+  (* Sum that naive accumulation gets wrong: 1 + 1e-16 * 10^8 *)
+  let xs = Array.make 10_000_001 1e-9 in
+  xs.(0) <- 1.0;
+  checkf ~eps:1e-12 "kahan" (1.0 +. 0.01) (M.sum xs)
+
+let test_stats_helpers () =
+  checkf "mean" 2.0 (M.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "geomean" 2.0 (M.geomean [| 1.0; 2.0; 4.0 |]);
+  checkf "rel_error" 0.5 (M.rel_error ~expected:2.0 ~actual:3.0);
+  checkf "rel_error zero" 3.0 (M.rel_error ~expected:0.0 ~actual:3.0)
+
+let test_clamp () =
+  checkf "clamp mid" 0.5 (M.clamp ~lo:0.0 ~hi:1.0 0.5);
+  checkf "clamp low" 0.0 (M.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  checkf "clamp high" 1.0 (M.clamp ~lo:0.0 ~hi:1.0 42.0);
+  Alcotest.(check int) "clampi" 7 (M.clampi ~lo:0 ~hi:7 9)
+
+(* Property tests. *)
+
+let prop_binomial_normalizes =
+  QCheck.Test.make ~count:200 ~name:"binomial pmf normalizes"
+    QCheck.(pair (int_range 0 200) (float_range 0.0 1.0))
+    (fun (n, p) ->
+      let acc = ref 0.0 in
+      for k = 0 to n do
+        acc := !acc +. M.binomial_pmf ~n ~p k
+      done;
+      M.approx_equal ~eps:1e-7 1.0 !acc)
+
+let prop_hypergeom_normalizes =
+  QCheck.Test.make ~count:200 ~name:"hypergeom pmf normalizes"
+    QCheck.(triple (int_range 1 300) (int_range 0 300) (int_range 0 300))
+    (fun (total, marked, drawn) ->
+      let marked = min marked total and drawn = min drawn total in
+      let acc = ref 0.0 in
+      for k = 0 to drawn do
+        acc := !acc +. M.hypergeom_pmf ~total ~marked ~drawn k
+      done;
+      M.approx_equal ~eps:1e-7 1.0 !acc)
+
+let prop_choose_monotone_in_n =
+  QCheck.Test.make ~count:200 ~name:"C(n+1,k) >= C(n,k)"
+    QCheck.(pair (int_range 1 400) (int_range 0 400))
+    (fun (n, k) ->
+      let k = min k n in
+      M.choose (n + 1) k >= M.choose n k -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "lgamma small integers" `Quick test_lgamma_small_integers;
+    Alcotest.test_case "lgamma halves" `Quick test_lgamma_half;
+    Alcotest.test_case "log_factorial vs lgamma" `Quick
+      test_log_factorial_matches_lgamma;
+    Alcotest.test_case "choose exact values" `Quick test_choose_exact_values;
+    Alcotest.test_case "choose symmetry" `Quick test_choose_symmetry;
+    Alcotest.test_case "choose Pascal rule" `Quick test_choose_pascal;
+    Alcotest.test_case "log_choose large" `Quick test_log_choose_large;
+    Alcotest.test_case "binomial sums to one" `Quick
+      test_binomial_pmf_sums_to_one;
+    Alcotest.test_case "binomial known values" `Quick test_binomial_pmf_known;
+    Alcotest.test_case "binomial survival" `Quick test_binomial_sf;
+    Alcotest.test_case "hypergeom sums to one" `Quick
+      test_hypergeom_pmf_sums_to_one;
+    Alcotest.test_case "hypergeom known values" `Quick test_hypergeom_known;
+    Alcotest.test_case "hypergeom mean" `Quick test_hypergeom_mean_matches_pmf;
+    Alcotest.test_case "cdiv" `Quick test_cdiv;
+    Alcotest.test_case "kahan summation" `Quick test_kahan_sum;
+    Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    QCheck_alcotest.to_alcotest prop_binomial_normalizes;
+    QCheck_alcotest.to_alcotest prop_hypergeom_normalizes;
+    QCheck_alcotest.to_alcotest prop_choose_monotone_in_n;
+  ]

@@ -1,0 +1,152 @@
+module R = Access_patterns.Random_access
+module M = Dvf_util.Maths
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let small_cache = Cachesim.Config.small_verification (* 8 KB, 32 B lines *)
+
+let test_fits_in_cache_compulsory_only () =
+  (* 100 elements * 8 B = 800 B fits in 8 KB: only the construction pass. *)
+  let t = R.make ~elements:100 ~elem_size:8 ~visits:10 ~iterations:1000
+      ~cache_ratio:1.0 () in
+  Alcotest.(check bool) "fits" true (R.fits_in_cache ~cache:small_cache t);
+  checkf "compulsory only" (float_of_int (M.cdiv 800 32))
+    (R.main_memory_accesses ~cache:small_cache t)
+
+let test_miss_pmf_normalizes () =
+  let t = R.make ~elements:2000 ~elem_size:8 ~visits:50 ~iterations:10
+      ~cache_ratio:1.0 () in
+  let acc = ref 0.0 in
+  for x = 0 to t.R.visits do
+    acc := !acc +. R.miss_pmf ~cache:small_cache t ~x
+  done;
+  checkf ~eps:1e-7 "pmf sums to 1" 1.0 !acc
+
+let test_expected_misses_closed_form () =
+  (* Eq. 6's sum equals the hypergeometric mean k * (1 - m/N). *)
+  let t = R.make ~elements:2000 ~elem_size:8 ~visits:50 ~iterations:10
+      ~cache_ratio:1.0 () in
+  let m = R.cached_elements ~cache:small_cache t in
+  let closed =
+    float_of_int t.R.visits
+    *. (1.0 -. (float_of_int m /. float_of_int t.R.elements))
+  in
+  checkf ~eps:1e-7 "matches closed form" closed
+    (R.expected_misses_per_iteration ~cache:small_cache t)
+
+let test_cache_ratio_shrinks_share () =
+  let t1 = R.make ~elements:2000 ~elem_size:8 ~visits:50 ~iterations:100
+      ~cache_ratio:1.0 () in
+  let t05 = { t1 with R.cache_ratio = 0.5 } in
+  Alcotest.(check bool) "smaller share, more misses" true
+    (R.main_memory_accesses ~cache:small_cache t05
+    > R.main_memory_accesses ~cache:small_cache t1)
+
+let test_iterations_linear () =
+  let t1 = R.make ~elements:2000 ~elem_size:8 ~visits:50 ~iterations:10
+      ~cache_ratio:1.0 () in
+  let t2 = { t1 with R.iterations = 20 } in
+  let base = R.compulsory_accesses ~cache:small_cache t1 in
+  checkf ~eps:1e-9 "reload scales with iterations"
+    (2.0 *. (R.main_memory_accesses ~cache:small_cache t1 -. base))
+    (R.main_memory_accesses ~cache:small_cache t2 -. base)
+
+let test_breload_bounded_by_bout () =
+  (* When nearly everything is visited each iteration, Belm can exceed the
+     number of uncached blocks; Eq. 7 takes the min. *)
+  let t = R.make ~elements:300 ~elem_size:32 ~visits:300 ~iterations:1
+      ~cache_ratio:1.0 () in
+  (* 300 * 32 B = 9600 B > 8 KB cache; Bout = 300 - 256 = 44 blocks. *)
+  let reload = R.reload_blocks_per_iteration ~cache:small_cache t in
+  let total_blocks = 300.0 and cached = float_of_int (Cachesim.Config.blocks small_cache) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reload %.1f <= Bout %.1f" reload (total_blocks -. cached))
+    true
+    (reload <= total_blocks -. cached +. 1e-9)
+
+let test_validation () =
+  Alcotest.check_raises "visits > elements"
+    (Invalid_argument "Random_access.make: visits exceed element count")
+    (fun () ->
+      ignore
+        (R.make ~elements:10 ~elem_size:8 ~visits:11 ~iterations:1
+           ~cache_ratio:1.0 ()));
+  Alcotest.check_raises "ratio 0"
+    (Invalid_argument "Random_access.make: cache_ratio outside (0,1]")
+    (fun () ->
+      ignore
+        (R.make ~elements:10 ~elem_size:8 ~visits:1 ~iterations:1
+           ~cache_ratio:0.0 ()))
+
+(* Monte-Carlo cross-check: simulate the modeled process exactly (construct
+   then randomly visit k distinct elements per iteration) through the LRU
+   cache simulator and compare. *)
+let simulate_random ~seed ~cache t =
+  let rng = Dvf_util.Rng.create seed in
+  let c = Cachesim.Cache.create cache in
+  let n = t.R.elements and e = t.R.elem_size in
+  for i = 0 to n - 1 do
+    Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(i * e) ~size:e
+  done;
+  for _ = 1 to t.R.iterations do
+    let chosen = Dvf_util.Rng.sample_without_replacement rng ~n ~k:t.R.visits in
+    Array.iter
+      (fun i -> Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(i * e) ~size:e)
+      chosen
+  done;
+  let stats = Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1 in
+  float_of_int stats.Cachesim.Stats.misses
+
+let test_model_tracks_simulation () =
+  (* 4000 * 8 B = 32 KB footprint in an 8 KB cache; heavy reuse misses. *)
+  let t = R.make ~elements:4000 ~elem_size:8 ~visits:100 ~iterations:200
+      ~cache_ratio:1.0 () in
+  let sim =
+    M.mean (Array.init 3 (fun s -> simulate_random ~seed:(s + 1) ~cache:small_cache t))
+  in
+  let model = R.main_memory_accesses ~cache:small_cache t in
+  let err = M.rel_error ~expected:sim ~actual:model in
+  Alcotest.(check bool)
+    (Printf.sprintf "model %.0f vs sim %.0f (err %.1f%%)" model sim (100.0 *. err))
+    true (err <= 0.20)
+
+let prop_monotone_in_iterations =
+  QCheck.Test.make ~count:50 ~name:"random accesses monotone in iterations"
+    QCheck.(pair (int_range 100 5000) (int_range 1 100))
+    (fun (n, iters) ->
+      let t1 = R.make ~elements:n ~elem_size:8 ~visits:(min 50 n)
+          ~iterations:iters ~cache_ratio:1.0 () in
+      let t2 = { t1 with R.iterations = iters + 10 } in
+      R.main_memory_accesses ~cache:small_cache t2
+      >= R.main_memory_accesses ~cache:small_cache t1 -. 1e-9)
+
+let prop_reload_nonnegative =
+  QCheck.Test.make ~count:100 ~name:"reload blocks non-negative"
+    QCheck.(quad (int_range 1 10000) (int_range 1 64) (int_range 0 200) (int_range 0 100))
+    (fun (n, e, k, iters) ->
+      let k = min k n in
+      let t = R.make ~elements:n ~elem_size:e ~visits:k ~iterations:iters
+          ~cache_ratio:1.0 () in
+      R.reload_blocks_per_iteration ~cache:small_cache t >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "fits in cache: compulsory only" `Quick
+      test_fits_in_cache_compulsory_only;
+    Alcotest.test_case "Eq.5 pmf normalizes" `Quick test_miss_pmf_normalizes;
+    Alcotest.test_case "Eq.6 matches closed form" `Quick
+      test_expected_misses_closed_form;
+    Alcotest.test_case "cache ratio shrinks share" `Quick
+      test_cache_ratio_shrinks_share;
+    Alcotest.test_case "iterations scale linearly" `Quick test_iterations_linear;
+    Alcotest.test_case "Eq.7 bounded by Bout" `Quick test_breload_bounded_by_bout;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "model tracks LRU simulation" `Slow
+      test_model_tracks_simulation;
+    QCheck_alcotest.to_alcotest prop_monotone_in_iterations;
+    QCheck_alcotest.to_alcotest prop_reload_nonnegative;
+  ]

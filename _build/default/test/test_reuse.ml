@@ -1,0 +1,218 @@
+module R = Access_patterns.Reuse
+module D = Dvf_util.Dist
+module M = Dvf_util.Maths
+
+let cache = Cachesim.Config.small_verification (* CA=4, NA=64, CL=32 *)
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let allocs = [ (`Bernoulli, "bernoulli"); (`Uniform, "uniform") ]
+
+let test_occupancy_zero_blocks () =
+  List.iter
+    (fun (alloc, name) ->
+      let d = R.occupancy_dist ~alloc ~cache ~blocks:0 () in
+      checkf (name ^ ": all mass at 0") 1.0 (D.prob d 0))
+    allocs
+
+let test_occupancy_normalizes () =
+  List.iter
+    (fun (alloc, name) ->
+      List.iter
+        (fun blocks ->
+          let d = R.occupancy_dist ~alloc ~cache ~blocks () in
+          checkf ~eps:1e-7
+            (Printf.sprintf "%s blocks=%d" name blocks)
+            1.0 (D.total_mass d))
+        [ 1; 10; 64; 256; 1000 ])
+    allocs
+
+let test_occupancy_mean_small () =
+  (* Below the associativity clamp, E = blocks / NA for both allocation
+     models (binomial mean and even striping agree). *)
+  let blocks = 32 in
+  List.iter
+    (fun (alloc, name) ->
+      checkf ~eps:1e-3
+        (name ^ ": mean ~ F/NA")
+        (float_of_int blocks /. 64.0)
+        (R.expected_occupancy ~alloc ~cache ~blocks ()))
+    allocs
+
+let test_occupancy_saturates_at_associativity () =
+  List.iter
+    (fun (alloc, name) ->
+      checkf ~eps:1e-6 (name ^ ": saturated") 4.0
+        (R.expected_occupancy ~alloc ~cache ~blocks:1_000_000 ()))
+    allocs
+
+let test_uniform_occupancy_exact () =
+  (* 96 contiguous blocks over 64 sets: 32 sets hold 2, 32 hold 1. *)
+  let d = R.occupancy_dist ~alloc:`Uniform ~cache ~blocks:96 () in
+  checkf "P(1)" 0.5 (D.prob d 1);
+  checkf "P(2)" 0.5 (D.prob d 2);
+  checkf "mean" 1.5 (D.expectation d)
+
+let test_bernoulli_has_variance_uniform_does_not () =
+  let b = R.occupancy_dist ~alloc:`Bernoulli ~cache ~blocks:64 () in
+  let u = R.occupancy_dist ~alloc:`Uniform ~cache ~blocks:64 () in
+  Alcotest.(check bool) "bernoulli spreads" true (D.variance b > 0.1);
+  checkf "uniform is deterministic" 0.0 (D.variance u)
+
+let test_occupancy_monotone () =
+  List.iter
+    (fun (alloc, name) ->
+      let prev = ref 0.0 in
+      List.iter
+        (fun blocks ->
+          let e = R.expected_occupancy ~alloc ~cache ~blocks () in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s monotone at %d" name blocks)
+            true (e >= !prev -. 1e-9);
+          prev := e)
+        [ 0; 8; 32; 128; 256; 512; 2048 ])
+    allocs
+
+let test_no_interference_keeps_everything () =
+  let misses =
+    R.misses_per_reuse ~cache ~fa:32 ~fb:0 ~scenario:`Lru_protected ()
+  in
+  checkf "no misses when fitting alone" 0.0 misses
+
+let test_self_overflow_misses () =
+  (* A alone larger than the cache: even without interference reuse
+     misses the overflow. *)
+  let fa = 1024 (* 4x the 256-block cache *) in
+  let misses = R.misses_per_reuse ~cache ~fa ~fb:0 ~scenario:`Lru_protected () in
+  checkf "overflow misses" (float_of_int (fa - Cachesim.Config.blocks cache)) misses
+
+let test_interference_increases_misses () =
+  let m0 = R.misses_per_reuse ~cache ~fa:128 ~fb:0 ~scenario:`Lru_protected () in
+  let m1 = R.misses_per_reuse ~cache ~fa:128 ~fb:128 ~scenario:`Lru_protected () in
+  let m2 = R.misses_per_reuse ~cache ~fa:128 ~fb:512 ~scenario:`Lru_protected () in
+  Alcotest.(check bool) "fb=128 no worse than fb=0" true (m1 >= m0);
+  Alcotest.(check bool) "fb=512 worse than fb=128" true (m2 >= m1)
+
+let test_survivor_dist_normalizes () =
+  List.iter
+    (fun (fa, fb, scenario) ->
+      List.iter
+        (fun (alloc, name) ->
+          let d = R.survivor_dist ~alloc ~cache ~fa ~fb ~scenario () in
+          checkf ~eps:1e-6
+            (Printf.sprintf "%s fa=%d fb=%d" name fa fb)
+            1.0 (D.total_mass d))
+        allocs)
+    [
+      (10, 10, `Lru_protected); (10, 10, `Concurrent);
+      (300, 300, `Lru_protected); (300, 300, `Concurrent);
+      (0, 100, `Lru_protected); (100, 0, `Concurrent);
+    ]
+
+let test_lru_protected_vs_concurrent () =
+  (* LRU protection (A just accessed) must leave at least as many
+     survivors as uniform concurrent eviction. *)
+  List.iter
+    (fun (fa, fb) ->
+      let protected_ =
+        R.expected_survivors ~cache ~fa ~fb ~scenario:`Lru_protected ()
+      in
+      let concurrent =
+        R.expected_survivors ~cache ~fa ~fb ~scenario:`Concurrent ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fa=%d fb=%d: %.3f >= %.3f" fa fb protected_ concurrent)
+        true
+        (protected_ >= concurrent -. 1e-9))
+    [ (64, 64); (128, 256); (256, 128); (500, 500) ]
+
+let test_misses_bounded_by_fa () =
+  List.iter
+    (fun (fa, fb) ->
+      let m = R.misses_per_reuse ~cache ~fa ~fb ~scenario:`Concurrent () in
+      Alcotest.(check bool) "bounded" true (m >= 0.0 && m <= float_of_int fa))
+    [ (0, 0); (1, 1000); (1000, 1); (256, 256); (5000, 5000) ]
+
+let test_blocks_of_bytes () =
+  Alcotest.(check int) "exact" 4 (R.blocks_of_bytes ~cache 128);
+  Alcotest.(check int) "round up" 5 (R.blocks_of_bytes ~cache 129);
+  Alcotest.(check int) "zero" 0 (R.blocks_of_bytes ~cache 0)
+
+(* Cross-check of the survivor model against the LRU cache simulator:
+   load A (contiguous), access B (contiguous), re-traverse A. *)
+let simulate_reuse ~fa ~fb =
+  let line = cache.Cachesim.Config.line in
+  let c = Cachesim.Cache.create cache in
+  for b = 0 to fa - 1 do
+    Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(b * line) ~size:1
+  done;
+  let b_base = 1 lsl 24 in
+  for b = 0 to fb - 1 do
+    Cachesim.Cache.access c ~owner:2 ~write:false ~addr:(b_base + (b * line)) ~size:1
+  done;
+  let before = (Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1).Cachesim.Stats.misses in
+  for b = 0 to fa - 1 do
+    Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(b * line) ~size:1
+  done;
+  let after = (Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1).Cachesim.Stats.misses in
+  after - before
+
+let test_model_tracks_simulation () =
+  List.iter
+    (fun (fa, fb) ->
+      let sim = float_of_int (simulate_reuse ~fa ~fb) in
+      let model = R.misses_per_reuse ~cache ~fa ~fb ~scenario:`Lru_protected () in
+      Alcotest.(check bool)
+        (Printf.sprintf "fa=%d fb=%d: model %.0f sim %.0f" fa fb model sim)
+        true
+        (abs_float (model -. sim) <= 0.15 *. float_of_int (max fa 32)))
+    [ (64, 256); (128, 128); (128, 512); (256, 256); (100, 50) ]
+
+let prop_survivors_normalize =
+  QCheck.Test.make ~count:100 ~name:"survivor dist normalizes"
+    QCheck.(quad (int_range 0 2000) (int_range 0 2000) bool bool)
+    (fun (fa, fb, protected_, bernoulli) ->
+      let scenario = if protected_ then `Lru_protected else `Concurrent in
+      let alloc = if bernoulli then `Bernoulli else `Uniform in
+      let d = R.survivor_dist ~alloc ~cache ~fa ~fb ~scenario () in
+      M.approx_equal ~eps:1e-6 1.0 (D.total_mass d))
+
+let prop_misses_monotone_in_fb =
+  QCheck.Test.make ~count:50 ~name:"misses monotone in interference"
+    QCheck.(pair (int_range 1 500) (int_range 0 500))
+    (fun (fa, fb) ->
+      let m1 = R.misses_per_reuse ~cache ~fa ~fb ~scenario:`Lru_protected () in
+      let m2 = R.misses_per_reuse ~cache ~fa ~fb:(fb + 64) ~scenario:`Lru_protected () in
+      m2 >= m1 -. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "occupancy zero blocks" `Quick test_occupancy_zero_blocks;
+    Alcotest.test_case "Eq.8 normalizes" `Quick test_occupancy_normalizes;
+    Alcotest.test_case "Eq.9 mean small" `Quick test_occupancy_mean_small;
+    Alcotest.test_case "occupancy saturates at CA" `Quick
+      test_occupancy_saturates_at_associativity;
+    Alcotest.test_case "uniform occupancy exact" `Quick
+      test_uniform_occupancy_exact;
+    Alcotest.test_case "bernoulli vs uniform variance" `Quick
+      test_bernoulli_has_variance_uniform_does_not;
+    Alcotest.test_case "occupancy monotone" `Quick test_occupancy_monotone;
+    Alcotest.test_case "no interference" `Quick
+      test_no_interference_keeps_everything;
+    Alcotest.test_case "self overflow misses" `Quick test_self_overflow_misses;
+    Alcotest.test_case "interference increases misses" `Quick
+      test_interference_increases_misses;
+    Alcotest.test_case "Eq.13-14 normalize" `Quick test_survivor_dist_normalizes;
+    Alcotest.test_case "Eq.11 vs Eq.12 ordering" `Quick
+      test_lru_protected_vs_concurrent;
+    Alcotest.test_case "misses bounded by F_A" `Quick test_misses_bounded_by_fa;
+    Alcotest.test_case "blocks_of_bytes" `Quick test_blocks_of_bytes;
+    Alcotest.test_case "model tracks simulation" `Quick
+      test_model_tracks_simulation;
+    QCheck_alcotest.to_alcotest prop_survivors_normalize;
+    QCheck_alcotest.to_alcotest prop_misses_monotone_in_fb;
+  ]

@@ -1,0 +1,129 @@
+module R = Dvf_util.Rng
+
+let test_determinism () =
+  let a = R.create 42 and b = R.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.bits64 a) (R.bits64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = R.create 1 and b = R.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (R.bits64 a) (R.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = R.create 7 in
+  ignore (R.bits64 a);
+  let b = R.copy a in
+  let va = R.bits64 a and vb = R.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb
+
+let test_int_bounds () =
+  let t = R.create 3 in
+  for _ = 1 to 10_000 do
+    let v = R.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_bad_bound () =
+  let t = R.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (R.int t 0))
+
+let test_int_roughly_uniform () =
+  let t = R.create 11 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = R.int t 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d count %d near %d" i c expected)
+        true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+let test_float_bounds () =
+  let t = R.create 5 in
+  for _ = 1 to 10_000 do
+    let v = R.float t 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_gaussian_moments () =
+  let t = R.create 13 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let g = R.gaussian t in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) (Printf.sprintf "mean %.4f near 0" mean) true (abs_float mean < 0.02);
+  Alcotest.(check bool) (Printf.sprintf "var %.4f near 1" var) true (abs_float (var -. 1.0) < 0.03)
+
+let test_shuffle_is_permutation () =
+  let t = R.create 17 in
+  let a = Array.init 100 (fun i -> i) in
+  R.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let t = R.create 23 in
+  let s = R.sample_without_replacement t ~n:50 ~k:20 in
+  Alcotest.(check int) "size" 20 (Array.length s);
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 50);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ())
+    s
+
+let test_sample_full_population () =
+  let t = R.create 29 in
+  let s = R.sample_without_replacement t ~n:10 ~k:10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "covers population" (Array.init 10 (fun i -> i)) sorted
+
+let test_split_independent () =
+  let t = R.create 31 in
+  let child = R.split t in
+  (* Child and parent produce different streams. *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (R.bits64 t) (R.bits64 child)) then differs := true
+  done;
+  Alcotest.(check bool) "split differs from parent" true !differs
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick
+      test_different_seeds_differ;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int roughly uniform" `Quick test_int_roughly_uniform;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "shuffle is permutation" `Quick
+      test_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "sample full population" `Quick
+      test_sample_full_population;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+  ]

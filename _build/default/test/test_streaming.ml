@@ -1,0 +1,138 @@
+module S = Access_patterns.Streaming
+module M = Dvf_util.Maths
+
+let checkf ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let test_nonalignment_probability () =
+  (* Eq. 3. *)
+  checkf "E=8 CL=32" (7.0 /. 32.0) (S.nonalignment_probability ~elem_size:8 ~line:32);
+  checkf "E=32 CL=32" (31.0 /. 32.0) (S.nonalignment_probability ~elem_size:32 ~line:32);
+  checkf "E=33 CL=32" 0.0 (S.nonalignment_probability ~elem_size:33 ~line:32);
+  checkf "E=1 CL=32" 0.0 (S.nonalignment_probability ~elem_size:1 ~line:32)
+
+let test_accesses_per_element () =
+  (* Eq. 4 (ceil-corrected): AE = ceil(E/CL) + p. *)
+  checkf "E=64 CL=32" (2.0 +. (31.0 /. 32.0)) (S.accesses_per_element ~elem_size:64 ~line:32);
+  checkf "E=32 CL=32" (1.0 +. (31.0 /. 32.0)) (S.accesses_per_element ~elem_size:32 ~line:32);
+  (* Non-dividing element size: a 47-byte element spans 2 or 3 32-byte
+     lines (the paper's floor form would claim 1 or 2). *)
+  checkf "E=47 CL=32" (2.0 +. (14.0 /. 32.0)) (S.accesses_per_element ~elem_size:47 ~line:32);
+  checkf "E=8 CL=32" (1.0 +. (7.0 /. 32.0)) (S.accesses_per_element ~elem_size:8 ~line:32)
+
+let test_case1_strided_large_elements () =
+  (* CL <= E, S > E: accesses = ceil(D/S) * AE. *)
+  let t = S.make ~elem_size:64 ~elements:100 ~stride:2 () in
+  let line = 32 in
+  let d = 6400 and s = 128 in
+  let ae = S.accesses_per_element ~elem_size:64 ~line in
+  checkf "case 1 strided"
+    (float_of_int (M.cdiv d s) *. ae)
+    (S.main_memory_accesses ~line t)
+
+let test_case1_unit_stride () =
+  (* CL <= E, S = E: accesses = ceil(D/CL). *)
+  let t = S.make ~elem_size:64 ~elements:100 ~stride:1 () in
+  checkf "case 1 unit" (float_of_int (M.cdiv 6400 32))
+    (S.main_memory_accesses ~line:32 t)
+
+let test_case2 () =
+  (* E < CL <= S: ceil(D/S) * (1 + p). *)
+  let t = S.make ~elem_size:8 ~elements:200 ~stride:4 () in
+  (* D = 1600, S = 32 bytes, CL = 32 = S. *)
+  let p = S.nonalignment_probability ~elem_size:8 ~line:32 in
+  checkf "case 2" (float_of_int (M.cdiv 1600 32) *. (1.0 +. p))
+    (S.main_memory_accesses ~line:32 t)
+
+let test_case3 () =
+  (* S < CL: ceil(D/CL). *)
+  let t = S.make ~elem_size:4 ~elements:1000 ~stride:4 () in
+  (* S = 16 bytes < CL = 32. *)
+  checkf "case 3" (float_of_int (M.cdiv 4000 32))
+    (S.main_memory_accesses ~line:32 t)
+
+let test_empty_structure () =
+  let t = S.make ~elem_size:8 ~elements:0 ~stride:1 () in
+  checkf "empty" 0.0 (S.main_memory_accesses ~line:32 t)
+
+let test_writeback_doubles () =
+  let base = S.make ~elem_size:4 ~elements:1000 ~stride:1 () in
+  let wb = S.make ~writeback:true ~elem_size:4 ~elements:1000 ~stride:1 () in
+  checkf "writeback doubles"
+    (2.0 *. S.main_memory_accesses ~line:32 base)
+    (S.main_memory_accesses ~line:32 wb)
+
+let test_validation () =
+  Alcotest.check_raises "bad elem" (Invalid_argument "Streaming.make: elem_size <= 0")
+    (fun () -> ignore (S.make ~elem_size:0 ~elements:1 ~stride:1 ()));
+  Alcotest.check_raises "bad stride" (Invalid_argument "Streaming.make: stride <= 0")
+    (fun () -> ignore (S.make ~elem_size:1 ~elements:1 ~stride:0 ()))
+
+(* Simulate an aligned streaming traverse through the cache simulator and
+   compare.  Our simulated base is line-aligned, so the model's alignment
+   term p can make it differ by at most one line per visited element. *)
+let simulate_streaming ~cache t =
+  let c = Cachesim.Cache.create cache in
+  let visited = S.touched_elements t in
+  let sbytes = S.stride_bytes t in
+  for i = 0 to visited - 1 do
+    Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(i * sbytes)
+      ~size:t.S.elem_size
+  done;
+  let stats = Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1 in
+  float_of_int stats.Cachesim.Stats.misses
+
+let test_model_close_to_simulation () =
+  List.iter
+    (fun (e, n, s) ->
+      let t = S.make ~elem_size:e ~elements:n ~stride:s () in
+      let cache = Cachesim.Config.small_verification in
+      let sim = simulate_streaming ~cache t in
+      let model = S.main_memory_accesses ~line:cache.Cachesim.Config.line t in
+      let slack = float_of_int (S.touched_elements t) +. 2.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "E=%d N=%d S=%d: model %.1f sim %.1f" e n s model sim)
+        true
+        (abs_float (model -. sim) <= slack))
+    [ (4, 1000, 1); (4, 1000, 4); (8, 500, 2); (64, 100, 1); (64, 100, 2);
+      (16, 300, 3); (32, 128, 1); (128, 64, 1) ]
+
+let prop_model_vs_simulation =
+  QCheck.Test.make ~count:100 ~name:"streaming model within a line/element of LRU sim"
+    QCheck.(triple (int_range 1 128) (int_range 1 2000) (int_range 1 8))
+    (fun (e, n, s) ->
+      let t = S.make ~elem_size:e ~elements:n ~stride:s () in
+      let cache = Cachesim.Config.small_verification in
+      let sim = simulate_streaming ~cache t in
+      let model = S.main_memory_accesses ~line:cache.Cachesim.Config.line t in
+      abs_float (model -. sim) <= float_of_int (S.touched_elements t) +. 2.0)
+
+let prop_monotone_in_elements =
+  QCheck.Test.make ~count:100 ~name:"streaming accesses monotone in N"
+    QCheck.(triple (int_range 1 64) (int_range 1 1000) (int_range 1 8))
+    (fun (e, n, s) ->
+      let t1 = S.make ~elem_size:e ~elements:n ~stride:s () in
+      let t2 = S.make ~elem_size:e ~elements:(2 * n) ~stride:s () in
+      S.main_memory_accesses ~line:32 t2 >= S.main_memory_accesses ~line:32 t1)
+
+let suite =
+  [
+    Alcotest.test_case "Eq.3 nonalignment probability" `Quick
+      test_nonalignment_probability;
+    Alcotest.test_case "Eq.4 accesses per element" `Quick
+      test_accesses_per_element;
+    Alcotest.test_case "case 1 strided" `Quick test_case1_strided_large_elements;
+    Alcotest.test_case "case 1 unit stride" `Quick test_case1_unit_stride;
+    Alcotest.test_case "case 2" `Quick test_case2;
+    Alcotest.test_case "case 3" `Quick test_case3;
+    Alcotest.test_case "empty structure" `Quick test_empty_structure;
+    Alcotest.test_case "writeback doubles" `Quick test_writeback_doubles;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "model close to simulation" `Quick
+      test_model_close_to_simulation;
+    QCheck_alcotest.to_alcotest prop_model_vs_simulation;
+    QCheck_alcotest.to_alcotest prop_monotone_in_elements;
+  ]

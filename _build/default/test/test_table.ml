@@ -1,0 +1,95 @@
+module T = Dvf_util.Table
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let test_render_basic () =
+  let t = T.create [ ("name", T.Left); ("value", T.Right) ] in
+  T.add_row t [ "alpha"; "1" ];
+  T.add_row t [ "b"; "22" ];
+  let out = T.render t in
+  Alcotest.(check bool) "has header cells" true
+    (contains_substring out "name" && contains_substring out "value");
+  Alcotest.(check bool) "has data" true
+    (contains_substring out "alpha" && contains_substring out "22")
+
+let test_title_rendered () =
+  let t = T.create ~title:"Table IV" [ ("c", T.Left) ] in
+  T.add_row t [ "x" ];
+  Alcotest.(check bool) "title first" true
+    (contains_substring (T.render t) "Table IV")
+
+let test_alignment () =
+  let t = T.create [ ("l", T.Left); ("r", T.Right) ] in
+  T.add_row t [ "x"; "1" ];
+  let out = T.render t in
+  let row_line =
+    List.find
+      (fun l -> String.length l > 0 && l.[0] = '|' && String.contains l 'x')
+      (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "x before 1" true
+    (String.index row_line 'x' < String.index row_line '1')
+
+let test_right_alignment_pads_left () =
+  let t = T.create [ ("wide", T.Right) ] in
+  T.add_row t [ "1" ];
+  let out = T.render t in
+  (* The cell "1" in a 4-wide column must be right aligned: "   1". *)
+  Alcotest.(check bool) "right aligned" true (contains_substring out "   1 |")
+
+let test_wrong_arity_rejected () =
+  let t = T.create [ ("a", T.Left); ("b", T.Left) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      T.add_row t [ "only one" ])
+
+let test_csv () =
+  let t = T.create [ ("k", T.Left); ("v", T.Right) ] in
+  T.add_row t [ "plain"; "1" ];
+  T.add_row t [ "with,comma"; "2" ];
+  T.add_row t [ "with\"quote"; "3" ];
+  let csv = T.to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "header" "k,v" (List.nth lines 0);
+  Alcotest.(check string) "plain" "plain,1" (List.nth lines 1);
+  Alcotest.(check string) "comma quoted" "\"with,comma\",2" (List.nth lines 2);
+  Alcotest.(check string) "quote escaped" "\"with\"\"quote\",3" (List.nth lines 3)
+
+let test_cell_float () =
+  Alcotest.(check string) "zero" "0" (T.cell_float 0.0);
+  Alcotest.(check string) "integer" "42" (T.cell_float 42.0);
+  Alcotest.(check bool) "big uses e-notation" true
+    (String.contains (T.cell_float 1.5e12) 'e');
+  Alcotest.(check bool) "tiny uses e-notation" true
+    (String.contains (T.cell_float 1.5e-7) 'e')
+
+let test_separator_renders () =
+  let t = T.create [ ("c", T.Left) ] in
+  T.add_row t [ "a" ];
+  T.add_sep t;
+  T.add_row t [ "b" ];
+  let out = T.render t in
+  (* top + header sep + inner sep + bottom = 4 horizontal rules *)
+  let rules =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] = '+')
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "rules" 4 rules
+
+let suite =
+  [
+    Alcotest.test_case "render basic" `Quick test_render_basic;
+    Alcotest.test_case "title rendered" `Quick test_title_rendered;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "right alignment pads" `Quick
+      test_right_alignment_pads_left;
+    Alcotest.test_case "wrong arity rejected" `Quick test_wrong_arity_rejected;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "cell_float formats" `Quick test_cell_float;
+    Alcotest.test_case "separators" `Quick test_separator_renders;
+  ]

@@ -1,0 +1,143 @@
+module Mt = Memtrace
+
+let test_region_layout_disjoint () =
+  let reg = Mt.Region.create () in
+  let a = Mt.Region.register reg ~name:"A" ~elements:100 ~elem_size:8 in
+  let b = Mt.Region.register reg ~name:"B" ~elements:50 ~elem_size:4 in
+  let a_end = a.Mt.Region.base + a.Mt.Region.bytes in
+  Alcotest.(check bool) "disjoint" true (b.Mt.Region.base >= a_end);
+  Alcotest.(check bool) "line aligned" true (a.Mt.Region.base mod 64 = 0);
+  Alcotest.(check bool) "set-decorrelated" true
+    (a.Mt.Region.base mod 2048 <> b.Mt.Region.base mod 2048);
+  Alcotest.(check bool) "nonzero base" true (a.Mt.Region.base > 0)
+
+let test_region_duplicate_name_rejected () =
+  let reg = Mt.Region.create () in
+  ignore (Mt.Region.register reg ~name:"A" ~elements:1 ~elem_size:1);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Region.register: duplicate region name A") (fun () ->
+      ignore (Mt.Region.register reg ~name:"A" ~elements:1 ~elem_size:1))
+
+let test_region_lookup () =
+  let reg = Mt.Region.create () in
+  let a = Mt.Region.register reg ~name:"A" ~elements:10 ~elem_size:8 in
+  Alcotest.(check int) "lookup by name" a.Mt.Region.id
+    (Mt.Region.lookup reg "A").Mt.Region.id;
+  Alcotest.(check string) "owner name" "A" (Mt.Region.owner_name reg a.Mt.Region.id);
+  Alcotest.(check string) "unknown owner" "<anon:99>" (Mt.Region.owner_name reg 99)
+
+let test_elem_addr () =
+  let reg = Mt.Region.create () in
+  let a = Mt.Region.register reg ~name:"A" ~elements:10 ~elem_size:8 in
+  Alcotest.(check int) "elem 0" a.Mt.Region.base (Mt.Region.elem_addr a 0);
+  Alcotest.(check int) "elem 3" (a.Mt.Region.base + 24) (Mt.Region.elem_addr a 3);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Region.elem_addr: index 10 out of A") (fun () ->
+      ignore (Mt.Region.elem_addr a 10))
+
+let test_recorder_fanout () =
+  let rec_ = Mt.Recorder.create () in
+  let sink1, get1 = Mt.Recorder.buffer_sink () in
+  let sink2, count2 = Mt.Recorder.counting_sink () in
+  Mt.Recorder.add_sink rec_ sink1;
+  Mt.Recorder.add_sink rec_ sink2;
+  Mt.Recorder.read rec_ ~owner:1 ~addr:100 ~size:8;
+  Mt.Recorder.write rec_ ~owner:2 ~addr:200 ~size:4;
+  let events = get1 () in
+  Alcotest.(check int) "buffered" 2 (List.length events);
+  Alcotest.(check int) "counted" 2 (count2 ());
+  Alcotest.(check int) "emitted" 2 (Mt.Recorder.events_emitted rec_);
+  let first = List.hd events in
+  Alcotest.(check bool) "first is read" false first.Mt.Event.write;
+  Alcotest.(check int) "first addr" 100 first.Mt.Event.addr
+
+let test_tracked_get_set () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let sink, get = Mt.Recorder.buffer_sink () in
+  Mt.Recorder.add_sink rec_ sink;
+  let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:8 10 0.0 in
+  Mt.Tracked.set arr 3 1.5;
+  Alcotest.(check (float 0.0)) "get returns value" 1.5 (Mt.Tracked.get arr 3);
+  let events = get () in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  let w = List.nth events 0 and r = List.nth events 1 in
+  Alcotest.(check bool) "write event" true w.Mt.Event.write;
+  Alcotest.(check bool) "read event" false r.Mt.Event.write;
+  let region = Mt.Tracked.region arr in
+  Alcotest.(check int) "addr of elem 3"
+    (Mt.Region.elem_addr region 3)
+    w.Mt.Event.addr
+
+let test_tracked_silent_ops_untraced () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:4 5 0 in
+  Mt.Tracked.set_silent arr 0 42;
+  Alcotest.(check int) "silent get" 42 (Mt.Tracked.get_silent arr 0);
+  Alcotest.(check int) "no events" 0 (Mt.Recorder.events_emitted rec_)
+
+let test_tracked_init_untraced () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let arr = Mt.Tracked.init reg rec_ ~name:"X" ~elem_size:4 100 (fun i -> i * i) in
+  Alcotest.(check int) "initialized" 81 (Mt.Tracked.get_silent arr 9);
+  Alcotest.(check int) "init untraced" 0 (Mt.Recorder.events_emitted rec_)
+
+let test_tracked_touch () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let sink, get = Mt.Recorder.buffer_sink () in
+  Mt.Recorder.add_sink rec_ sink;
+  let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:32 4 () in
+  Mt.Tracked.touch arr 2;
+  match get () with
+  | [ e ] ->
+      Alcotest.(check bool) "is read" false e.Mt.Event.write;
+      Alcotest.(check int) "size is elem_size" 32 e.Mt.Event.size
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_cache_sink_integration () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let cache = Cachesim.Cache.create Cachesim.Config.small_verification in
+  Mt.Recorder.add_sink rec_ (Mt.Recorder.cache_sink cache);
+  let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:8 16 0.0 in
+  (* Two sequential passes: first all misses (4 lines of 32 B hold 16
+     8-byte elements), second all hits. *)
+  for _pass = 1 to 2 do
+    for i = 0 to 15 do
+      ignore (Mt.Tracked.get arr i)
+    done
+  done;
+  let owner = (Mt.Tracked.region arr).Mt.Region.id in
+  let c = Cachesim.Stats.owner_counters (Cachesim.Cache.stats cache) owner in
+  Alcotest.(check int) "misses" 4 c.Cachesim.Stats.misses;
+  Alcotest.(check int) "hits" 28 c.Cachesim.Stats.hits
+
+let test_to_array_snapshot () =
+  let reg = Mt.Region.create () in
+  let rec_ = Mt.Recorder.create () in
+  let arr = Mt.Tracked.init reg rec_ ~name:"X" ~elem_size:4 3 (fun i -> i) in
+  let snap = Mt.Tracked.to_array arr in
+  Mt.Tracked.set_silent arr 0 99;
+  Alcotest.(check int) "snapshot unaffected" 0 snap.(0)
+
+let suite =
+  [
+    Alcotest.test_case "region layout disjoint" `Quick
+      test_region_layout_disjoint;
+    Alcotest.test_case "duplicate name rejected" `Quick
+      test_region_duplicate_name_rejected;
+    Alcotest.test_case "region lookup" `Quick test_region_lookup;
+    Alcotest.test_case "elem_addr" `Quick test_elem_addr;
+    Alcotest.test_case "recorder fanout" `Quick test_recorder_fanout;
+    Alcotest.test_case "tracked get/set traced" `Quick test_tracked_get_set;
+    Alcotest.test_case "silent ops untraced" `Quick
+      test_tracked_silent_ops_untraced;
+    Alcotest.test_case "init untraced" `Quick test_tracked_init_untraced;
+    Alcotest.test_case "touch" `Quick test_tracked_touch;
+    Alcotest.test_case "cache sink integration" `Quick
+      test_cache_sink_integration;
+    Alcotest.test_case "to_array snapshot" `Quick test_to_array_snapshot;
+  ]

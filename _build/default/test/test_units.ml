@@ -1,0 +1,77 @@
+module U = Dvf_util.Units
+module M = Dvf_util.Maths
+
+let checkf ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.12g got %.12g" msg expected actual)
+    true
+    (M.approx_equal ~eps expected actual)
+
+let test_byte_conversions () =
+  Alcotest.(check int) "8KB" 8192 (U.bytes_of_kib 8);
+  Alcotest.(check int) "4MB" 4194304 (U.bytes_of_mib 4)
+
+let test_mbit () =
+  (* 1e6 bytes = 8 Mbit (decimal). *)
+  checkf "mbit" 8.0 (U.mbit_of_bytes 1_000_000);
+  checkf "125000 bytes = 1 Mbit" 1.0 (U.mbit_of_bytes 125_000)
+
+let test_hours () = checkf "hours" 1.0 (U.hours_of_seconds 3600.0)
+
+let test_expected_errors () =
+  (* FIT 5000, 1 hour, 1 Mbit => 5000 / 1e9 failures. *)
+  checkf "N_error" (5000.0 /. 1.0e9)
+    (U.expected_errors ~fit:5000.0 ~seconds:3600.0 ~bytes:125_000)
+
+let test_expected_errors_scales_linearly () =
+  let base = U.expected_errors ~fit:100.0 ~seconds:10.0 ~bytes:1000 in
+  checkf "2x fit" (2.0 *. base)
+    (U.expected_errors ~fit:200.0 ~seconds:10.0 ~bytes:1000);
+  checkf "2x time" (2.0 *. base)
+    (U.expected_errors ~fit:100.0 ~seconds:20.0 ~bytes:1000);
+  checkf "2x size" (2.0 *. base)
+    (U.expected_errors ~fit:100.0 ~seconds:10.0 ~bytes:2000)
+
+let test_expected_errors_rejects_negative () =
+  Alcotest.check_raises "negative fit"
+    (Invalid_argument "Units.expected_errors: negative FIT") (fun () ->
+      ignore (U.expected_errors ~fit:(-1.0) ~seconds:1.0 ~bytes:1))
+
+let test_pp_bytes () =
+  let s b = Format.asprintf "%a" U.pp_bytes b in
+  Alcotest.(check string) "bytes" "100B" (s 100);
+  Alcotest.(check string) "kb" "8KB" (s 8192);
+  Alcotest.(check string) "mb" "4MB" (s 4194304);
+  Alcotest.(check string) "odd" "1025B" (s 1025)
+
+let test_parse_size () =
+  Alcotest.(check (option int)) "plain" (Some 512) (U.parse_size "512");
+  Alcotest.(check (option int)) "b" (Some 512) (U.parse_size "512B");
+  Alcotest.(check (option int)) "kb" (Some 8192) (U.parse_size "8KB");
+  Alcotest.(check (option int)) "kb lower" (Some 8192) (U.parse_size "8kb");
+  Alcotest.(check (option int)) "mb" (Some 4194304) (U.parse_size "4MB");
+  Alcotest.(check (option int)) "junk" None (U.parse_size "MB");
+  Alcotest.(check (option int)) "bad suffix" None (U.parse_size "4XB")
+
+let test_parse_render_roundtrip () =
+  List.iter
+    (fun b ->
+      let s = Format.asprintf "%a" U.pp_bytes b in
+      Alcotest.(check (option int)) ("roundtrip " ^ s) (Some b) (U.parse_size s))
+    [ 1; 100; 1024; 8192; 4194304; 7; 123456 ]
+
+let suite =
+  [
+    Alcotest.test_case "byte conversions" `Quick test_byte_conversions;
+    Alcotest.test_case "mbit" `Quick test_mbit;
+    Alcotest.test_case "hours" `Quick test_hours;
+    Alcotest.test_case "expected errors" `Quick test_expected_errors;
+    Alcotest.test_case "expected errors linear" `Quick
+      test_expected_errors_scales_linearly;
+    Alcotest.test_case "expected errors rejects negative" `Quick
+      test_expected_errors_rejects_negative;
+    Alcotest.test_case "pp_bytes" `Quick test_pp_bytes;
+    Alcotest.test_case "parse_size" `Quick test_parse_size;
+    Alcotest.test_case "parse/render roundtrip" `Quick
+      test_parse_render_roundtrip;
+  ]
