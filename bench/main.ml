@@ -4,10 +4,13 @@
    analytical models against the cache simulator with bechamel (the
    paper's "evaluation cost at the granularity of seconds" claim).
 
-   Usage: dune exec bench/main.exe [-- section ...]
+   Usage: dune exec bench/main.exe [-- section ... [-j N]]
    where section is one of: tables fig4 fig5 fig6 fig7 sweep ablation
    sparse component inject aspen speed.
-   With no arguments every section runs. *)
+   With no sections every section runs.  [-j N] (or [--jobs N]) sets the
+   domain count for the parallel sections (fig4, fig6, sweep); the default
+   is Domain.recommended_domain_count, and [-j 1] forces the serial
+   path. *)
 
 let section_header title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -24,9 +27,9 @@ let run_tables () =
 
 (* --- Fig. 4: model verification --- *)
 
-let run_fig4 () =
+let run_fig4 ~jobs () =
   section_header "Fig. 4 - Model verification (trace-driven simulation vs CGPMAC)";
-  let rows = Core.Verify.run_all () in
+  let rows = Core.Verify.run_all ~jobs () in
   Dvf_util.Table.print (Core.Verify.to_table rows);
   let summary =
     Dvf_util.Table.create ~title:"Aggregate (total-traffic) error per kernel"
@@ -84,9 +87,9 @@ let run_fig5 () =
 
 (* --- Fig. 6: CG vs PCG --- *)
 
-let run_fig6 () =
+let run_fig6 ~jobs () =
   section_header "Fig. 6 - Algorithm optimization (CG vs PCG)";
-  let rows = Core.Experiments.fig6 () in
+  let rows = Core.Experiments.fig6 ~jobs () in
   Dvf_util.Table.print (Core.Experiments.fig6_table rows);
   let crossover =
     List.find_opt
@@ -256,12 +259,12 @@ let run_ablation () =
 
 (* --- Cache-capacity sweep (Fig. 5's x-axis at full resolution) --- *)
 
-let run_sweep () =
+let run_sweep ~jobs () =
   section_header "Cache-capacity sweep (DVF_a, 4KB..16MB, 8-way, 64B lines)";
   List.iter
     (fun kernel ->
       let instance = Core.Workloads.profiling_instance kernel in
-      let rows = Core.Experiments.cache_sweep instance in
+      let rows = Core.Experiments.cache_sweep ~jobs instance in
       Dvf_util.Table.print
         (Core.Experiments.cache_sweep_table
            ~label:instance.Core.Workloads.label rows))
@@ -529,26 +532,52 @@ let run_speed () =
 
 let sections =
   [
-    ("tables", run_tables); ("fig4", run_fig4); ("fig5", run_fig5);
-    ("fig6", run_fig6); ("fig7", run_fig7); ("sweep", run_sweep);
-    ("ablation", run_ablation);
-    ("sparse", run_sparse); ("component", run_component);
-    ("inject", run_inject);
-    ("aspen", run_aspen); ("speed", run_speed);
+    ("tables", fun ~jobs:_ () -> run_tables ());
+    ("fig4", run_fig4);
+    ("fig5", fun ~jobs:_ () -> run_fig5 ());
+    ("fig6", run_fig6);
+    ("fig7", fun ~jobs:_ () -> run_fig7 ());
+    ("sweep", run_sweep);
+    ("ablation", fun ~jobs:_ () -> run_ablation ());
+    ("sparse", fun ~jobs:_ () -> run_sparse ());
+    ("component", fun ~jobs:_ () -> run_component ());
+    ("inject", fun ~jobs:_ () -> run_inject ());
+    ("aspen", fun ~jobs:_ () -> run_aspen ());
+    ("speed", fun ~jobs:_ () -> run_speed ());
   ]
 
+let usage_error message =
+  Printf.eprintf "%s (available sections: %s)\n" message
+    (String.concat " " (List.map fst sections));
+  exit 1
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+  (* Parse [-j N]/[--jobs N] out of the argument list; the rest are section
+     names.  Validate every section up front so a typo exits non-zero
+     before anything runs, instead of failing halfway through a sweep. *)
+  let jobs = ref (Dvf_util.Parallel.recommended_jobs ()) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some n when n > 0 ->
+            jobs := n;
+            parse acc rest
+        | _ -> usage_error (Printf.sprintf "bad job count %S" value))
+    | [ ("-j" | "--jobs") ] -> usage_error "-j expects a positive integer"
+    | name :: rest -> parse (name :: acc) rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some run -> run ()
-      | None ->
-          Printf.eprintf "unknown section '%s' (available: %s)\n" name
-            (String.concat " " (List.map fst sections));
-          exit 1)
-    requested
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | names -> names
+  in
+  let runs =
+    List.map
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some run -> run
+        | None -> usage_error (Printf.sprintf "unknown section '%s'" name))
+      requested
+  in
+  List.iter (fun run -> run ~jobs:!jobs ()) runs

@@ -114,16 +114,33 @@ let kernel_pos_args =
   let doc = "Kernels (default: all six)." in
   Arg.(value & pos_all kernel_conv Core.Workloads.all & info [] ~docv:"KERNEL" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel sweeps (default: the runtime's \
+     recommended domain count).  $(b,-j 1) forces the serial path."
+  in
+  Arg.(
+    value
+    & opt int (Dvf_util.Parallel.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs <= 0 then begin
+    Printf.eprintf "error: -j expects a positive integer (got %d)\n" jobs;
+    exit 1
+  end;
+  jobs
+
 let verify_cmd =
   let kernels = kernel_pos_args in
-  let run kernels =
-    let rows = Core.Verify.run_all ~kernels () in
+  let run jobs kernels =
+    let rows = Core.Verify.run_all ~jobs:(check_jobs jobs) ~kernels () in
     Dvf_util.Table.print (Core.Verify.to_table rows)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
-    Term.(const run $ kernels)
+    Term.(const run $ jobs_arg $ kernels)
 
 (* --- figure/table reproductions --- *)
 
@@ -143,8 +160,14 @@ let fig5_cmd =
       Dvf_util.Table.print (Core.Profile.to_table (Core.Profile.run_all ())))
 
 let fig6_cmd =
-  simple_cmd "fig6" "CG vs PCG vulnerability over problem size" (fun () ->
-      Dvf_util.Table.print (Core.Experiments.fig6_table (Core.Experiments.fig6 ())))
+  let run jobs =
+    Dvf_util.Table.print
+      (Core.Experiments.fig6_table
+         (Core.Experiments.fig6 ~jobs:(check_jobs jobs) ()))
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"CG vs PCG vulnerability over problem size")
+    Term.(const run $ jobs_arg)
 
 let fig7_cmd =
   simple_cmd "fig7" "DVF vs ECC performance degradation" (fun () ->

@@ -21,6 +21,18 @@ let log2 n =
 
 let create config =
   let open Config in
+  (* [Config.make] already enforces power-of-two geometry; re-check here
+     because [line_shift]/[set_mask] silently mis-index otherwise, and a
+     loud failure beats a subtly wrong simulation if the smart constructor
+     is ever bypassed. *)
+  if not (Config.is_power_of_two config.sets) then
+    invalid_arg
+      (Printf.sprintf "Cache.create: sets must be a power of two (got %d)"
+         config.sets);
+  if not (Config.is_power_of_two config.line) then
+    invalid_arg
+      (Printf.sprintf "Cache.create: line must be a power of two (got %d)"
+         config.line);
   let slots = config.associativity * config.sets in
   {
     config;

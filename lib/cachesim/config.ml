@@ -7,12 +7,24 @@ type t = {
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
+(* The simulator indexes sets with [line land (sets - 1)] and splits
+   references with a line-size shift, so non-power-of-two [sets] or [line]
+   would silently alias sets and split lines inconsistently.  Reject them
+   here, with the offending value in the message, so every construction
+   site fails loudly instead. *)
 let make ~name ~associativity ~sets ~line =
-  if associativity <= 0 then invalid_arg "Config.make: associativity <= 0";
+  if associativity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Config.make: associativity must be positive (got %d)"
+         associativity);
   if not (is_power_of_two sets) then
-    invalid_arg "Config.make: sets must be a positive power of two";
+    invalid_arg
+      (Printf.sprintf "Config.make: sets must be a positive power of two (got %d)"
+         sets);
   if not (is_power_of_two line) then
-    invalid_arg "Config.make: line must be a positive power of two";
+    invalid_arg
+      (Printf.sprintf "Config.make: line must be a positive power of two (got %d)"
+         line);
   { name; associativity; sets; line }
 
 let capacity t = t.associativity * t.sets * t.line

@@ -20,8 +20,13 @@ type t = private {
 
 val make : name:string -> associativity:int -> sets:int -> line:int -> t
 (** Validates positivity of all fields and power-of-two constraints on
-    [sets] and [line]; raises [Invalid_argument] otherwise.  Associativity
-    need not be a power of two (Table IV uses 6-way). *)
+    [sets] and [line]; raises [Invalid_argument] (naming the offending
+    value) otherwise.  Associativity need not be a power of two (Table IV
+    uses 6-way).  The constraints are load-bearing: {!Cache.create}
+    derives a mask from [sets] and a shift from [line]. *)
+
+val is_power_of_two : int -> bool
+(** [true] iff the argument is a positive power of two. *)
 
 val capacity : t -> int
 (** [Cc = CA * NA * CL] in bytes. *)

@@ -83,6 +83,28 @@ let owners t =
   Array.iteri (fun i c -> if not (is_empty c) then acc := i :: !acc) t.cells;
   List.rev !acc
 
+(* Cross-domain aggregation: a parallel sweep runs one cache (and thus one
+   stats record) per domain; [merge] folds a worker's counters into an
+   accumulator after the domains join.  Addition is commutative, so the
+   merged totals are independent of worker scheduling. *)
+let merge ~into src =
+  Array.iteri
+    (fun owner (s : cell) ->
+      if not (is_empty s) then begin
+        let c = ensure into owner in
+        c.reads <- c.reads + s.reads;
+        c.writes <- c.writes + s.writes;
+        c.hits <- c.hits + s.hits;
+        c.misses <- c.misses + s.misses;
+        c.writebacks <- c.writebacks + s.writebacks
+      end)
+    src.cells
+
+let sum stats =
+  let acc = create () in
+  List.iter (fun s -> merge ~into:acc s) stats;
+  acc
+
 let reset t =
   Array.iter
     (fun (c : cell) ->

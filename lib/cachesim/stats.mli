@@ -33,4 +33,12 @@ val total_main_memory_accesses : t -> int
 val owners : t -> int list
 (** Owners with at least one recorded event, ascending. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every counter of [src] into [into].  Used to
+    aggregate the per-domain caches of a parallel sweep after the worker
+    domains join; addition commutes, so the result is schedule-independent. *)
+
+val sum : t list -> t
+(** Fresh statistics holding the element-wise sum of the inputs. *)
+
 val reset : t -> unit

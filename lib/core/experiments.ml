@@ -10,10 +10,22 @@ type fig6_row = {
   pcg_dvf : float;
 }
 
-let fig6 ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
+(* Sweep points are independent (each builds its own solvers and specs),
+   so both fig6 and cache_sweep fan out over a domain pool.  [jobs = 1]
+   (or an empty pool budget) degrades to List.map in the calling domain;
+   Parallel.map_list preserves order either way. *)
+let sweep_map ?jobs f xs =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  if jobs <= 1 then List.map f xs else Dvf_util.Parallel.map_list ~jobs f xs
+
+let fig6 ?jobs ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
     ?(cache = Cachesim.Config.profiling_8mb)
     ?(sizes = [ 100; 200; 300; 400; 500; 600; 700; 800 ]) () =
-  List.map
+  sweep_map ?jobs
     (fun n ->
       let cg_params = Kernels.Cg.make_params ~max_iterations:5000 ~tolerance:1e-8 n in
       let pcg_params =
@@ -128,8 +140,9 @@ type sweep_row = {
   dvf_a : float;
 }
 
-let cache_sweep ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
-    ?(line = 64) ?(associativity = 8) ?capacities (instance : Workloads.instance) =
+let cache_sweep ?jobs ?(machine = Perf.default_machine)
+    ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64) ?(associativity = 8) ?capacities
+    (instance : Workloads.instance) =
   let capacities =
     match capacities with
     | Some c -> c
@@ -139,7 +152,7 @@ let cache_sweep ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
         in
         doubling [] 4096
   in
-  List.map
+  sweep_map ?jobs
     (fun capacity ->
       let sets = capacity / (associativity * line) in
       if sets <= 0 then invalid_arg "Experiments.cache_sweep: capacity too small";

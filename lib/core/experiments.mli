@@ -21,13 +21,15 @@ type fig6_row = {
 }
 
 val fig6 :
-  ?machine:Perf.machine -> ?fit:float -> ?cache:Cachesim.Config.t ->
-  ?sizes:int list -> unit -> fig6_row list
+  ?jobs:int -> ?machine:Perf.machine -> ?fit:float ->
+  ?cache:Cachesim.Config.t -> ?sizes:int list -> unit -> fig6_row list
 (** Sweep problem sizes (default 100..800 in steps of 100, the paper's
     x-axis) solving the same SPD system with CG and Jacobi-PCG (dense
     auxiliary M, per Algorithm 5); iteration counts are measured on the
     real solvers, times come from the roofline model, cache defaults to
-    the largest Table IV configuration (as in §V). *)
+    the largest Table IV configuration (as in §V).  [jobs] (default
+    [Domain.recommended_domain_count ()]) runs the independent sweep
+    points on that many domains; output order is unchanged. *)
 
 val fig6_table : fig6_row list -> Dvf_util.Table.t
 
@@ -55,12 +57,13 @@ type sweep_row = {
 }
 
 val cache_sweep :
-  ?machine:Perf.machine -> ?fit:float -> ?line:int -> ?associativity:int ->
-  ?capacities:int list -> Workloads.instance -> sweep_row list
+  ?jobs:int -> ?machine:Perf.machine -> ?fit:float -> ?line:int ->
+  ?associativity:int -> ?capacities:int list -> Workloads.instance ->
+  sweep_row list
 (** Generalization of Fig. 5's x-axis: DVF_a of one application over a
     continuous range of cache capacities (default 4 KB .. 16 MB doubling,
     8-way, 64 B lines).  Exposes each kernel's working-set cliffs at full
-    resolution instead of Table IV's four points. *)
+    resolution instead of Table IV's four points.  [jobs] as in {!fig6}. *)
 
 val cache_sweep_table : label:string -> sweep_row list -> Dvf_util.Table.t
 

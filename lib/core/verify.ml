@@ -13,10 +13,12 @@ let error row =
 
 let verify_instance ~cache (instance : Workloads.instance) =
   let registry = Memtrace.Region.create () in
-  let recorder = Memtrace.Recorder.create () in
+  let recorder = Memtrace.Recorder.buffered () in
   let sim_cache = Cachesim.Cache.create cache in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink sim_cache);
+  Memtrace.Recorder.add_batch_sink recorder
+    (Memtrace.Recorder.cache_batch_sink sim_cache);
   instance.Workloads.trace registry recorder;
+  Memtrace.Recorder.flush recorder;
   Cachesim.Cache.flush sim_cache;
   let stats = Cachesim.Cache.stats sim_cache in
   let modeled =
@@ -33,14 +35,46 @@ let verify_instance ~cache (instance : Workloads.instance) =
         modeled = model_value })
     modeled
 
-let run_all ?(kernels = Workloads.all) () =
-  List.concat_map
-    (fun kernel ->
-      let instance = Workloads.verification_instance kernel in
-      List.concat_map
-        (fun cache -> verify_instance ~cache instance)
-        Cachesim.Config.verification_set)
-    kernels
+(* Every kernel x cache job owns a private registry/recorder/cache (all
+   mutable), so jobs share nothing and the parallel sweep is bit-identical
+   to the serial one.  [Parallel.map_list] preserves input order; the
+   serial path below enumerates kernels (outer) then caches (inner), and
+   the parallel path enumerates the same pairs in the same order. *)
+let run_all ?jobs ?(kernels = Workloads.all) () =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  if jobs <= 1 then
+    List.concat_map
+      (fun kernel ->
+        let instance = Workloads.verification_instance kernel in
+        List.concat_map
+          (fun cache -> verify_instance ~cache instance)
+          Cachesim.Config.verification_set)
+      kernels
+  else
+    Dvf_util.Parallel.with_pool ~jobs (fun pool ->
+        (* Building an instance runs the kernel untraced (to learn its
+           iteration count); parallelize that too, then fan out over the
+           kernel x cache cross product. *)
+        let instances =
+          Dvf_util.Parallel.Pool.map_list pool Workloads.verification_instance
+            kernels
+        in
+        let pairs =
+          List.concat_map
+            (fun instance ->
+              List.map
+                (fun cache -> (instance, cache))
+                Cachesim.Config.verification_set)
+            instances
+        in
+        List.concat
+          (Dvf_util.Parallel.Pool.map_list pool
+             (fun (instance, cache) -> verify_instance ~cache instance)
+             pairs))
 
 let kernel_error ~rows kernel cache =
   let relevant =

@@ -20,9 +20,15 @@ val verify_instance :
   cache:Cachesim.Config.t -> Workloads.instance -> row list
 (** One kernel instance against one cache configuration. *)
 
-val run_all : ?kernels:Workloads.kernel list -> unit -> row list
+val run_all : ?jobs:int -> ?kernels:Workloads.kernel list -> unit -> row list
 (** Fig. 4: every kernel (Table V sizes) against both verification cache
-    configurations.  [kernels] defaults to all six. *)
+    configurations.  [kernels] defaults to all six.
+
+    [jobs] (default [Domain.recommended_domain_count ()]) spreads the
+    independent kernel x cache simulations over that many domains; each
+    job owns its private region registry, recorder and cache, so the rows
+    are identical to the serial run in value and order.  [jobs = 1] takes
+    the serial code path exactly. *)
 
 val kernel_error :
   rows:row list -> Workloads.kernel -> Cachesim.Config.t -> float

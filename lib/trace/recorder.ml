@@ -1,14 +1,92 @@
 type sink = Event.t -> unit
+type batch_sink = Event.t array -> int -> unit
 
-type t = { mutable sinks : sink list; mutable count : int }
+(* Sinks live in growable arrays (doubling, amortized O(1) append) kept in
+   registration order — the old [sinks <- sinks @ [sink]] was O(n^2) across
+   many registrations and the list traversal sat on the hot emit path.
 
-let create () = { sinks = []; count = 0 }
+   A recorder may also buffer: events accumulate in a fixed chunk and are
+   fanned out in bulk when it fills (or on [flush]).  Per-event sinks still
+   observe every event in emission order; they just observe them a chunk at
+   a time, with one closure dispatch per sink per chunk instead of one per
+   event.  Unbuffered recorders (the default) dispatch immediately, exactly
+   as before. *)
 
-let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+type t = {
+  mutable sinks : sink array;
+  mutable nsinks : int;
+  mutable batch_sinks : batch_sink array;
+  mutable nbatch : int;
+  mutable count : int;
+  buffer : Event.t array; (* [||] when unbuffered *)
+  mutable fill : int;
+  scratch : Event.t array; (* 1-slot carrier for unbuffered -> batch sink *)
+  inert : bool; (* the null recorder: drops events, rejects sinks *)
+}
+
+let placeholder = Event.read ~owner:0 ~addr:0 ~size:1
+
+let default_buffer_capacity = 4096
+
+let make ~buffer_capacity ~inert =
+  if buffer_capacity < 0 then
+    invalid_arg
+      (Printf.sprintf "Recorder.create: negative buffer capacity (%d)"
+         buffer_capacity);
+  {
+    sinks = [||];
+    nsinks = 0;
+    batch_sinks = [||];
+    nbatch = 0;
+    count = 0;
+    buffer =
+      (if buffer_capacity = 0 then [||]
+       else Array.make buffer_capacity placeholder);
+    fill = 0;
+    scratch = Array.make 1 placeholder;
+    inert;
+  }
+
+let create ?(buffer_capacity = 0) () = make ~buffer_capacity ~inert:false
+
+let buffered ?(buffer_capacity = default_buffer_capacity) () =
+  make ~buffer_capacity ~inert:false
+
+let null () = make ~buffer_capacity:0 ~inert:true
+
+let grow arr n filler =
+  if n < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max 4 (2 * n)) filler in
+    Array.blit arr 0 arr' 0 n;
+    arr'
+  end
+
+let add_sink t sink =
+  if t.inert then
+    invalid_arg "Recorder.add_sink: the null recorder accepts no sinks";
+  t.sinks <- grow t.sinks t.nsinks sink;
+  t.sinks.(t.nsinks) <- sink;
+  t.nsinks <- t.nsinks + 1
+
+let add_batch_sink t sink =
+  if t.inert then
+    invalid_arg "Recorder.add_batch_sink: the null recorder accepts no sinks";
+  t.batch_sinks <- grow t.batch_sinks t.nbatch sink;
+  t.batch_sinks.(t.nbatch) <- sink;
+  t.nbatch <- t.nbatch + 1
 
 let cache_sink cache (e : Event.t) =
   Cachesim.Cache.access cache ~owner:e.owner ~write:e.write ~addr:e.addr
     ~size:e.size
+
+let cache_batch_sink cache : batch_sink =
+ fun events n ->
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    Cachesim.Cache.access cache ~owner:e.owner ~write:e.write ~addr:e.addr
+      ~size:e.size
+  done
 
 let buffer_sink () =
   let buf = ref [] in
@@ -20,13 +98,58 @@ let counting_sink () =
   let sink _ = incr n in
   (sink, fun () -> !n)
 
+(* Fan a block of events out to every sink.  Per-event sinks run first, in
+   registration order, then batch sinks in registration order. *)
+let dispatch t events n =
+  for s = 0 to t.nsinks - 1 do
+    let sink = t.sinks.(s) in
+    for i = 0 to n - 1 do
+      sink events.(i)
+    done
+  done;
+  for s = 0 to t.nbatch - 1 do
+    t.batch_sinks.(s) events n
+  done
+
+let flush t =
+  if t.fill > 0 then begin
+    let n = t.fill in
+    (* Reset before dispatch so a sink that re-enters the recorder (e.g. a
+       tracing sink that emits) never re-delivers the same chunk. *)
+    t.fill <- 0;
+    dispatch t t.buffer n
+  end
+
 let emit t e =
-  t.count <- t.count + 1;
-  List.iter (fun sink -> sink e) t.sinks
+  if not t.inert then begin
+    t.count <- t.count + 1;
+    let cap = Array.length t.buffer in
+    if cap = 0 then begin
+      t.scratch.(0) <- e;
+      dispatch t t.scratch 1
+    end
+    else begin
+      t.buffer.(t.fill) <- e;
+      t.fill <- t.fill + 1;
+      if t.fill = cap then flush t
+    end
+  end
+
+let emit_batch t events n =
+  if n < 0 || n > Array.length events then
+    invalid_arg
+      (Printf.sprintf "Recorder.emit_batch: bad length %d (array has %d)" n
+         (Array.length events));
+  if (not t.inert) && n > 0 then begin
+    t.count <- t.count + n;
+    (* A batch bypasses the chunk buffer; flush first so sinks still see
+       events in emission order. *)
+    flush t;
+    dispatch t events n
+  end
 
 let read t ~owner ~addr ~size = emit t (Event.read ~owner ~addr ~size)
 let write t ~owner ~addr ~size = emit t (Event.write ~owner ~addr ~size)
 
 let events_emitted t = t.count
-
-let null = lazy (create ())
+let pending t = t.fill

@@ -3,18 +3,57 @@
     A recorder fans each {!Event.t} out to zero or more sinks.  The usual
     setup streams events straight into a {!Cachesim.Cache} (no trace is
     materialized — multi-gigabyte traces never touch memory), but tests and
-    the trace-explorer example also attach a buffering sink. *)
+    the trace-explorer example also attach a buffering sink.
+
+    Recorders are single-domain objects: a parallel sweep gives every
+    domain its own recorder (see {!Dvf_util.Parallel}) rather than sharing
+    one.
+
+    {2 Batching}
+
+    [create ()] dispatches each event to every sink immediately.  A
+    recorder created with a non-zero [buffer_capacity] (or with
+    {!buffered}) instead accumulates events in a fixed-size chunk and fans
+    the chunk out when it fills — one closure dispatch per sink per chunk
+    instead of per event, which matters in the trace->cache hot loop.
+    Every sink still observes every event in emission order.  Callers of a
+    buffering recorder must {!flush} before reading downstream state
+    (e.g. cache statistics). *)
 
 type t
 
 type sink = Event.t -> unit
 
-val create : unit -> t
+type batch_sink = Event.t array -> int -> unit
+(** [bsink events n] consumes [events.(0 .. n-1)]; the array is the
+    recorder's internal chunk and must not be retained. *)
+
+val create : ?buffer_capacity:int -> unit -> t
+(** [create ()] is an unbuffered recorder (the historical behaviour).
+    [buffer_capacity > 0] enables chunked dispatch as described above.
+    Raises [Invalid_argument] on a negative capacity. *)
+
+val buffered : ?buffer_capacity:int -> unit -> t
+(** A buffering recorder with a default chunk size (4096 events). *)
+
+val null : unit -> t
+(** A fresh inert recorder for running kernels untraced: events are
+    dropped (and not counted), and {!add_sink}/{!add_batch_sink} raise
+    [Invalid_argument].  Each call returns a new value, so no state can
+    leak between users (the old shared [lazy] recorder could). *)
 
 val add_sink : t -> sink -> unit
+(** Sinks run in registration order.  Amortized O(1). *)
+
+val add_batch_sink : t -> batch_sink -> unit
+(** Batch sinks run after per-event sinks, in registration order. *)
 
 val cache_sink : Cachesim.Cache.t -> sink
 (** Forward each event into the cache simulator. *)
+
+val cache_batch_sink : Cachesim.Cache.t -> batch_sink
+(** Forward a whole chunk into the cache simulator with a single closure
+    dispatch — the fast path for trace-driven simulation. *)
 
 val buffer_sink : unit -> sink * (unit -> Event.t list)
 (** [buffer_sink ()] returns a sink and a function extracting everything
@@ -23,11 +62,20 @@ val buffer_sink : unit -> sink * (unit -> Event.t list)
 val counting_sink : unit -> sink * (unit -> int)
 
 val emit : t -> Event.t -> unit
+
+val emit_batch : t -> Event.t array -> int -> unit
+(** [emit_batch t events n] emits [events.(0 .. n-1)] as one block:
+    counted, ordered after anything already buffered (the pending chunk is
+    flushed first), and handed to batch sinks without copying. *)
+
 val read : t -> owner:int -> addr:int -> size:int -> unit
 val write : t -> owner:int -> addr:int -> size:int -> unit
 
-val events_emitted : t -> int
-(** Total events seen by this recorder. *)
+val flush : t -> unit
+(** Deliver any buffered events now.  No-op on unbuffered recorders. *)
 
-val null : t Lazy.t
-(** A shared recorder with no sinks, for running kernels untraced. *)
+val events_emitted : t -> int
+(** Total events seen by this recorder (including still-buffered ones). *)
+
+val pending : t -> int
+(** Events currently buffered and not yet delivered to sinks. *)

@@ -1,0 +1,147 @@
+(* A fixed-size pool of worker domains fed from a mutex/condition work
+   queue.  Everything here is stdlib-only (Domain + Mutex + Condition);
+   OCaml 5's runtime gives each domain its own minor heap, so the
+   independent simulation jobs this module exists for (one kernel x one
+   cache configuration each) never contend on allocation.
+
+   Jobs must be independent: they may freely allocate and mutate their
+   own state but must not share mutable structures.  [map] preserves
+   input order in its output, so a parallel sweep returns exactly the
+   rows a serial sweep would. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    work_available : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t array;
+    size : int;
+  }
+
+  let size t = t.size
+
+  (* Workers drain the queue even while stopping, so a [shutdown] racing
+     with in-flight [map] calls never strands a job. *)
+  let rec worker_loop t =
+    Mutex.lock t.mutex;
+    let rec take () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stopping then None
+      else begin
+        Condition.wait t.work_available t.mutex;
+        take ()
+      end
+    in
+    let task = take () in
+    Mutex.unlock t.mutex;
+    match task with
+    | Some task ->
+        task ();
+        worker_loop t
+    | None -> ()
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with Some j -> j | None -> recommended_jobs ()
+    in
+    if jobs <= 0 then
+      invalid_arg
+        (Printf.sprintf "Parallel.Pool.create: jobs must be positive (got %d)"
+           jobs);
+    let t =
+      {
+        mutex = Mutex.create ();
+        work_available = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        workers = [||];
+        size = jobs;
+      }
+    in
+    (* The caller's domain only enqueues and waits, so all [jobs] workers
+       are spawned domains; [jobs = 1] spawns none and [map] degrades to
+       the serial path in the calling domain. *)
+    if jobs > 1 then
+      t.workers <-
+        Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  type 'b outcome =
+    | Pending
+    | Done of 'b
+    | Failed of exn * Printexc.raw_backtrace
+
+  let map t f xs =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else if Array.length t.workers = 0 then
+      (* jobs = 1: run in the calling domain, bit-for-bit the serial path. *)
+      Array.map f xs
+    else begin
+      let results = Array.make n Pending in
+      let remaining = ref n in
+      let all_done = Condition.create () in
+      let record i outcome =
+        Mutex.lock t.mutex;
+        results.(i) <- outcome;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Parallel.Pool.map: pool already shut down"
+      end;
+      for i = 0 to n - 1 do
+        let x = xs.(i) in
+        Queue.add
+          (fun () ->
+            match f x with
+            | v -> record i (Done v)
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                record i (Failed (e, bt)))
+          t.queue
+      done;
+      Condition.broadcast t.work_available;
+      while !remaining > 0 do
+        Condition.wait all_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (* Every job ran to completion; surface the first failure in input
+         order (deterministic regardless of scheduling). *)
+      Array.map
+        (function
+          | Done v -> v
+          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending -> assert false)
+        results
+    end
+
+  let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+end
+
+let with_pool ?jobs f =
+  let pool = Pool.create ?jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let map ?jobs f xs =
+  match jobs with
+  | Some 1 -> Array.map f xs
+  | _ -> with_pool ?jobs (fun pool -> Pool.map pool f xs)
+
+let map_list ?jobs f xs =
+  match jobs with
+  | Some 1 -> List.map f xs
+  | _ -> with_pool ?jobs (fun pool -> Pool.map_list pool f xs)

@@ -11,14 +11,84 @@ let test_config_capacity () =
 
 let test_config_validation () =
   Alcotest.check_raises "bad sets"
-    (Invalid_argument "Config.make: sets must be a positive power of two")
+    (Invalid_argument "Config.make: sets must be a positive power of two (got 3)")
     (fun () -> ignore (C.Config.make ~name:"x" ~associativity:1 ~sets:3 ~line:16));
   Alcotest.check_raises "bad line"
-    (Invalid_argument "Config.make: line must be a positive power of two")
+    (Invalid_argument "Config.make: line must be a positive power of two (got 10)")
     (fun () -> ignore (C.Config.make ~name:"x" ~associativity:1 ~sets:2 ~line:10));
   Alcotest.check_raises "bad assoc"
-    (Invalid_argument "Config.make: associativity <= 0") (fun () ->
-      ignore (C.Config.make ~name:"x" ~associativity:0 ~sets:2 ~line:16))
+    (Invalid_argument "Config.make: associativity must be positive (got 0)")
+    (fun () -> ignore (C.Config.make ~name:"x" ~associativity:0 ~sets:2 ~line:16))
+
+(* Regression: flooring log2 / sets-1 masking silently mis-indexed any
+   non-power-of-two geometry, so every rejected shape here was once a
+   wrong simulation instead of an error.  Zero and negative values must
+   fail too (0 passes the [n land (n-1) = 0] bit test alone). *)
+let test_config_rejects_all_bad_geometry () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  List.iter
+    (fun sets ->
+      expect_invalid
+        (Printf.sprintf "sets=%d" sets)
+        (fun () -> C.Config.make ~name:"x" ~associativity:1 ~sets ~line:16))
+    [ 0; -1; 3; 6; 48; 100; 4095 ];
+  List.iter
+    (fun line ->
+      expect_invalid
+        (Printf.sprintf "line=%d" line)
+        (fun () -> C.Config.make ~name:"x" ~associativity:1 ~sets:2 ~line))
+    [ 0; -16; 3; 24; 48; 100 ];
+  (* Non-power-of-two associativity is legal (Table IV's 1MB cache is
+     6-way). *)
+  ignore (C.Config.make ~name:"6-way" ~associativity:6 ~sets:2 ~line:16)
+
+let test_is_power_of_two () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_power_of_two %d" n)
+        expected
+        (C.Config.is_power_of_two n))
+    [ (1, true); (2, true); (64, true); (0, false); (-4, false); (6, false) ]
+
+let test_stats_merge () =
+  let a = C.Stats.create () in
+  let b = C.Stats.create () in
+  C.Stats.record_access a ~owner:1 ~write:false ~hit:false;
+  C.Stats.record_access a ~owner:1 ~write:true ~hit:true;
+  C.Stats.record_writeback a ~owner:1;
+  C.Stats.record_access b ~owner:1 ~write:false ~hit:true;
+  (* Owner 20 only exists in [b]: merge must grow the accumulator. *)
+  C.Stats.record_access b ~owner:20 ~write:true ~hit:false;
+  C.Stats.merge ~into:a b;
+  let c1 = C.Stats.owner_counters a 1 in
+  Alcotest.(check int) "reads" 2 c1.C.Stats.reads;
+  Alcotest.(check int) "writes" 1 c1.C.Stats.writes;
+  Alcotest.(check int) "hits" 2 c1.C.Stats.hits;
+  Alcotest.(check int) "misses" 1 c1.C.Stats.misses;
+  Alcotest.(check int) "writebacks" 1 c1.C.Stats.writebacks;
+  let c20 = C.Stats.owner_counters a 20 in
+  Alcotest.(check int) "grown owner misses" 1 c20.C.Stats.misses;
+  (* [b] is untouched by the merge. *)
+  Alcotest.(check int) "src untouched" 1 (C.Stats.owner_counters b 1).C.Stats.hits
+
+let test_stats_sum_equals_combined_run () =
+  (* Split one access stream across two caches; summed stats must equal
+     the totals of each part combined (the parallel-sweep aggregation
+     contract). *)
+  let mk () = C.Cache.create tiny_config in
+  let c1 = mk () and c2 = mk () in
+  List.iter
+    (fun (c, addr) -> C.Cache.access c ~owner:1 ~write:true ~addr ~size:4)
+    [ (c1, 0); (c1, 32); (c2, 64); (c2, 96); (c2, 0) ];
+  let summed = C.Stats.sum [ C.Cache.stats c1; C.Cache.stats c2 ] in
+  let t = C.Stats.totals summed in
+  Alcotest.(check int) "writes" 5 t.C.Stats.writes;
+  Alcotest.(check int) "misses" 5 t.C.Stats.misses
 
 let test_table_iv_presets () =
   Alcotest.(check int) "small verif 8KB" 8192
@@ -202,6 +272,12 @@ let suite =
   [
     Alcotest.test_case "config capacity" `Quick test_config_capacity;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "config rejects all bad geometry" `Quick
+      test_config_rejects_all_bad_geometry;
+    Alcotest.test_case "is_power_of_two" `Quick test_is_power_of_two;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "stats sum equals combined run" `Quick
+      test_stats_sum_equals_combined_run;
     Alcotest.test_case "Table IV presets" `Quick test_table_iv_presets;
     Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
     Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;

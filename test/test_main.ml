@@ -7,6 +7,7 @@ let () =
       ("units", Test_units.suite);
       ("table", Test_table.suite);
       ("fenwick", Test_fenwick.suite);
+      ("parallel", Test_parallel.suite);
       ("cachesim", Test_cachesim.suite);
       ("trace", Test_trace.suite);
       ("streaming", Test_streaming.suite);

@@ -115,6 +115,99 @@ let test_cache_sink_integration () =
   Alcotest.(check int) "misses" 4 c.Cachesim.Stats.misses;
   Alcotest.(check int) "hits" 28 c.Cachesim.Stats.hits
 
+(* Regression: add_sink used to append with [sinks @ [sink]] (quadratic)
+   — order across many sinks must stay registration order. *)
+let test_sink_registration_order () =
+  let rec_ = Mt.Recorder.create () in
+  let seen = ref [] in
+  for i = 0 to 99 do
+    Mt.Recorder.add_sink rec_ (fun _ -> seen := i :: !seen)
+  done;
+  Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:1;
+  Alcotest.(check (list int)) "registration order" (List.init 100 Fun.id)
+    (List.rev !seen)
+
+(* Regression: [null] was one shared lazy recorder, so a sink added to it
+   leaked into every later user.  Now each [null ()] is fresh and inert. *)
+let test_null_recorder_inert_and_fresh () =
+  let n1 = Mt.Recorder.null () in
+  Alcotest.(check bool) "distinct values" false (n1 == Mt.Recorder.null ());
+  (match Mt.Recorder.add_sink n1 (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "null recorder accepted a sink");
+  (match Mt.Recorder.add_batch_sink n1 (fun _ _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "null recorder accepted a batch sink");
+  Mt.Recorder.read n1 ~owner:1 ~addr:0 ~size:8;
+  Alcotest.(check int) "events dropped" 0 (Mt.Recorder.events_emitted n1)
+
+let test_buffered_chunks_and_flush () =
+  let rec_ = Mt.Recorder.create ~buffer_capacity:4 () in
+  let sink, get = Mt.Recorder.buffer_sink () in
+  Mt.Recorder.add_sink rec_ sink;
+  for i = 0 to 9 do
+    Mt.Recorder.read rec_ ~owner:1 ~addr:(i * 8) ~size:8
+  done;
+  (* Two full chunks delivered, two events still pending. *)
+  Alcotest.(check int) "delivered before flush" 8 (List.length (get ()));
+  Alcotest.(check int) "pending" 2 (Mt.Recorder.pending rec_);
+  Alcotest.(check int) "all counted" 10 (Mt.Recorder.events_emitted rec_);
+  Mt.Recorder.flush rec_;
+  Alcotest.(check int) "pending after flush" 0 (Mt.Recorder.pending rec_);
+  let events = get () in
+  Alcotest.(check int) "all delivered" 10 (List.length events);
+  List.iteri
+    (fun i (e : Mt.Event.t) ->
+      Alcotest.(check int) (Printf.sprintf "event %d in order" i) (i * 8)
+        e.Mt.Event.addr)
+    events
+
+let test_emit_batch_counts_and_order () =
+  let rec_ = Mt.Recorder.create ~buffer_capacity:8 () in
+  let sink, get = Mt.Recorder.buffer_sink () in
+  let batch_chunks = ref [] in
+  Mt.Recorder.add_sink rec_ sink;
+  Mt.Recorder.add_batch_sink rec_ (fun events n ->
+      batch_chunks := Array.to_list (Array.sub events 0 n) :: !batch_chunks);
+  (* One buffered event, then a batch: flush-before-batch keeps order. *)
+  Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:8;
+  let batch = Array.init 3 (fun i -> Mt.Event.read ~owner:1 ~addr:(8 * (i + 1)) ~size:8) in
+  Mt.Recorder.emit_batch rec_ batch 3;
+  Alcotest.(check int) "counted" 4 (Mt.Recorder.events_emitted rec_);
+  let addrs = List.map (fun (e : Mt.Event.t) -> e.Mt.Event.addr) (get ()) in
+  Alcotest.(check (list int)) "order preserved" [ 0; 8; 16; 24 ] addrs;
+  Alcotest.(check int) "batch sink saw both chunks" 2
+    (List.length !batch_chunks);
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Recorder.emit_batch: bad length 4 (array has 3)")
+    (fun () -> Mt.Recorder.emit_batch rec_ batch 4)
+
+(* The batched trace->cache fast path must produce bit-identical
+   statistics to the historical per-event dispatch. *)
+let test_buffered_cache_sink_equivalence () =
+  let run make_recorder attach =
+    let reg = Mt.Region.create () in
+    let rec_ = make_recorder () in
+    let cache = Cachesim.Cache.create Cachesim.Config.small_verification in
+    attach rec_ cache;
+    ignore (Kernels.Vm.run reg rec_ Kernels.Vm.verification);
+    Mt.Recorder.flush rec_;
+    Cachesim.Cache.flush cache;
+    Cachesim.Stats.totals (Cachesim.Cache.stats cache)
+  in
+  let unbuffered =
+    run
+      (fun () -> Mt.Recorder.create ())
+      (fun r c -> Mt.Recorder.add_sink r (Mt.Recorder.cache_sink c))
+  in
+  let buffered =
+    run
+      (fun () -> Mt.Recorder.buffered ~buffer_capacity:64 ())
+      (fun r c -> Mt.Recorder.add_batch_sink r (Mt.Recorder.cache_batch_sink c))
+  in
+  Alcotest.(check bool) "identical stats" true (unbuffered = buffered);
+  Alcotest.(check bool) "nonempty" true (unbuffered.Cachesim.Stats.misses > 0)
+
 let test_to_array_snapshot () =
   let reg = Mt.Region.create () in
   let rec_ = Mt.Recorder.create () in
@@ -139,5 +232,15 @@ let suite =
     Alcotest.test_case "touch" `Quick test_tracked_touch;
     Alcotest.test_case "cache sink integration" `Quick
       test_cache_sink_integration;
+    Alcotest.test_case "sink registration order" `Quick
+      test_sink_registration_order;
+    Alcotest.test_case "null recorder inert and fresh" `Quick
+      test_null_recorder_inert_and_fresh;
+    Alcotest.test_case "buffered chunks and flush" `Quick
+      test_buffered_chunks_and_flush;
+    Alcotest.test_case "emit_batch counts and order" `Quick
+      test_emit_batch_counts_and_order;
+    Alcotest.test_case "buffered cache sink equivalence" `Quick
+      test_buffered_cache_sink_equivalence;
     Alcotest.test_case "to_array snapshot" `Quick test_to_array_snapshot;
   ]
