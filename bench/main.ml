@@ -39,18 +39,20 @@ let run_fig4 ~jobs () =
       ]
   in
   List.iter
-    (fun kernel ->
+    (fun (w : Core.Workload.t) ->
       List.iter
         (fun cache ->
-          let err = 100.0 *. Core.Verify.kernel_error ~rows kernel cache in
+          let err =
+            100.0 *. Core.Verify.workload_error ~rows w.Core.Workload.name cache
+          in
           Dvf_util.Table.add_row summary
             [
-              Core.Workloads.name kernel; cache.Cachesim.Config.name;
+              w.Core.Workload.name; cache.Cachesim.Config.name;
               Printf.sprintf "%.1f" err;
               (if err <= 15.0 then "yes" else "NO");
             ])
         Cachesim.Config.verification_set)
-    Core.Workloads.all;
+    (Core.Workloads.all ());
   Dvf_util.Table.print summary
 
 (* --- Fig. 5: DVF profiling --- *)
@@ -60,11 +62,11 @@ let run_fig5 () =
   let rows = Core.Profile.run_all () in
   Dvf_util.Table.print (Core.Profile.to_table rows);
   (* The qualitative observations the paper draws from Fig. 5. *)
-  let dvf kernel structure cache =
+  let dvf workload structure cache =
     let r =
       List.find
         (fun (r : Core.Profile.row) ->
-          r.Core.Profile.kernel = kernel
+          r.Core.Profile.workload = workload
           && r.Core.Profile.structure = structure
           && r.Core.Profile.cache.Cachesim.Config.name = cache)
         rows
@@ -73,17 +75,17 @@ let run_fig5 () =
   in
   Printf.printf "Observations (paper SS IV-B):\n";
   Printf.printf "  VM: DVF(A) / DVF(B) at 8MB = %.1f (A's stride makes it dominant)\n"
-    (dvf Core.Workloads.VM "A" "8MB" /. dvf Core.Workloads.VM "B" "8MB");
+    (dvf "VM" "A" "8MB" /. dvf "VM" "B" "8MB");
   Printf.printf "  CG vs FT: DVF_a ratio at 8MB = %.0fx (working set + time)\n"
-    (dvf Core.Workloads.CG "CG" "8MB" /. dvf Core.Workloads.FT "FT" "8MB");
+    (dvf "CG" "CG" "8MB" /. dvf "FT" "FT" "8MB");
   Printf.printf
     "  MC vs NB: DVF_a ratio at 16KB = %.0fx (more lookups -> more accesses)\n"
-    (dvf Core.Workloads.MC "MC" "16KB" /. dvf Core.Workloads.NB "NB" "16KB");
+    (dvf "MC" "MC" "16KB" /. dvf "NB" "NB" "16KB");
   Printf.printf "  FT cliff: DVF_a(16KB) / DVF_a(128KB) = %.0fx (sudden jump)\n"
-    (dvf Core.Workloads.FT "FT" "16KB" /. dvf Core.Workloads.FT "FT" "128KB");
+    (dvf "FT" "FT" "16KB" /. dvf "FT" "FT" "128KB");
   Printf.printf
     "  VM streaming stays flat: DVF_a(16KB) / DVF_a(8MB) = %.1fx (gradual)\n"
-    (dvf Core.Workloads.VM "VM" "16KB" /. dvf Core.Workloads.VM "VM" "8MB")
+    (dvf "VM" "VM" "16KB" /. dvf "VM" "VM" "8MB")
 
 (* --- Fig. 6: CG vs PCG --- *)
 
@@ -262,13 +264,13 @@ let run_ablation () =
 let run_sweep ~jobs () =
   section_header "Cache-capacity sweep (DVF_a, 4KB..16MB, 8-way, 64B lines)";
   List.iter
-    (fun kernel ->
-      let instance = Core.Workloads.profiling_instance kernel in
+    (fun workload ->
+      let instance = Core.Workloads.profiling_instance workload in
       let rows = Core.Experiments.cache_sweep ~jobs instance in
       Dvf_util.Table.print
         (Core.Experiments.cache_sweep_table
-           ~label:instance.Core.Workloads.label rows))
-    Core.Workloads.[ VM; FT; MC ]
+           ~label:instance.Core.Workload.label rows))
+    [ Core.Workloads.vm; Core.Workloads.ft; Core.Workloads.mc ]
 
 (* --- Extensions: sparse CG and cache-component DVF --- *)
 
@@ -345,16 +347,16 @@ let run_component () =
   section_header "Extension: DVF for the cache component (paper SS I)";
   let cache = Cachesim.Config.profiling_8mb in
   List.iter
-    (fun kernel ->
-      let instance = Core.Workloads.profiling_instance kernel in
+    (fun workload ->
+      let instance = Core.Workloads.profiling_instance workload in
       let time =
         Core.Perf.app_time Core.Perf.default_machine ~cache
-          ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+          ~flops:instance.Core.Workload.flops instance.Core.Workload.spec
       in
       Dvf_util.Table.print
         (Core.Component.to_table
-           (Core.Component.both ~cache ~time instance.Core.Workloads.spec)))
-    Core.Workloads.all
+           (Core.Component.both ~cache ~time instance.Core.Workload.spec)))
+    (Core.Workloads.all ())
 
 (* --- Fault injection vs DVF --- *)
 
@@ -469,7 +471,7 @@ let run_speed () =
   let cache = Cachesim.Config.small_verification in
   let vm = Kernels.Vm.verification in
   let vm_spec = Kernels.Vm.spec vm in
-  let cg_instance = Core.Workloads.verification_instance Core.Workloads.CG in
+  let cg_instance = Core.Workloads.verification_instance Core.Workloads.cg in
   let mc = Kernels.Monte_carlo.verification in
   let mc_spec = Kernels.Monte_carlo.spec mc in
   let tests =
@@ -483,7 +485,7 @@ let run_speed () =
           (Staged.stage (fun () ->
                ignore
                  (Access_patterns.App_spec.main_memory_accesses ~cache
-                    cg_instance.Core.Workloads.spec)));
+                    cg_instance.Core.Workload.spec)));
         Test.make ~name:"model: MC random spec"
           (Staged.stage (fun () ->
                ignore

@@ -96,23 +96,29 @@ let profile_cmd =
 
 (* --- verify --- *)
 
-let kernel_conv =
+let workload_conv =
+  (* Case-insensitive registry lookup; the error names every registered
+     workload so typos are self-correcting. *)
   let parse s =
-    match String.uppercase_ascii s with
-    | "VM" -> Ok Core.Workloads.VM
-    | "CG" -> Ok Core.Workloads.CG
-    | "NB" -> Ok Core.Workloads.NB
-    | "MG" -> Ok Core.Workloads.MG
-    | "FT" -> Ok Core.Workloads.FT
-    | "MC" -> Ok Core.Workloads.MC
-    | _ -> Error (`Msg (Printf.sprintf "unknown kernel %S" s))
+    match Core.Workloads.find s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (registered: %s)" s
+               (String.concat ", " (Core.Workloads.names ()))))
   in
-  let print fmt k = Format.pp_print_string fmt (Core.Workloads.name k) in
+  let print fmt (w : Core.Workload.t) =
+    Format.pp_print_string fmt w.Core.Workload.name
+  in
   Arg.conv (parse, print)
 
-let kernel_pos_args =
-  let doc = "Kernels (default: all six)." in
-  Arg.(value & pos_all kernel_conv Core.Workloads.all & info [] ~docv:"KERNEL" ~doc)
+let workload_pos_args =
+  let doc = "Workloads by registry name (default: every registered one)." in
+  Arg.(
+    value
+    & pos_all workload_conv (Core.Workloads.all ())
+    & info [] ~docv:"WORKLOAD" ~doc)
 
 let jobs_arg =
   let doc =
@@ -132,15 +138,16 @@ let check_jobs jobs =
   jobs
 
 let verify_cmd =
-  let kernels = kernel_pos_args in
-  let run jobs kernels =
-    let rows = Core.Verify.run_all ~jobs:(check_jobs jobs) ~kernels () in
+  let run jobs workloads =
+    let rows =
+      Core.Verify.run_all ~jobs:(check_jobs jobs) ~workloads ()
+    in
     Dvf_util.Table.print (Core.Verify.to_table rows)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
-    Term.(const run $ jobs_arg $ kernels)
+    Term.(const run $ jobs_arg $ workload_pos_args)
 
 (* --- figure/table reproductions --- *)
 
@@ -206,44 +213,44 @@ let models_cmd =
 (* --- component / protect: the library's extensions --- *)
 
 let components_cmd =
-  let run kernels =
+  let run workloads =
     let cache = Cachesim.Config.profiling_8mb in
     List.iter
-      (fun kernel ->
-        let instance = Core.Workloads.profiling_instance kernel in
+      (fun workload ->
+        let instance = Core.Workloads.profiling_instance workload in
         let time =
           Core.Perf.app_time Core.Perf.default_machine ~cache
-            ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+            ~flops:instance.Core.Workload.flops instance.Core.Workload.spec
         in
         Dvf_util.Table.print
           (Core.Component.to_table
-             (Core.Component.both ~cache ~time instance.Core.Workloads.spec)))
-      kernels
+             (Core.Component.both ~cache ~time instance.Core.Workload.spec)))
+      workloads
   in
   Cmd.v
     (Cmd.info "components"
        ~doc:"Memory vs cache-component DVF per structure")
-    Term.(const run $ kernel_pos_args)
+    Term.(const run $ workload_pos_args)
 
 let protect_cmd =
   let target =
     let doc = "Residual vulnerability target as a fraction (0,1]." in
     Arg.(value & opt float 0.10 & info [ "t"; "target" ] ~docv:"FRACTION" ~doc)
   in
-  let run target kernels =
+  let run target workloads =
     let cache = Cachesim.Config.profiling_8mb in
     List.iter
-      (fun kernel ->
-        let instance = Core.Workloads.profiling_instance kernel in
+      (fun workload ->
+        let instance = Core.Workloads.profiling_instance workload in
         let time =
           Core.Perf.app_time Core.Perf.default_machine ~cache
-            ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+            ~flops:instance.Core.Workload.flops instance.Core.Workload.spec
         in
         let app =
           Core.Dvf.of_spec ~cache ~fit:(Core.Ecc.fit Core.Ecc.No_ecc) ~time
-            instance.Core.Workloads.spec
+            instance.Core.Workload.spec
         in
-        Printf.printf "=== %s ===\n" instance.Core.Workloads.label;
+        Printf.printf "=== %s ===\n" instance.Core.Workload.label;
         Dvf_util.Table.print
           (Core.Selective.to_table
              (Core.Selective.coverage_curve ~scheme:Core.Ecc.Chipkill app));
@@ -256,16 +263,99 @@ let protect_cmd =
             Printf.printf "protect {%s} to keep <= %.0f%% of the DVF\n"
               (String.concat ", " names) (100.0 *. target)
         | exception Invalid_argument m -> Printf.printf "%s\n" m)
-      kernels
+      workloads
   in
   Cmd.v
     (Cmd.info "protect"
        ~doc:"Selective-protection coverage curves (chipkill on top-k structures)")
-    Term.(const run $ target $ kernel_pos_args)
+    Term.(const run $ target $ workload_pos_args)
+
+(* --- --model: any Aspen file through the full pipeline --- *)
+
+let run_model path overrides jobs =
+  handle_aspen_errors (fun () ->
+      let ast = Aspen.Parser.parse_file (read_file path) in
+      let apps = Aspen.Compile.apps ~overrides ast in
+      if apps = [] then begin
+        Printf.eprintf "error: %s declares no apps\n" path;
+        exit 1
+      end;
+      let machines = Aspen.Compile.machines ast in
+      (* Analytical DVF report: against every machine declared in the
+         file, or the default profiling machine when it declares none. *)
+      (match machines with
+      | [] ->
+          let cache = Cachesim.Config.profiling_8mb in
+          Printf.printf "machine (default): %s, FIT=%g\n\n"
+            (Format.asprintf "%a" Cachesim.Config.pp cache)
+            (Core.Ecc.fit Core.Ecc.No_ecc);
+          List.iter
+            (fun (app : Aspen.Compile.app) ->
+              let time =
+                Core.Perf.app_time Core.Perf.default_machine ~cache
+                  ~flops:app.Aspen.Compile.flops app.Aspen.Compile.spec
+              in
+              let d =
+                Core.Dvf.of_spec ~cache
+                  ~fit:(Core.Ecc.fit Core.Ecc.No_ecc)
+                  ~time app.Aspen.Compile.spec
+              in
+              Format.printf "%a@.@." Core.Dvf.pp_app d)
+            apps
+      | machines ->
+          List.iter
+            (fun (machine : Aspen.Compile.machine) ->
+              Printf.printf "machine %s: %s, FIT=%g\n\n"
+                machine.Aspen.Compile.machine_name
+                (Format.asprintf "%a" Cachesim.Config.pp
+                   machine.Aspen.Compile.cache)
+                machine.Aspen.Compile.fit;
+              List.iter
+                (fun app ->
+                  let d = Aspen.Compile.dvf machine app in
+                  Format.printf "%a@.@." Core.Dvf.pp_app d)
+                apps)
+            machines);
+      (* Fig. 4-style trace verification: replay the declared patterns,
+         simulate, compare against the analytical N_ha. *)
+      let workloads =
+        List.map
+          (fun app ->
+            match Aspen.Model_workload.register ~source:path app with
+            | w -> w
+            | exception Invalid_argument _ ->
+                (* Name collision (re-run, or a model named like a
+                   builtin): use the workload without registering. *)
+                Aspen.Model_workload.of_app ~source:path app)
+          apps
+      in
+      let rows = Core.Verify.run_all ~jobs:(check_jobs jobs) ~workloads () in
+      Dvf_util.Table.print (Core.Verify.to_table rows))
+
+let default_term =
+  let model =
+    let doc =
+      "Run the full DVF pipeline on an Aspen model file: compile every \
+       app, print the analytical DVF report, then verify the pattern \
+       models against trace-driven cache simulation."
+    in
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE.aspen" ~doc)
+  in
+  let run model overrides jobs =
+    match model with
+    | Some path ->
+        run_model path overrides jobs;
+        `Ok ()
+    | None -> `Help (`Pager, None)
+  in
+  Term.(ret (const run $ model $ param_overrides $ jobs_arg))
 
 let main_cmd =
   let doc = "Data Vulnerability Factor modeling (SC'14 reproduction)" in
-  Cmd.group
+  Cmd.group ~default:default_term
     (Cmd.info "dvf" ~version:"1.0.0" ~doc)
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;

@@ -5,14 +5,14 @@
 
 let () =
   let cache = Cachesim.Config.profiling_8mb in
-  let instance = Core.Workloads.profiling_instance Core.Workloads.VM in
-  let spec = instance.Core.Workloads.spec in
+  let instance = Core.Workloads.profiling_instance Core.Workloads.vm in
+  let spec = instance.Core.Workload.spec in
   let base_time =
     Core.Perf.app_time Core.Perf.default_machine ~cache
-      ~flops:instance.Core.Workloads.flops spec
+      ~flops:instance.Core.Workload.flops spec
   in
   Printf.printf "Application: %s, unprotected DVF_a = %.4g\n\n"
-    instance.Core.Workloads.label
+    instance.Core.Workload.label
     (Core.Dvf.of_spec ~cache ~fit:(Core.Ecc.fit Core.Ecc.No_ecc)
        ~time:base_time spec)
       .Core.Dvf.total;

@@ -14,13 +14,13 @@ let () =
       let instance = Core.Workloads.profiling_instance kernel in
       let time =
         Core.Perf.app_time Core.Perf.default_machine ~cache
-          ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+          ~flops:instance.Core.Workload.flops instance.Core.Workload.spec
       in
       let both =
-        Core.Component.both ~cache ~time instance.Core.Workloads.spec
+        Core.Component.both ~cache ~time instance.Core.Workload.spec
       in
       Dvf_util.Table.print (Core.Component.to_table both))
-    [ Core.Workloads.VM; Core.Workloads.MC ];
+    [ Core.Workloads.vm; Core.Workloads.mc ];
   print_endline
     "Streaming structures barely reuse the cache (memory dominates);\n\
      cache-resident hot data flips the dominant component — the signal a\n\

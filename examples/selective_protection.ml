@@ -12,14 +12,14 @@ let () =
       let instance = Core.Workloads.profiling_instance kernel in
       let time =
         Core.Perf.app_time Core.Perf.default_machine ~cache
-          ~flops:instance.Core.Workloads.flops instance.Core.Workloads.spec
+          ~flops:instance.Core.Workload.flops instance.Core.Workload.spec
       in
       let app =
         Core.Dvf.of_spec ~cache ~fit:(Core.Ecc.fit Core.Ecc.No_ecc) ~time
-          instance.Core.Workloads.spec
+          instance.Core.Workload.spec
       in
       Printf.printf "=== %s (unprotected DVF_a %.4g) ===\n"
-        instance.Core.Workloads.label app.Core.Dvf.total;
+        instance.Core.Workload.label app.Core.Dvf.total;
       let curve = Core.Selective.coverage_curve ~scheme:Core.Ecc.Chipkill app in
       Dvf_util.Table.print (Core.Selective.to_table curve);
       (match
@@ -31,4 +31,4 @@ let () =
           Printf.printf
             "-> chipkill-protecting {%s} keeps <= 10%% of the vulnerability\n\n"
             (String.concat ", " names)))
-    Core.Workloads.[ VM; CG; MC ]
+    [ Core.Workloads.vm; Core.Workloads.cg; Core.Workloads.mc ]

@@ -53,6 +53,7 @@ type expr =
 type arg_value =
   | Scalar of expr
   | Tuple of expr list
+  | Text of string  (** string argument, e.g. [provider = "ft/X"] *)
   | Flag            (** bare identifier argument, e.g. [writeback] *)
 
 type args = (string * arg_value) list

@@ -41,6 +41,12 @@ let optional_float env args name ~default =
   | Some e -> Eval.expr env e
   | None -> default
 
+let text_arg args name =
+  match List.assoc_opt name args with
+  | Some (Ast.Text s) -> Some s
+  | Some _ -> fail (Printf.sprintf "argument '%s' must be a string" name)
+  | None -> None
+
 let has_flag args name =
   match List.assoc_opt name args with
   | Some Ast.Flag -> true
@@ -52,7 +58,8 @@ let tuple_arg args name =
   match List.assoc_opt name args with
   | Some (Ast.Tuple es) -> Some es
   | Some (Ast.Scalar e) -> Some [ e ]
-  | Some Ast.Flag -> fail (Printf.sprintf "argument '%s' must be a tuple" name)
+  | Some (Ast.Flag | Ast.Text _) ->
+      fail (Printf.sprintf "argument '%s' must be a tuple" name)
   | None -> None
 
 let known_args ~context args allowed =
@@ -119,29 +126,60 @@ let rec lower_generator (g : Ast.generator) : TL.t =
       TL.Repeat (Eval.to_template_expr count, List.map lower_generator body)
 
 let lower_template env args generators =
-  known_args ~context:"template" args [ "elem"; "ratio"; "shape"; "raw" ];
+  known_args ~context:"template" args
+    [ "elem"; "ratio"; "shape"; "raw"; "provider" ];
   let elem = required_int env args ~context:"template" "elem" in
   let ratio = optional_float env args "ratio" ~default:1.0 in
-  let shape =
-    match tuple_arg args "shape" with
-    | Some es -> List.map Eval.to_template_expr es
-    | None -> [ TL.Expr.Int max_int ]
-      (* rank-1 references with a virtually unbounded extent *)
-  in
   let tl_env =
     List.filter_map
       (fun (name, v) ->
         if Float.is_integer v then Some (name, int_of_float v) else None)
       env
   in
-  let generator = TL.Seq (List.map lower_generator generators) in
-  let refs =
-    try TL.expand ~env:tl_env ~shape generator with
-    | Failure message -> fail message
-    | Invalid_argument message -> fail message
-  in
   let distance = if has_flag args "raw" then `Raw else `Stack in
-  Ap.Template.make ~cache_ratio:ratio ~distance ~elem_size:elem refs
+  match text_arg args "provider" with
+  | Some provider_name ->
+      (* The reference stream comes from a generator registered by a
+         kernel module (executed pseudocode), not from inline
+         generators. *)
+      if generators <> [] then
+        fail
+          (Printf.sprintf
+             "template: provider %S cannot be combined with inline generators"
+             provider_name);
+      if List.mem_assoc "shape" args then
+        fail
+          (Printf.sprintf "template: provider %S takes no shape" provider_name);
+      let provider =
+        match Ap.Template_provider.find provider_name with
+        | Some p -> p
+        | None ->
+            fail
+              (Printf.sprintf "template: unknown provider %S (registered: %s)"
+                 provider_name
+                 (match Ap.Template_provider.names () with
+                 | [] -> "none"
+                 | names -> String.concat ", " names))
+      in
+      let refs, writes =
+        try provider tl_env with Failure message -> fail message
+      in
+      Ap.Template.make ~cache_ratio:ratio ~distance ?writes ~elem_size:elem
+        refs
+  | None ->
+      let shape =
+        match tuple_arg args "shape" with
+        | Some es -> List.map Eval.to_template_expr es
+        | None -> [ TL.Expr.Int max_int ]
+          (* rank-1 references with a virtually unbounded extent *)
+      in
+      let generator = TL.Seq (List.map lower_generator generators) in
+      let refs =
+        try TL.expand ~env:tl_env ~shape generator with
+        | Failure message -> fail message
+        | Invalid_argument message -> fail message
+      in
+      Ap.Template.make ~cache_ratio:ratio ~distance ~elem_size:elem refs
 
 let lower_standalone_pattern env (p : Ast.pattern) =
   match p with

@@ -166,9 +166,17 @@ let parse_args st =
       let name = expect_ident st in
       if peek_is st Token.Equals then begin
         advance st;
+        match (current st).Token.token with
+        | Token.Str s ->
+            advance st;
+            (name, Text s)
+        | _ ->
         if peek_is st Token.Lparen then begin
-          (* Either a tuple or a parenthesized scalar: decide by whether a
-             comma follows the first expression. *)
+          (* Either a tuple or a scalar that merely starts with a
+             parenthesized term: decide by whether a comma follows the
+             first expression, backtracking for the scalar case so that
+             e.g. [(a + b) / c] parses as one expression. *)
+          let saved = st.tokens in
           advance st;
           let first = parse_expression st in
           if peek_is st Token.Comma then begin
@@ -184,8 +192,8 @@ let parse_args st =
             (name, Tuple (loop [ first ]))
           end
           else begin
-            expect st Token.Rparen;
-            (name, Scalar first)
+            st.tokens <- saved;
+            (name, Scalar (parse_expression st))
           end
         end
         else (name, Scalar (parse_expression st))
@@ -284,8 +292,15 @@ let parse_pattern st =
   | Token.Ident "template" ->
       advance st;
       let args = parse_args st in
-      expect st Token.Lbrace;
-      let generators = parse_generators st in
+      (* The generator block is optional: provider-backed templates have
+         no inline generators. *)
+      let generators =
+        if peek_is st Token.Lbrace then begin
+          advance st;
+          parse_generators st
+        end
+        else []
+      in
       Template { args; generators }
   | Token.Ident "reuse" ->
       advance st;

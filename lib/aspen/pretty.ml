@@ -25,6 +25,7 @@ let pp_arg fmt (name, value) =
   match value with
   | Scalar e -> Format.fprintf fmt "%s = %a" name pp_expr e
   | Tuple es -> Format.fprintf fmt "%s = (%a)" name (pp_list pp_expr) es
+  | Text s -> Format.fprintf fmt "%s = %S" name s
   | Flag -> Format.pp_print_string fmt name
 
 let pp_args fmt args = Format.fprintf fmt "(%a)" (pp_list pp_arg) args
@@ -52,6 +53,7 @@ let rec pp_generator fmt = function
 let pp_pattern fmt = function
   | Stream args -> Format.fprintf fmt "stream%a" pp_args args
   | Random args -> Format.fprintf fmt "random%a" pp_args args
+  | Template { args; generators = [] } -> Format.fprintf fmt "template%a" pp_args args
   | Template { args; generators } ->
       Format.fprintf fmt "@[<v 2>template%a {@,%a@]@,}" pp_args args
         (Format.pp_print_list pp_generator)

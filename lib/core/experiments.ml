@@ -92,10 +92,10 @@ type fig7_row = {
 let fig7 ?(machine = Perf.default_machine)
     ?(cache = Cachesim.Config.profiling_8mb) ?(steps = 30)
     ?(max_degradation = 0.30) () =
-  let instance = Workloads.profiling_instance Workloads.VM in
-  let spec = instance.Workloads.spec in
+  let instance = Workloads.profiling_instance Workloads.vm in
+  let spec = instance.Workload.spec in
   let base_time =
-    Perf.app_time machine ~cache ~flops:instance.Workloads.flops spec
+    Perf.app_time machine ~cache ~flops:instance.Workload.flops spec
   in
   List.init (steps + 1) (fun i ->
       let degradation =
@@ -142,7 +142,7 @@ type sweep_row = {
 
 let cache_sweep ?jobs ?(machine = Perf.default_machine)
     ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64) ?(associativity = 8) ?capacities
-    (instance : Workloads.instance) =
+    (instance : Workload.instance) =
   let capacities =
     match capacities with
     | Some c -> c
@@ -161,8 +161,8 @@ let cache_sweep ?jobs ?(machine = Perf.default_machine)
           ~name:(Format.asprintf "%a" Dvf_util.Units.pp_bytes capacity)
           ~associativity ~sets ~line
       in
-      let spec = instance.Workloads.spec in
-      let time = Perf.app_time machine ~cache ~flops:instance.Workloads.flops spec in
+      let spec = instance.Workload.spec in
+      let time = Perf.app_time machine ~cache ~flops:instance.Workload.flops spec in
       {
         capacity;
         sweep_cache = cache;
@@ -195,14 +195,14 @@ let table2 () =
       ]
   in
   List.iter
-    (fun k ->
+    (fun (w : Workload.t) ->
       Table.add_row t
         [
-          Workloads.name k; Workloads.computational_class k;
-          String.concat ", " (Workloads.major_structures k);
-          Workloads.pattern_classes k; Workloads.example_benchmark k;
+          w.Workload.name; w.Workload.computational_class;
+          String.concat ", " w.Workload.major_structures;
+          w.Workload.pattern_classes; w.Workload.example_benchmark;
         ])
-    Workloads.all;
+    (Workloads.all ());
   t
 
 let table4 () =
@@ -232,10 +232,9 @@ let input_table ~title mode =
     Table.create ~title [ ("application", Table.Left); ("input size", Table.Left) ]
   in
   List.iter
-    (fun k ->
-      Table.add_row t
-        [ Workloads.name k; Workloads.input_size_description mode k ])
-    Workloads.all;
+    (fun (w : Workload.t) ->
+      Table.add_row t [ w.Workload.name; w.Workload.input_size mode ])
+    (Workloads.all ());
   t
 
 let table5 () =

@@ -58,7 +58,7 @@ type sweep_row = {
 
 val cache_sweep :
   ?jobs:int -> ?machine:Perf.machine -> ?fit:float -> ?line:int ->
-  ?associativity:int -> ?capacities:int list -> Workloads.instance ->
+  ?associativity:int -> ?capacities:int list -> Workload.instance ->
   sweep_row list
 (** Generalization of Fig. 5's x-axis: DVF_a of one application over a
     continuous range of cache capacities (default 4 KB .. 16 MB doubling,

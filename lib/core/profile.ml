@@ -1,7 +1,7 @@
 module Table = Dvf_util.Table
 
 type row = {
-  kernel : Workloads.kernel;
+  workload : string;
   cache : Cachesim.Config.t;
   structure : string;
   dvf : float;
@@ -11,15 +11,15 @@ type row = {
 }
 
 let profile_instance ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
-    ~cache (instance : Workloads.instance) =
-  let spec = instance.Workloads.spec in
-  let time = Perf.app_time machine ~cache ~flops:instance.Workloads.flops spec in
+    ~cache (instance : Workload.instance) =
+  let spec = instance.Workload.spec in
+  let time = Perf.app_time machine ~cache ~flops:instance.Workload.flops spec in
   let app = Dvf.of_spec ~cache ~fit ~time spec in
   let structure_rows =
     List.map
       (fun (s : Dvf.structure_dvf) ->
         {
-          kernel = instance.Workloads.kernel;
+          workload = instance.Workload.workload;
           cache;
           structure = s.Dvf.name;
           dvf = s.Dvf.dvf;
@@ -32,9 +32,9 @@ let profile_instance ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ec
   structure_rows
   @ [
       {
-        kernel = instance.Workloads.kernel;
+        workload = instance.Workload.workload;
         cache;
-        structure = Workloads.name instance.Workloads.kernel;
+        structure = instance.Workload.workload;
         dvf = app.Dvf.total;
         n_ha = List.fold_left (fun acc r -> acc +. r.n_ha) 0.0 structure_rows;
         bytes = Access_patterns.App_spec.total_bytes spec;
@@ -43,14 +43,17 @@ let profile_instance ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ec
     ]
 
 let run_all ?machine ?fit ?(caches = Cachesim.Config.profiling_set)
-    ?(kernels = Workloads.all) () =
+    ?workloads () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> Workloads.all ()
+  in
   List.concat_map
-    (fun kernel ->
-      let instance = Workloads.profiling_instance kernel in
+    (fun workload ->
+      let instance = Workloads.profiling_instance workload in
       List.concat_map
         (fun cache -> profile_instance ?machine ?fit ~cache instance)
         caches)
-    kernels
+    workloads
 
 let to_table rows =
   let t =
@@ -66,7 +69,7 @@ let to_table rows =
     (fun r ->
       Table.add_row t
         [
-          Workloads.name r.kernel; r.structure; r.cache.Cachesim.Config.name;
+          r.workload; r.structure; r.cache.Cachesim.Config.name;
           Format.asprintf "%a" Dvf_util.Units.pp_bytes r.bytes;
           Table.cell_float r.n_ha; Table.cell_float r.time;
           Table.cell_float r.dvf;

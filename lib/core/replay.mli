@@ -1,0 +1,31 @@
+(** Synthetic trace generation from a CGPMAC application spec.
+
+    Native workloads trace their instrumented implementation; a workload
+    loaded from an Aspen model file has no implementation to run.  This
+    module closes the Fig. 4 loop for such workloads by replaying the
+    spec's declared access patterns as a memory trace:
+
+    - a streaming pattern emits one strided traverse (reads, plus a store
+      per element when the pattern writes back);
+    - a template emits its reference sequence with its store flags;
+    - a random pattern emits the construction pass the model assumes
+      (one sequential touch per element) followed by [iterations] rounds
+      of [visits] uniformly-drawn element visits in runs of [run_length],
+      from a fixed-seed generator;
+    - a composition emits its phases in order, [iterations] times; the
+      occurrences of a phase are interleaved by slicing each occurrence's
+      reference stream into [max times] chunks emitted round-robin — a
+      dense matrix–vector product becomes matrix row, vector traverse,
+      matrix row, ... exactly as the kernel it models.
+
+    The replay realizes the model's own assumptions, so simulating it is
+    a consistency check of model vs simulator (the spirit of Fig. 4), not
+    an independent measurement of a real implementation. *)
+
+val trace :
+  Access_patterns.App_spec.t ->
+  Memtrace.Region.t ->
+  Memtrace.Recorder.t ->
+  unit
+(** Registers one region per spec structure, then replays the patterns.
+    Deterministic: equal specs yield equal traces. *)

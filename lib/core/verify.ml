@@ -1,7 +1,7 @@
 module Table = Dvf_util.Table
 
 type row = {
-  kernel : Workloads.kernel;
+  workload : string;
   cache : Cachesim.Config.t;
   structure : string;
   simulated : float;
@@ -11,18 +11,18 @@ type row = {
 let error row =
   Dvf_util.Maths.rel_error ~expected:row.simulated ~actual:row.modeled
 
-let verify_instance ~cache (instance : Workloads.instance) =
+let verify_instance ~cache (instance : Workload.instance) =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.buffered () in
   let sim_cache = Cachesim.Cache.create cache in
   Memtrace.Recorder.add_batch_sink recorder
     (Memtrace.Recorder.cache_batch_sink sim_cache);
-  instance.Workloads.trace registry recorder;
+  instance.Workload.trace registry recorder;
   Memtrace.Recorder.flush recorder;
   Cachesim.Cache.flush sim_cache;
   let stats = Cachesim.Cache.stats sim_cache in
   let modeled =
-    Access_patterns.App_spec.main_memory_accesses ~cache instance.Workloads.spec
+    Access_patterns.App_spec.main_memory_accesses ~cache instance.Workload.spec
   in
   List.map
     (fun (structure, model_value) ->
@@ -31,16 +31,19 @@ let verify_instance ~cache (instance : Workloads.instance) =
         float_of_int
           (Cachesim.Stats.main_memory_accesses stats region.Memtrace.Region.id)
       in
-      { kernel = instance.Workloads.kernel; cache; structure; simulated;
+      { workload = instance.Workload.workload; cache; structure; simulated;
         modeled = model_value })
     modeled
 
-(* Every kernel x cache job owns a private registry/recorder/cache (all
+(* Every workload x cache job owns a private registry/recorder/cache (all
    mutable), so jobs share nothing and the parallel sweep is bit-identical
    to the serial one.  [Parallel.map_list] preserves input order; the
-   serial path below enumerates kernels (outer) then caches (inner), and
+   serial path below enumerates workloads (outer) then caches (inner), and
    the parallel path enumerates the same pairs in the same order. *)
-let run_all ?jobs ?(kernels = Workloads.all) () =
+let run_all ?jobs ?workloads () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> Workloads.all ()
+  in
   let jobs =
     match jobs with
     | Some j -> j
@@ -48,20 +51,20 @@ let run_all ?jobs ?(kernels = Workloads.all) () =
   in
   if jobs <= 1 then
     List.concat_map
-      (fun kernel ->
-        let instance = Workloads.verification_instance kernel in
+      (fun workload ->
+        let instance = Workloads.verification_instance workload in
         List.concat_map
           (fun cache -> verify_instance ~cache instance)
           Cachesim.Config.verification_set)
-      kernels
+      workloads
   else
     Dvf_util.Parallel.with_pool ~jobs (fun pool ->
         (* Building an instance runs the kernel untraced (to learn its
            iteration count); parallelize that too, then fan out over the
-           kernel x cache cross product. *)
+           workload x cache cross product. *)
         let instances =
           Dvf_util.Parallel.Pool.map_list pool Workloads.verification_instance
-            kernels
+            workloads
         in
         let pairs =
           List.concat_map
@@ -76,13 +79,13 @@ let run_all ?jobs ?(kernels = Workloads.all) () =
              (fun (instance, cache) -> verify_instance ~cache instance)
              pairs))
 
-let kernel_error ~rows kernel cache =
+let workload_error ~rows workload cache =
   let relevant =
     List.filter
-      (fun r -> r.kernel = kernel && r.cache.Cachesim.Config.name = cache.Cachesim.Config.name)
+      (fun r -> r.workload = workload && r.cache.Cachesim.Config.name = cache.Cachesim.Config.name)
       rows
   in
-  if relevant = [] then invalid_arg "Verify.kernel_error: no rows";
+  if relevant = [] then invalid_arg "Verify.workload_error: no rows";
   let total_sim = List.fold_left (fun acc r -> acc +. r.simulated) 0.0 relevant in
   let total_model = List.fold_left (fun acc r -> acc +. r.modeled) 0.0 relevant in
   Dvf_util.Maths.rel_error ~expected:total_sim ~actual:total_model
@@ -103,7 +106,7 @@ let to_table rows =
     (fun r ->
       Table.add_row t
         [
-          Workloads.name r.kernel; r.cache.Cachesim.Config.name; r.structure;
+          r.workload; r.cache.Cachesim.Config.name; r.structure;
           Table.cell_float r.simulated; Table.cell_float r.modeled;
           Printf.sprintf "%.1f" (100.0 *. error r);
         ])

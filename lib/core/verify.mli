@@ -1,12 +1,13 @@
 (** Model verification (paper §IV-A, Fig. 4).
 
-    Runs each kernel's instrumented implementation, feeds the trace to the
-    LRU cache simulator, and compares the per-structure main-memory access
-    counts (misses + writebacks) against the CGPMAC analytical estimate.
-    The paper reports estimation error within 15 % in all cases. *)
+    Runs each workload's instrumented implementation (or synthetic replay
+    for model-only workloads), feeds the trace to the LRU cache simulator,
+    and compares the per-structure main-memory access counts (misses +
+    writebacks) against the CGPMAC analytical estimate.  The paper reports
+    estimation error within 15 % in all cases. *)
 
 type row = {
-  kernel : Workloads.kernel;
+  workload : string;   (** registry name, e.g. "CG" *)
   cache : Cachesim.Config.t;
   structure : string;
   simulated : float;   (** misses + writebacks from the cache simulator *)
@@ -17,21 +18,21 @@ val error : row -> float
 (** |modeled - simulated| / simulated. *)
 
 val verify_instance :
-  cache:Cachesim.Config.t -> Workloads.instance -> row list
-(** One kernel instance against one cache configuration. *)
+  cache:Cachesim.Config.t -> Workload.instance -> row list
+(** One workload instance against one cache configuration. *)
 
-val run_all : ?jobs:int -> ?kernels:Workloads.kernel list -> unit -> row list
-(** Fig. 4: every kernel (Table V sizes) against both verification cache
-    configurations.  [kernels] defaults to all six.
+val run_all : ?jobs:int -> ?workloads:Workload.t list -> unit -> row list
+(** Fig. 4: every workload (Table V sizes) against both verification cache
+    configurations.  [workloads] defaults to everything registered.
 
     [jobs] (default [Domain.recommended_domain_count ()]) spreads the
-    independent kernel x cache simulations over that many domains; each
+    independent workload x cache simulations over that many domains; each
     job owns its private region registry, recorder and cache, so the rows
     are identical to the serial run in value and order.  [jobs = 1] takes
     the serial code path exactly. *)
 
-val kernel_error :
-  rows:row list -> Workloads.kernel -> Cachesim.Config.t -> float
-(** Aggregate (total-traffic) error for one kernel/cache pair. *)
+val workload_error : rows:row list -> string -> Cachesim.Config.t -> float
+(** Aggregate (total-traffic) error for one workload/cache pair, by
+    registry name. *)
 
 val to_table : row list -> Dvf_util.Table.t

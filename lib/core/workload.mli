@@ -1,0 +1,49 @@
+(** The open workload registry.
+
+    A workload is everything the experiment drivers need to evaluate and
+    verify an application: Table II metadata, input-size descriptions, and
+    an instance builder producing the CGPMAC spec, flop count and tracer
+    for either problem scale.  The six paper kernels are registered at
+    startup by {!Workloads}; additional workloads — e.g. compiled from an
+    Aspen model file — can be registered at runtime and then flow through
+    {!Verify}, {!Profile}, {!Experiments} and the CLI exactly like the
+    built-ins. *)
+
+type mode = [ `Verification | `Profiling ]
+(** The two problem scales of the paper (Tables V and VI). *)
+
+type instance = {
+  workload : string;                  (** registry name, e.g. "CG" *)
+  label : string;                     (** e.g. "CG 500x500" *)
+  spec : Access_patterns.App_spec.t;
+  flops : int;
+  trace : Memtrace.Region.t -> Memtrace.Recorder.t -> unit;
+}
+
+type t = {
+  name : string;                      (** unique, case-insensitive *)
+  computational_class : string;       (** Table II "computational method class" *)
+  major_structures : string list;     (** Table II "major data structures" *)
+  pattern_classes : string;           (** Table II "memory access patterns" *)
+  example_benchmark : string;         (** Table II "example benchmarks" *)
+  input_size : mode -> string;        (** Table V / Table VI "input size" *)
+  instance : mode -> instance;        (** may run the kernel untraced *)
+  aspen_source : string option;       (** path of an equivalent .aspen model *)
+}
+
+val register : t -> unit
+(** Raises [Invalid_argument] if a workload with the same name (ignoring
+    case) is already registered. *)
+
+val find : string -> t option
+(** Case-insensitive lookup. *)
+
+val of_name : string -> t
+(** Like {!find} but raises [Invalid_argument] naming the registered
+    candidates when the lookup fails. *)
+
+val names : unit -> string list
+(** Registered names, in registration order. *)
+
+val all : unit -> t list
+(** Registered workloads, in registration order. *)

@@ -1,151 +1,170 @@
-type kernel = VM | CG | NB | MG | FT | MC
-
-let all = [ VM; CG; NB; MG; FT; MC ]
-
-let name = function
-  | VM -> "VM"
-  | CG -> "CG"
-  | NB -> "NB"
-  | MG -> "MG"
-  | FT -> "FT"
-  | MC -> "MC"
-
-let computational_class = function
-  | VM -> "Dense linear algebra"
-  | CG -> "Sparse linear algebra"
-  | NB -> "N-body method"
-  | MG -> "Structured grids"
-  | FT -> "Spectral methods"
-  | MC -> "Monte Carlo"
-
-let major_structures = function
-  | VM -> [ "A"; "B"; "C" ]
-  | CG -> [ "A"; "x"; "p"; "r" ]
-  | NB -> [ "T"; "P" ]
-  | MG -> [ "R" ]
-  | FT -> [ "X" ]
-  | MC -> [ "G"; "E" ]
-
-let pattern_classes = function
-  | VM -> "Streaming"
-  | CG -> "Template+Reuse+Streaming"
-  | NB -> "Random"
-  | MG -> "Template-based"
-  | FT -> "Template-based"
-  | MC -> "Random"
-
-let example_benchmark = function
-  | VM -> "Homemade code"
-  | CG -> "NPB CG"
-  | NB -> "Barnes-Hut (GitHub)"
-  | MG -> "NPB MG"
-  | FT -> "NPB FT"
-  | MC -> "XSBench"
-
-type instance = {
-  kernel : kernel;
-  label : string;
-  spec : Access_patterns.App_spec.t;
-  flops : int;
-  trace : Memtrace.Region.t -> Memtrace.Recorder.t -> unit;
-}
+let instance ~workload ~label ~spec ~flops ~trace =
+  { Workload.workload; label; spec; flops; trace }
 
 let vm_instance p label =
-  {
-    kernel = VM;
-    label;
-    spec = Kernels.Vm.spec p;
-    flops = Kernels.Vm.flop_count p;
-    trace = (fun reg rc -> ignore (Kernels.Vm.run reg rc p));
-  }
+  instance ~workload:"VM" ~label ~spec:(Kernels.Vm.spec p)
+    ~flops:(Kernels.Vm.flop_count p)
+    ~trace:(fun reg rc -> ignore (Kernels.Vm.run reg rc p))
 
 let cg_instance p label =
   (* The spec's iteration count is what the kernel actually executes
      (capped by max_iterations), measured on an untraced run. *)
   let result = Kernels.Cg.run_untraced p in
-  {
-    kernel = CG;
-    label;
-    spec = Kernels.Cg.spec ~iterations:result.Kernels.Cg.iterations p;
-    flops = result.Kernels.Cg.flops;
-    trace = (fun reg rc -> ignore (Kernels.Cg.run reg rc p));
-  }
+  instance ~workload:"CG" ~label
+    ~spec:(Kernels.Cg.spec ~iterations:result.Kernels.Cg.iterations p)
+    ~flops:result.Kernels.Cg.flops
+    ~trace:(fun reg rc -> ignore (Kernels.Cg.run reg rc p))
 
 let nb_instance p label =
   let result = Kernels.Barnes_hut.run_untraced p in
-  {
-    kernel = NB;
-    label;
-    spec = Kernels.Barnes_hut.spec ~result p;
-    flops = result.Kernels.Barnes_hut.flops;
-    trace = (fun reg rc -> ignore (Kernels.Barnes_hut.run reg rc p));
-  }
+  instance ~workload:"NB" ~label
+    ~spec:(Kernels.Barnes_hut.spec ~result p)
+    ~flops:result.Kernels.Barnes_hut.flops
+    ~trace:(fun reg rc -> ignore (Kernels.Barnes_hut.run reg rc p))
 
 let mg_instance p label =
   let result = Kernels.Multigrid.run_untraced p in
-  {
-    kernel = MG;
-    label;
-    spec = Kernels.Multigrid.spec p;
-    flops = result.Kernels.Multigrid.flops;
-    trace = (fun reg rc -> ignore (Kernels.Multigrid.run reg rc p));
-  }
+  instance ~workload:"MG" ~label ~spec:(Kernels.Multigrid.spec p)
+    ~flops:result.Kernels.Multigrid.flops
+    ~trace:(fun reg rc -> ignore (Kernels.Multigrid.run reg rc p))
 
 let ft_instance p label =
   let result = Kernels.Fft.run_untraced p in
-  {
-    kernel = FT;
-    label;
-    spec = Kernels.Fft.spec p;
-    flops = result.Kernels.Fft.flops;
-    trace = (fun reg rc -> ignore (Kernels.Fft.run reg rc p));
-  }
+  instance ~workload:"FT" ~label ~spec:(Kernels.Fft.spec p)
+    ~flops:result.Kernels.Fft.flops
+    ~trace:(fun reg rc -> ignore (Kernels.Fft.run reg rc p))
 
 let mc_instance p label =
   let result = Kernels.Monte_carlo.run_untraced p in
+  instance ~workload:"MC" ~label ~spec:(Kernels.Monte_carlo.spec p)
+    ~flops:result.Kernels.Monte_carlo.flops
+    ~trace:(fun reg rc -> ignore (Kernels.Monte_carlo.run reg rc p))
+
+let sizes ~verification ~profiling = function
+  | `Verification -> verification
+  | `Profiling -> profiling
+
+let vm =
   {
-    kernel = MC;
-    label;
-    spec = Kernels.Monte_carlo.spec p;
-    flops = result.Kernels.Monte_carlo.flops;
-    trace = (fun reg rc -> ignore (Kernels.Monte_carlo.run reg rc p));
+    Workload.name = "VM";
+    computational_class = "Dense linear algebra";
+    major_structures = [ "A"; "B"; "C" ];
+    pattern_classes = "Streaming";
+    example_benchmark = "Homemade code";
+    input_size =
+      sizes ~verification:"10^3 integer array" ~profiling:"10^5 integer array";
+    instance =
+      (function
+      | `Verification -> vm_instance Kernels.Vm.verification "VM 10^3"
+      | `Profiling -> vm_instance Kernels.Vm.profiling "VM 10^5");
+    aspen_source = Some "models/vm.aspen";
   }
 
-let verification_instance = function
-  | VM -> vm_instance Kernels.Vm.verification "VM 10^3"
-  | CG ->
-      (* Trace-driven simulation of the full 500x500 solve is feasible
-         but slow in CI; 8 capped iterations exercise every phase. *)
-      cg_instance
-        (Kernels.Cg.make_params ~max_iterations:8 ~tolerance:0.0 500)
-        "CG 500x500 (8 iters)"
-  | NB -> nb_instance Kernels.Barnes_hut.verification "NB 1000 particles"
-  | MG -> mg_instance (Kernels.Multigrid.make_params ~v_cycles:1 32) "MG 32^3"
-  | FT -> ft_instance Kernels.Fft.verification "FT 2^14"
-  | MC -> mc_instance Kernels.Monte_carlo.verification "MC 10^3 lookups"
+let cg =
+  {
+    Workload.name = "CG";
+    computational_class = "Sparse linear algebra";
+    major_structures = [ "A"; "x"; "p"; "r" ];
+    pattern_classes = "Template+Reuse+Streaming";
+    example_benchmark = "NPB CG";
+    input_size =
+      sizes ~verification:"500x500 double matrix"
+        ~profiling:"800x800 double matrix";
+    instance =
+      (function
+      | `Verification ->
+          (* Trace-driven simulation of the full 500x500 solve is feasible
+             but slow in CI; 8 capped iterations exercise every phase. *)
+          cg_instance
+            (Kernels.Cg.make_params ~max_iterations:8 ~tolerance:0.0 500)
+            "CG 500x500 (8 iters)"
+      | `Profiling ->
+          cg_instance
+            (Kernels.Cg.make_params ~max_iterations:25 ~tolerance:0.0 800)
+            "CG 800x800");
+    aspen_source = Some "models/cg.aspen";
+  }
 
-let profiling_instance = function
-  | VM -> vm_instance Kernels.Vm.profiling "VM 10^5"
-  | CG ->
-      cg_instance
-        (Kernels.Cg.make_params ~max_iterations:25 ~tolerance:0.0 800)
-        "CG 800x800"
-  | NB -> nb_instance Kernels.Barnes_hut.profiling "NB 6000 particles"
-  | MG -> mg_instance Kernels.Multigrid.profiling "MG 64^3"
-  | FT -> ft_instance Kernels.Fft.profiling "FT 2^11"
-  | MC -> mc_instance Kernels.Monte_carlo.profiling "MC 10^5 lookups"
+let nb =
+  {
+    Workload.name = "NB";
+    computational_class = "N-body method";
+    major_structures = [ "T"; "P" ];
+    pattern_classes = "Random";
+    example_benchmark = "Barnes-Hut (GitHub)";
+    input_size = sizes ~verification:"1000 particles" ~profiling:"6000 particles";
+    instance =
+      (function
+      | `Verification ->
+          nb_instance Kernels.Barnes_hut.verification "NB 1000 particles"
+      | `Profiling ->
+          nb_instance Kernels.Barnes_hut.profiling "NB 6000 particles");
+    aspen_source = Some "models/nb.aspen";
+  }
 
-let input_size_description mode kernel =
-  match (mode, kernel) with
-  | `Verification, VM -> "10^3 integer array"
-  | `Verification, CG -> "500x500 double matrix"
-  | `Verification, NB -> "1000 particles"
-  | `Verification, MG -> "Problem class = S (32^3)"
-  | `Verification, FT -> "Problem class = S (2^14 points)"
-  | `Verification, MC -> "Size = small, lookups = 10^3"
-  | `Profiling, VM -> "10^5 integer array"
-  | `Profiling, CG -> "800x800 double matrix"
-  | `Profiling, NB -> "6000 particles"
-  | `Profiling, MG -> "Problem class = W (scaled to 64^3)"
-  | `Profiling, FT -> "Problem class = S (2^11 points, ~32KB)"
-  | `Profiling, MC -> "Size = small (16384x32 grid), lookups = 10^5"
+let mg =
+  {
+    Workload.name = "MG";
+    computational_class = "Structured grids";
+    major_structures = [ "R" ];
+    pattern_classes = "Template-based";
+    example_benchmark = "NPB MG";
+    input_size =
+      sizes ~verification:"Problem class = S (32^3)"
+        ~profiling:"Problem class = W (scaled to 64^3)";
+    instance =
+      (function
+      | `Verification ->
+          mg_instance (Kernels.Multigrid.make_params ~v_cycles:1 32) "MG 32^3"
+      | `Profiling -> mg_instance Kernels.Multigrid.profiling "MG 64^3");
+    aspen_source = Some "models/mg.aspen";
+  }
+
+let ft =
+  {
+    Workload.name = "FT";
+    computational_class = "Spectral methods";
+    major_structures = [ "X" ];
+    pattern_classes = "Template-based";
+    example_benchmark = "NPB FT";
+    input_size =
+      sizes ~verification:"Problem class = S (2^14 points)"
+        ~profiling:"Problem class = S (2^11 points, ~32KB)";
+    instance =
+      (function
+      | `Verification -> ft_instance Kernels.Fft.verification "FT 2^14"
+      | `Profiling -> ft_instance Kernels.Fft.profiling "FT 2^11");
+    aspen_source = Some "models/ft.aspen";
+  }
+
+let mc =
+  {
+    Workload.name = "MC";
+    computational_class = "Monte Carlo";
+    major_structures = [ "G"; "E" ];
+    pattern_classes = "Random";
+    example_benchmark = "XSBench";
+    input_size =
+      sizes ~verification:"Size = small, lookups = 10^3"
+        ~profiling:"Size = small (16384x32 grid), lookups = 10^5";
+    instance =
+      (function
+      | `Verification ->
+          mc_instance Kernels.Monte_carlo.verification "MC 10^3 lookups"
+      | `Profiling ->
+          mc_instance Kernels.Monte_carlo.profiling "MC 10^5 lookups");
+    aspen_source = Some "models/mc.aspen";
+  }
+
+(* Registration happens when this module is initialized — before any
+   consumer code runs, since every consumer references this module. *)
+let () = List.iter Workload.register [ vm; cg; nb; mg; ft; mc ]
+
+let all = Workload.all
+let names = Workload.names
+let find = Workload.find
+let of_name = Workload.of_name
+let register = Workload.register
+let verification_instance (w : Workload.t) = w.Workload.instance `Verification
+let profiling_instance (w : Workload.t) = w.Workload.instance `Profiling
+let input_size_description mode (w : Workload.t) = w.Workload.input_size mode

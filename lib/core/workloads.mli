@@ -1,44 +1,38 @@
 (** The six numerical kernels (paper Table II) with the paper's input
-    sizes (Tables V and VI) packaged for the experiment drivers.
+    sizes (Tables V and VI), registered in the open {!Workload} registry.
 
-    An {!instance} bundles everything an experiment needs: the CGPMAC
-    application spec (for the analytical side), the flop count (for the
-    performance model), and — when tractable — a traced runner (for the
-    cache-simulator side of Fig. 4). *)
+    Referencing this module guarantees the built-ins are registered: its
+    initializer runs before any consumer code.  All lookups below are
+    case-insensitive and see runtime registrations (e.g. workloads loaded
+    from Aspen model files) as well as the six built-ins. *)
 
-type kernel = VM | CG | NB | MG | FT | MC
+val vm : Workload.t
+val cg : Workload.t
+val nb : Workload.t
+val mg : Workload.t
+val ft : Workload.t
+val mc : Workload.t
 
-val all : kernel list
-(** Table II order. *)
+val all : unit -> Workload.t list
+(** Every registered workload, Table II order first. *)
 
-val name : kernel -> string
-val computational_class : kernel -> string
-(** Table II's "computational method class". *)
+val names : unit -> string list
 
-val major_structures : kernel -> string list
-(** Table II's "major data structures". *)
+val find : string -> Workload.t option
+(** Case-insensitive registry lookup. *)
 
-val pattern_classes : kernel -> string
-(** Table II's "memory access patterns" summary. *)
+val of_name : string -> Workload.t
+(** Raises [Invalid_argument] naming the candidates on failure. *)
 
-val example_benchmark : kernel -> string
-(** Table II's "example benchmarks" — what the paper ran; ours are
-    reimplementations. *)
+val register : Workload.t -> unit
+(** Re-export of {!Workload.register}. *)
 
-type instance = {
-  kernel : kernel;
-  label : string;                     (** e.g. "CG 500x500" *)
-  spec : Access_patterns.App_spec.t;
-  flops : int;
-  trace : Memtrace.Region.t -> Memtrace.Recorder.t -> unit;
-}
-
-val verification_instance : kernel -> instance
+val verification_instance : Workload.t -> Workload.instance
 (** Table V input sizes — small enough for trace-driven simulation. *)
 
-val profiling_instance : kernel -> instance
+val profiling_instance : Workload.t -> Workload.instance
 (** Table VI input sizes (MG's class W scaled to 64^3 as documented in
     DESIGN.md). *)
 
-val input_size_description : [ `Verification | `Profiling ] -> kernel -> string
+val input_size_description : Workload.mode -> Workload.t -> string
 (** The "Input size" column of Table V / Table VI. *)

@@ -199,3 +199,20 @@ let spec p =
         };
       ]
     ()
+
+(* Make the executed template available to Aspen models:
+   pattern template(elem = 16, provider = "ft/X"). *)
+let () =
+  Ap.Template_provider.register "ft/X" (fun env ->
+      let get name = List.assoc_opt name env in
+      let n =
+        match get "n" with
+        | Some n -> n
+        | None -> failwith "provider \"ft/X\": model needs integer param 'n'"
+      in
+      let p =
+        try make_params ?repeats:(get "repeats") ?seed:(get "seed") n
+        with Invalid_argument m -> failwith m
+      in
+      let refs, writes = reference_stream p in
+      (refs, Some writes))

@@ -291,3 +291,30 @@ let spec p =
         templated "V" v_bytes v_stream;
       ]
     ()
+
+(* Make the V-cycle reference streams available to Aspen models:
+   pattern template(elem = 8, provider = "mg/R") etc.  The model's
+   [cycles] parameter maps to [v_cycles]; smoothing depths default as in
+   [make_params]. *)
+let () =
+  let params_of_env env =
+    let get name = List.assoc_opt name env in
+    let m =
+      match get "m" with
+      | Some m -> m
+      | None -> failwith "provider \"mg/*\": model needs integer param 'm'"
+    in
+    try
+      make_params ?levels:(get "levels") ?v_cycles:(get "cycles")
+        ?post_smooth:(get "post_smooth") ?coarse_smooth:(get "coarse_smooth")
+        m
+    with Invalid_argument msg -> failwith msg
+  in
+  let provider pick env =
+    let r, u, v = reference_streams (params_of_env env) in
+    let refs, writes = pick r u v in
+    (refs, Some writes)
+  in
+  Ap.Template_provider.register "mg/R" (provider (fun r _ _ -> r));
+  Ap.Template_provider.register "mg/U" (provider (fun _ u _ -> u));
+  Ap.Template_provider.register "mg/V" (provider (fun _ _ v -> v))

@@ -147,23 +147,39 @@ let test_dsl_vm_matches_ocaml_api () =
     dsl api
 
 let test_dsl_mg_template () =
-  (* The builtin MG smoother template: 4 streams, each spanning the grid;
-     with n=8 the expansion is small enough to reason about. *)
+  (* The builtin MG model takes its V-cycle reference streams from the
+     "mg/R"/"mg/U"/"mg/V" template providers; with an 8^3 grid and a
+     2-level hierarchy the expansion is small enough to check against a
+     direct provider call. *)
   let file = A.Builtin_models.load () in
-  let app =
-    A.Compile.find_app
-      ~overrides:[ ("n1", 8.0); ("n2", 8.0); ("n3", 8.0) ]
-      file "mg"
-  in
-  let s = List.hd app.A.Compile.spec.Access_patterns.App_spec.structures in
-  match s.Access_patterns.App_spec.pattern with
-  | Some (Access_patterns.Pattern.Templated t) ->
-      let refs = Array.length t.Access_patterns.Template.refs in
-      Alcotest.(check bool)
-        (Printf.sprintf "%d refs, multiple of 4 streams" refs)
-        true
-        (refs > 0 && refs mod 4 = 0)
-  | _ -> Alcotest.fail "MG's R should be templated"
+  let overrides = [ ("m", 8.0); ("levels", 2.0) ] in
+  let app = A.Compile.find_app ~overrides file "mg" in
+  let env = [ ("m", 8); ("levels", 2); ("cycles", 1) ] in
+  List.iter
+    (fun (s : Access_patterns.App_spec.structure) ->
+      let provider_name = "mg/" ^ s.Access_patterns.App_spec.name in
+      match s.Access_patterns.App_spec.pattern with
+      | Some (Access_patterns.Pattern.Templated t) ->
+          let provider =
+            match Access_patterns.Template_provider.find provider_name with
+            | Some p -> p
+            | None -> Alcotest.fail (provider_name ^ " not registered")
+          in
+          let refs, writes = provider env in
+          Alcotest.(check bool)
+            (provider_name ^ " produced refs")
+            true
+            (Array.length refs > 0);
+          Alcotest.(check int)
+            (provider_name ^ " refs match the compiled template")
+            (Array.length refs)
+            (Array.length t.Access_patterns.Template.refs);
+          Alcotest.(check bool) (provider_name ^ " has writes") true
+            (writes <> None)
+      | _ ->
+          Alcotest.fail
+            (s.Access_patterns.App_spec.name ^ " should be templated"))
+    app.A.Compile.spec.Access_patterns.App_spec.structures
 
 let test_order_composition () =
   let src =

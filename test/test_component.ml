@@ -37,20 +37,20 @@ let test_references_exceed_memory_accesses () =
   (* Every main-memory access is caused by a reference, never the other
      way round. *)
   List.iter
-    (fun kernel ->
-      let instance = Core.Workloads.verification_instance kernel in
-      let spec = instance.Core.Workloads.spec in
+    (fun (w : Core.Workload.t) ->
+      let instance = Core.Workloads.verification_instance w in
+      let spec = instance.Core.Workload.spec in
       let refs = Ap.App_spec.cache_references ~cache spec in
       let mem = Ap.App_spec.main_memory_accesses ~cache spec in
       List.iter
         (fun (name, r) ->
           Alcotest.(check bool)
             (Printf.sprintf "%s/%s: refs %.0f >= mem %.0f"
-               (Core.Workloads.name kernel) name r (List.assoc name mem))
+               w.Core.Workload.name name r (List.assoc name mem))
             true
             (r >= List.assoc name mem -. 1e-6))
         refs)
-    [ Core.Workloads.VM; Core.Workloads.NB; Core.Workloads.MC ]
+    [ Core.Workloads.vm; Core.Workloads.nb; Core.Workloads.mc ]
 
 let test_reference_count_matches_trace () =
   (* For VM, the analytical reference count equals the traced event

@@ -21,7 +21,9 @@ let () =
       ("dvf", Test_dvf.suite);
       ("ecc", Test_ecc.suite);
       ("core-misc", Test_core_misc.suite);
+      ("workload", Test_workload.suite);
       ("aspen", Test_aspen.suite);
+      ("models", Test_models.suite);
       ("sparse", Test_sparse.suite);
       ("component", Test_component.suite);
       ("kernel-pcg", Test_pcg.suite);

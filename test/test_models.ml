@@ -1,0 +1,143 @@
+(* The models/ directory: golden round-trip tests for every shipped
+   .aspen file, and the equivalence contract behind the workload
+   registry — for each of the six kernels, the Aspen-compiled spec must
+   reproduce the native OCaml spec's N_ha exactly on every verification
+   cache. *)
+
+module A = Aspen
+
+let model_names = List.map fst A.Builtin_models.sources
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let model_path name = Filename.concat "../models" (name ^ ".aspen")
+
+(* --- the files track builtin_models.ml --- *)
+
+let test_files_match_builtins () =
+  List.iter
+    (fun (name, source) ->
+      Alcotest.(check string)
+        (name ^ ".aspen in sync with Builtin_models")
+        (String.trim source ^ "\n")
+        (read_file (model_path name)))
+    A.Builtin_models.sources
+
+(* --- parse -> pretty-print -> re-parse is the identity on the AST --- *)
+
+let test_files_roundtrip () =
+  List.iter
+    (fun name ->
+      let ast = A.Parser.parse_file (read_file (model_path name)) in
+      let reparsed = A.Parser.parse_file (A.Pretty.to_string ast) in
+      Alcotest.(check bool)
+        (name ^ ".aspen: pretty-printed AST re-parses equal")
+        true (ast = reparsed))
+    model_names
+
+(* --- every file compiles --- *)
+
+let test_files_compile () =
+  List.iter
+    (fun name ->
+      let ast = A.Parser.parse_file (read_file (model_path name)) in
+      let machines = A.Compile.machines ast in
+      let apps = A.Compile.apps ast in
+      Alcotest.(check bool)
+        (name ^ ".aspen: declares a machine or an app")
+        true
+        (machines <> [] || apps <> []))
+    model_names
+
+(* --- Aspen spec == native spec, bit for bit --- *)
+
+let check_equivalence name (native : Access_patterns.App_spec.t) overrides =
+  let file = A.Builtin_models.load () in
+  let app = A.Compile.find_app ~overrides file name in
+  let model = app.A.Compile.spec in
+  List.iter
+    (fun cache ->
+      let n = Access_patterns.App_spec.main_memory_accesses ~cache native in
+      let m = Access_patterns.App_spec.main_memory_accesses ~cache model in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s: structure count" name
+           cache.Cachesim.Config.name)
+        (List.length n) (List.length m);
+      List.iter2
+        (fun (sn, nv) (sm, mv) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: structure order" name
+               cache.Cachesim.Config.name)
+            sn sm;
+          (* Exact: the model is the same arithmetic, not an estimate. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s/%s: N_ha %.6f = %.6f" name
+               cache.Cachesim.Config.name sn nv mv)
+            true
+            (Float.equal nv mv))
+        n m)
+    Cachesim.Config.verification_set
+
+let test_equiv_vm () =
+  let vm = Core.Workloads.verification_instance Core.Workloads.vm in
+  check_equivalence "vm" vm.Core.Workload.spec [ ("n", 1000.) ]
+
+let test_equiv_cg () =
+  let cg = Core.Workloads.verification_instance Core.Workloads.cg in
+  check_equivalence "cg" cg.Core.Workload.spec []
+
+let test_equiv_nb () =
+  (* The NB model's tree parameters are measurements of the octree the
+     kernel actually builds, so take them from a live run. *)
+  let p = Kernels.Barnes_hut.verification in
+  let r = Kernels.Barnes_hut.run_untraced p in
+  check_equivalence "nb"
+    (Kernels.Barnes_hut.spec ~result:r p)
+    [
+      ("bodies", float_of_int p.Kernels.Barnes_hut.particles);
+      ("passes", float_of_int p.Kernels.Barnes_hut.force_passes);
+      ("nodes", float_of_int r.Kernels.Barnes_hut.nodes);
+      ("hot", float_of_int r.Kernels.Barnes_hut.hot_nodes);
+      ( "k",
+        float_of_int
+          (max 0
+             (int_of_float
+                (Float.round
+                   (r.Kernels.Barnes_hut.avg_visits
+                   -. r.Kernels.Barnes_hut.hot_visits)))) );
+    ]
+
+let test_equiv_mg () =
+  let p = Kernels.Multigrid.make_params ~v_cycles:1 32 in
+  check_equivalence "mg" (Kernels.Multigrid.spec p)
+    [ ("m", 32.); ("cycles", 1.) ]
+
+let test_equiv_ft () =
+  check_equivalence "ft"
+    (Kernels.Fft.spec Kernels.Fft.verification)
+    [ ("n", 16384.) ]
+
+let test_equiv_mc () =
+  check_equivalence "mc"
+    (Kernels.Monte_carlo.spec Kernels.Monte_carlo.verification)
+    [ ("lookups", 1000.) ]
+
+let suite =
+  [
+    Alcotest.test_case "files track builtin_models" `Quick
+      test_files_match_builtins;
+    Alcotest.test_case "parse/pretty/parse round trip" `Quick
+      test_files_roundtrip;
+    Alcotest.test_case "every file compiles" `Quick test_files_compile;
+    Alcotest.test_case "VM model = native spec" `Quick test_equiv_vm;
+    Alcotest.test_case "CG model = native spec" `Quick test_equiv_cg;
+    Alcotest.test_case "NB model = native spec" `Quick test_equiv_nb;
+    Alcotest.test_case "MG model = native spec" `Quick test_equiv_mg;
+    Alcotest.test_case "FT model = native spec" `Quick test_equiv_ft;
+    Alcotest.test_case "MC model = native spec" `Quick test_equiv_mc;
+  ]

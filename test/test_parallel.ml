@@ -87,9 +87,9 @@ let test_with_pool_shuts_down_on_exception () =
    the serial sweep's rows — same values (floats compared exactly), same
    order.  VM and MC are the two cheapest kernels. *)
 let test_verify_run_all_deterministic () =
-  let kernels = Core.Workloads.[ VM; MC ] in
-  let serial = Core.Verify.run_all ~jobs:1 ~kernels () in
-  let parallel = Core.Verify.run_all ~jobs:4 ~kernels () in
+  let workloads = [ Core.Workloads.vm; Core.Workloads.mc ] in
+  let serial = Core.Verify.run_all ~jobs:1 ~workloads () in
+  let parallel = Core.Verify.run_all ~jobs:4 ~workloads () in
   Alcotest.(check int) "row count" (List.length serial) (List.length parallel);
   Alcotest.(check bool) "rows bit-identical" true (serial = parallel)
 
@@ -97,7 +97,7 @@ let test_experiments_sweeps_deterministic () =
   let serial = Core.Experiments.fig6 ~jobs:1 ~sizes:[ 100; 200 ] () in
   let parallel = Core.Experiments.fig6 ~jobs:4 ~sizes:[ 100; 200 ] () in
   Alcotest.(check bool) "fig6 rows identical" true (serial = parallel);
-  let instance = Core.Workloads.verification_instance Core.Workloads.VM in
+  let instance = Core.Workloads.verification_instance Core.Workloads.vm in
   let caps = [ 4096; 8192; 16384 ] in
   let s = Core.Experiments.cache_sweep ~jobs:1 ~capacities:caps instance in
   let p = Core.Experiments.cache_sweep ~jobs:4 ~capacities:caps instance in

@@ -1,0 +1,88 @@
+(* The open workload registry (Core.Workload): built-in coverage,
+   case-insensitive lookup, duplicate rejection, and the self-describing
+   unknown-name error. *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_builtins_registered () =
+  let names = Core.Workloads.names () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true (List.mem name names))
+    [ "VM"; "CG"; "NB"; "MG"; "FT"; "MC" ]
+
+let test_of_name_roundtrip () =
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let found = Core.Workloads.of_name w.Core.Workload.name in
+      Alcotest.(check string)
+        (w.Core.Workload.name ^ " round-trips")
+        w.Core.Workload.name found.Core.Workload.name)
+    (Core.Workloads.all ())
+
+let test_find_case_insensitive () =
+  List.iter
+    (fun name ->
+      match Core.Workloads.find name with
+      | Some w ->
+          Alcotest.(check string) (name ^ " resolves") "CG"
+            w.Core.Workload.name
+      | None -> Alcotest.fail (name ^ " should resolve"))
+    [ "CG"; "cg"; "Cg" ]
+
+let test_unknown_name_lists_candidates () =
+  match Core.Workloads.of_name "no-such-workload" with
+  | _ -> Alcotest.fail "lookup should have failed"
+  | exception Invalid_argument m ->
+      Alcotest.(check bool) "names the unknown" true
+        (contains ~needle:"no-such-workload" m);
+      (* The error is self-correcting: it lists what IS registered. *)
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("candidates include " ^ name) true
+            (contains ~needle:name m))
+        [ "VM"; "CG"; "NB"; "MG"; "FT"; "MC" ]
+
+let test_duplicate_rejected () =
+  (* Case differences don't evade the collision check. *)
+  List.iter
+    (fun name ->
+      let clone = { Core.Workloads.vm with Core.Workload.name } in
+      match Core.Workloads.register clone with
+      | () -> Alcotest.fail ("duplicate " ^ name ^ " accepted")
+      | exception Invalid_argument m ->
+          Alcotest.(check bool) "error names the duplicate" true
+            (contains ~needle:name m))
+    [ "VM"; "vm" ]
+
+let test_runtime_registration () =
+  (* A fresh name registers, is visible through every lookup, and then
+     collides with itself. *)
+  let name = "test-registry-probe" in
+  let w = { Core.Workloads.mc with Core.Workload.name } in
+  Core.Workloads.register w;
+  Alcotest.(check bool) "in names ()" true
+    (List.mem name (Core.Workloads.names ()));
+  (match Core.Workloads.find (String.uppercase_ascii name) with
+  | Some found ->
+      Alcotest.(check string) "found case-insensitively" name
+        found.Core.Workload.name
+  | None -> Alcotest.fail "runtime registration not visible");
+  match Core.Workloads.register w with
+  | () -> Alcotest.fail "re-registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "built-ins registered" `Quick test_builtins_registered;
+    Alcotest.test_case "of_name round trip" `Quick test_of_name_roundtrip;
+    Alcotest.test_case "find is case-insensitive" `Quick
+      test_find_case_insensitive;
+    Alcotest.test_case "unknown name lists candidates" `Quick
+      test_unknown_name_lists_candidates;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "runtime registration" `Quick test_runtime_registration;
+  ]
