@@ -8,7 +8,8 @@
      parse       syntax-check and pretty-print a model file
      models      list the builtin models and machines
      components  memory-DVF vs cache-DVF per structure
-     protect     selective-protection coverage curves *)
+     protect     selective-protection coverage curves
+     inject      parallel fault-injection campaigns vs the analytical DVF *)
 
 open Cmdliner
 
@@ -270,6 +271,65 @@ let protect_cmd =
        ~doc:"Selective-protection coverage curves (chipkill on top-k structures)")
     Term.(const run $ target $ workload_pos_args)
 
+(* --- inject: fault-injection campaigns vs the analytical DVF --- *)
+
+let inject_cmd =
+  let trials =
+    let doc = "Trials per structure (default: each injector's own)." in
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Campaign seed; trial RNGs are derived from it." in
+    Arg.(
+      value
+      & opt int Core.Injection.default_seed
+      & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let csv =
+    let doc = "Also write the correlation rows to $(docv) as CSV." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs trials seed csv workloads =
+    let jobs = check_jobs jobs in
+    (match trials with
+    | Some t when t < 1 ->
+        Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
+        exit 1
+    | _ -> ());
+    List.iter
+      (fun (w : Core.Workload.t) ->
+        if Option.is_none w.Core.Workload.injector then
+          Printf.eprintf "note: %s has no fault injector; skipping\n"
+            w.Core.Workload.name)
+      workloads;
+    let results = Core.Injection.run_all ~seed ?trials ~jobs workloads in
+    if results = [] then begin
+      Printf.eprintf "error: none of the selected workloads has an injector\n";
+      exit 1
+    end;
+    List.iter
+      (fun r -> Dvf_util.Table.print (Core.Injection.to_table r))
+      results;
+    let corr = Core.Injection.correlate results in
+    Dvf_util.Table.print (Core.Injection.correlation_table corr);
+    Format.printf "%a" Core.Injection.pp_spearman corr;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Dvf_util.Table.to_csv (Core.Injection.correlation_table corr));
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      csv
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Statistical fault injection per data structure (Wilson confidence \
+          intervals on SDC rates), compared against the analytical DVF by \
+          Spearman rank correlation")
+    Term.(const run $ jobs_arg $ trials $ seed $ csv $ workload_pos_args)
+
 (* --- --model: any Aspen file through the full pipeline --- *)
 
 let run_model path overrides jobs =
@@ -359,7 +419,7 @@ let main_cmd =
     (Cmd.info "dvf" ~version:"1.0.0" ~doc)
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
-      parse_cmd; models_cmd; components_cmd; protect_cmd;
+      parse_cmd; models_cmd; components_cmd; protect_cmd; inject_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -63,6 +63,8 @@ let of_app ?source (app : Compile.app) =
     (* A model has one problem scale: its parameter values.  Both modes
        return the same instance. *)
     instance = (fun _ -> instance);
+    (* An Aspen model has no executable kernel to bombard. *)
+    injector = None;
     aspen_source = source;
   }
 

@@ -1,0 +1,180 @@
+module Fi = Kernels.Fault_injection
+module Ap = Access_patterns
+
+type result = {
+  workload : string;
+  label : string;
+  spec : Ap.App_spec.t;
+  flops : int;
+  seed : int;
+  campaigns : Fi.campaign list;
+}
+
+let default_seed = 1234
+
+(* Fan the full (structure, trial) grid of one injector over the pool.
+   Each trial's RNG comes from [Fi.trial_rng], the same derivation the
+   serial [Fi.run_campaigns] uses, and [Pool.map] preserves input order,
+   so the tallies are bit-identical to the serial run at any job count. *)
+let run_in_pool ~seed ~trials pool ~workload (inj : Fi.injector) =
+  let trials = Option.value trials ~default:inj.Fi.default_trials in
+  if trials < 1 then invalid_arg "Injection.run: trials < 1";
+  let structures = Array.of_list inj.Fi.structures in
+  let tasks =
+    Array.init
+      (Array.length structures * trials)
+      (fun i -> (i / trials, i mod trials))
+  in
+  let outcomes =
+    Dvf_util.Parallel.Pool.map pool
+      (fun (si, t) ->
+        inj.Fi.trial ~structure:structures.(si)
+          (Fi.trial_rng ~seed ~structure_index:si ~trial:t))
+      tasks
+  in
+  let campaigns =
+    List.mapi
+      (fun si structure ->
+        Fi.tally structure
+          (Array.to_list (Array.sub outcomes (si * trials) trials)))
+      inj.Fi.structures
+  in
+  {
+    workload;
+    label = inj.Fi.label;
+    spec = inj.Fi.spec;
+    flops = inj.Fi.flops;
+    seed;
+    campaigns;
+  }
+
+let run ?(seed = default_seed) ?trials ?(jobs = 1) (w : Workload.t) =
+  Option.map
+    (fun make ->
+      Dvf_util.Parallel.with_pool ~jobs (fun pool ->
+          run_in_pool ~seed ~trials pool ~workload:w.Workload.name (make ())))
+    w.Workload.injector
+
+let run_all ?(seed = default_seed) ?trials ?(jobs = 1) ws =
+  Dvf_util.Parallel.with_pool ~jobs (fun pool ->
+      List.filter_map
+        (fun (w : Workload.t) ->
+          Option.map
+            (fun make ->
+              run_in_pool ~seed ~trials pool ~workload:w.Workload.name
+                (make ()))
+            w.Workload.injector)
+        ws)
+
+let to_table r = Fi.to_table ~title:("Fault injection: " ^ r.label) r.campaigns
+
+(* --- correlation against the analytical DVF --- *)
+
+type row = {
+  row_workload : string;
+  structure : string;
+  trials : int;
+  sdc : int;
+  rate : float;
+  ci : float * float;
+  dvf : float;
+}
+
+type correlation = {
+  cache : Cachesim.Config.t;
+  fit : float;
+  rows : row list;
+  per_workload : (string * float) list;
+  overall : float;
+}
+
+let default_fit = 5_000.0
+
+let spearman_of rows =
+  Dvf_util.Maths.spearman
+    (Array.of_list (List.map (fun r -> r.rate) rows))
+    (Array.of_list (List.map (fun r -> r.dvf) rows))
+
+let correlate ?(cache = Cachesim.Config.profiling_8mb) ?(fit = default_fit)
+    ?(machine = Perf.default_machine) results =
+  let rows =
+    List.concat_map
+      (fun r ->
+        let time = Perf.app_time machine ~cache ~flops:r.flops r.spec in
+        let app = Dvf.of_spec ~cache ~fit ~time r.spec in
+        List.map
+          (fun (c : Fi.campaign) ->
+            let dvf =
+              match
+                List.find_opt
+                  (fun (s : Dvf.structure_dvf) ->
+                    String.equal s.Dvf.name c.Fi.structure)
+                  app.Dvf.structures
+              with
+              | Some s -> s.Dvf.dvf
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Injection.correlate: workload %s has no spec \
+                        structure %S"
+                       r.workload c.Fi.structure)
+            in
+            {
+              row_workload = r.workload;
+              structure = c.Fi.structure;
+              trials = c.Fi.trials;
+              sdc = c.Fi.sdc;
+              rate = Fi.sdc_rate c;
+              ci = Fi.sdc_interval c;
+              dvf;
+            })
+          r.campaigns)
+      results
+  in
+  let per_workload =
+    List.filter_map
+      (fun r ->
+        let mine =
+          List.filter (fun row -> String.equal row.row_workload r.workload) rows
+        in
+        let rho = spearman_of mine in
+        if Float.is_nan rho then None else Some (r.workload, rho))
+      results
+  in
+  { cache; fit; rows; per_workload; overall = spearman_of rows }
+
+let correlation_table c =
+  let t =
+    Dvf_util.Table.create
+      ~title:
+        (Printf.sprintf "Empirical SDC rate vs. analytical DVF (%s, FIT %g)"
+           c.cache.Cachesim.Config.name c.fit)
+      [
+        ("workload", Dvf_util.Table.Left); ("structure", Dvf_util.Table.Left);
+        ("trials", Dvf_util.Table.Right); ("SDC", Dvf_util.Table.Right);
+        ("SDC rate", Dvf_util.Table.Right); ("95% CI", Dvf_util.Table.Right);
+        ("DVF", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let lo, hi = r.ci in
+      Dvf_util.Table.add_row t
+        [
+          r.row_workload; r.structure; string_of_int r.trials;
+          string_of_int r.sdc;
+          Printf.sprintf "%.4f" r.rate;
+          Printf.sprintf "[%.4f, %.4f]" lo hi;
+          Printf.sprintf "%.4g" r.dvf;
+        ])
+    c.rows;
+  t
+
+let pp_spearman ppf c =
+  List.iter
+    (fun (w, rho) -> Format.fprintf ppf "Spearman rho (%s): %+.3f@." w rho)
+    c.per_workload;
+  if Float.is_nan c.overall then
+    Format.fprintf ppf "Spearman rho (all structures): n/a@."
+  else
+    Format.fprintf ppf "Spearman rho (all structures): %+.3f@." c.overall

@@ -1,0 +1,76 @@
+(** Parallel fault-injection campaigns over registered workloads, and
+    their comparison against the analytical DVF (the paper's §VI
+    argument, run in both directions: DVF is cheap where injection is
+    expensive, and the two should rank structures alike).
+
+    The engine fans the (structure, trial) grid of a workload's
+    {!Workload.t.injector} over {!Dvf_util.Parallel} domains.  Trial RNGs
+    are derived from [(seed, structure index, trial index)] via
+    splitmix64 ({!Kernels.Fault_injection.trial_rng}), so the tallies are
+    bit-identical to the serial {!Kernels.Fault_injection.run_campaigns}
+    at any job count. *)
+
+type result = {
+  workload : string;                (** registry name, e.g. "CG" *)
+  label : string;                   (** injector label, e.g. "CG n=60" *)
+  spec : Access_patterns.App_spec.t;
+  flops : int;
+  seed : int;
+  campaigns : Kernels.Fault_injection.campaign list;
+}
+
+val default_seed : int
+(** 1234. *)
+
+val run :
+  ?seed:int -> ?trials:int -> ?jobs:int -> Workload.t -> result option
+(** Run one workload's injector ([None] if it has none).  [trials]
+    overrides the injector's default, per structure; [jobs] defaults to
+    1 (serial). *)
+
+val run_all :
+  ?seed:int -> ?trials:int -> ?jobs:int -> Workload.t list -> result list
+(** {!run} for every workload that has an injector, sharing one domain
+    pool across the whole batch.  Workloads without injectors are
+    skipped. *)
+
+val to_table : result -> Dvf_util.Table.t
+(** Per-structure outcome counts, SDC rates and Wilson intervals. *)
+
+(** One (workload, structure) point of the comparison. *)
+type row = {
+  row_workload : string;
+  structure : string;
+  trials : int;
+  sdc : int;
+  rate : float;          (** empirical SDC rate *)
+  ci : float * float;    (** its 95% Wilson interval *)
+  dvf : float;           (** analytical DVF of the same structure *)
+}
+
+type correlation = {
+  cache : Cachesim.Config.t;
+  fit : float;
+  rows : row list;
+  per_workload : (string * float) list;
+      (** Spearman rho per workload, where defined (needs >= 2
+          structures with rank variance) *)
+  overall : float;       (** Spearman rho pooled over all rows *)
+}
+
+val default_fit : float
+(** 5000 failures / (10^9 h * Mbit), the paper's Fig. 5 baseline. *)
+
+val correlate :
+  ?cache:Cachesim.Config.t -> ?fit:float -> ?machine:Perf.machine ->
+  result list -> correlation
+(** Evaluate each result's spec with {!Dvf.of_spec} (execution time from
+    the {!Perf} roofline) and pair every structure's empirical SDC rate
+    with its analytical DVF.  [cache] defaults to
+    {!Cachesim.Config.profiling_8mb}.  Raises [Invalid_argument] if a
+    campaign structure is missing from the spec. *)
+
+val correlation_table : correlation -> Dvf_util.Table.t
+
+val pp_spearman : Format.formatter -> correlation -> unit
+(** The per-workload and pooled rank correlations, one per line. *)

@@ -16,6 +16,7 @@ type t = {
   example_benchmark : string;
   input_size : mode -> string;
   instance : mode -> instance;
+  injector : (unit -> Kernels.Fault_injection.injector) option;
   aspen_source : string option;
 }
 

@@ -28,6 +28,11 @@ type t = {
   example_benchmark : string;         (** Table II "example benchmarks" *)
   input_size : mode -> string;        (** Table V / Table VI "input size" *)
   instance : mode -> instance;        (** may run the kernel untraced *)
+  injector : (unit -> Kernels.Fault_injection.injector) option;
+      (** fault injector at an injection-friendly scale, for {!Injection}
+          campaigns; [None] for workloads with no executable kernel
+          (e.g. ones compiled from Aspen models).  A thunk, so clean-run
+          precomputation is deferred past registration time. *)
   aspen_source : string option;       (** path of an equivalent .aspen model *)
 }
 

@@ -57,6 +57,11 @@ let vm =
       (function
       | `Verification -> vm_instance Kernels.Vm.verification "VM 10^3"
       | `Profiling -> vm_instance Kernels.Vm.profiling "VM 10^5");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.vm_injector
+            (Kernels.Vm.make_params 2_000));
     aspen_source = Some "models/vm.aspen";
   }
 
@@ -82,6 +87,11 @@ let cg =
           cg_instance
             (Kernels.Cg.make_params ~max_iterations:25 ~tolerance:0.0 800)
             "CG 800x800");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.cg_injector
+            (Kernels.Cg.make_params ~max_iterations:200 ~tolerance:1e-9 60));
     aspen_source = Some "models/cg.aspen";
   }
 
@@ -99,6 +109,11 @@ let nb =
           nb_instance Kernels.Barnes_hut.verification "NB 1000 particles"
       | `Profiling ->
           nb_instance Kernels.Barnes_hut.profiling "NB 6000 particles");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.nb_injector
+            (Kernels.Barnes_hut.make_params 400));
     aspen_source = Some "models/nb.aspen";
   }
 
@@ -117,6 +132,11 @@ let mg =
       | `Verification ->
           mg_instance (Kernels.Multigrid.make_params ~v_cycles:1 32) "MG 32^3"
       | `Profiling -> mg_instance Kernels.Multigrid.profiling "MG 64^3");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.mg_injector
+            (Kernels.Multigrid.make_params ~v_cycles:1 16));
     aspen_source = Some "models/mg.aspen";
   }
 
@@ -134,6 +154,10 @@ let ft =
       (function
       | `Verification -> ft_instance Kernels.Fft.verification "FT 2^14"
       | `Profiling -> ft_instance Kernels.Fft.profiling "FT 2^11");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.ft_injector (Kernels.Fft.make_params 512));
     aspen_source = Some "models/ft.aspen";
   }
 
@@ -153,6 +177,12 @@ let mc =
           mc_instance Kernels.Monte_carlo.verification "MC 10^3 lookups"
       | `Profiling ->
           mc_instance Kernels.Monte_carlo.profiling "MC 10^5 lookups");
+    injector =
+      Some
+        (fun () ->
+          Kernels.Fault_injection.mc_injector
+            (Kernels.Monte_carlo.make_params ~grid_points:2_048 ~nuclides:16
+               2_000));
     aspen_source = Some "models/mc.aspen";
   }
 

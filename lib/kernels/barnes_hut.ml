@@ -244,6 +244,50 @@ let run_untraced params =
     ~read_particle:(fun _ -> ())
     ~write_particle:(fun _ -> ())
 
+(* Fault-injection entry.  Same particle set, tree and traversal order as
+   [run_untraced]; the only difference is the [flip_at] boundary check, so
+   an identity [flip] reproduces [run_untraced]'s forces bit-for-bit (the
+   injector's clean reference).  Injectable floats are the concatenated
+   per-field arrays: T = mass | comx | comy | cx | cy | half (6 fields per
+   node), P = px | py | pm | fx | fy (5 fields per particle). *)
+let injection_steps params = params.particles * params.force_passes
+
+let run_injected params ~structure ~flip_at ~pick ~flip =
+  let px, py, pm = gen_particles params in
+  let tree = build_tree params px py pm in
+  let n = params.particles in
+  let fx = Array.make n 0.0 and fy = Array.make n 0.0 in
+  let inject () =
+    let fields, span =
+      match structure with
+      | `T ->
+          (* Only the first [tree.count] slots of the capacity-sized
+             arrays hold live nodes. *)
+          ( [| tree.mass; tree.comx; tree.comy; tree.cx; tree.cy; tree.half |],
+            tree.count )
+      | `P -> ([| px; py; pm; fx; fy |], n)
+    in
+    let idx = pick (Array.length fields * span) in
+    let field = fields.(idx / span) in
+    let e = idx mod span in
+    field.(e) <- flip field.(e)
+  in
+  let touch _ = () in
+  let step = ref 0 in
+  for _pass = 1 to params.force_passes do
+    for i = 0 to n - 1 do
+      if !step = flip_at then inject ();
+      incr step;
+      let x, y =
+        force_from tree params ~touch ~skip:i 0 px.(i) py.(i) (0.0, 0.0)
+      in
+      fx.(i) <- x;
+      fy.(i) <- y
+    done
+  done;
+  if flip_at >= !step then inject ();
+  Array.init n (fun i -> (fx.(i), fy.(i)))
+
 let direct_forces params =
   let px, py, pm = gen_particles params in
   let n = params.particles in

@@ -48,6 +48,27 @@ val run_untraced : params -> result
 val direct_forces : params -> (float * float) array
 (** Exact O(n^2) pairwise forces, for accuracy testing. *)
 
+val injection_steps : params -> int
+(** Number of traversal boundaries a fault can land on
+    ([particles * force_passes]); {!run_injected}'s [flip_at] ranges over
+    [0 .. injection_steps] inclusive (the last value strikes after the
+    final traversal, i.e. the written-back output). *)
+
+val run_injected :
+  params ->
+  structure:[ `T | `P ] ->
+  flip_at:int ->
+  pick:(int -> int) ->
+  flip:(float -> float) ->
+  (float * float) array
+(** Untraced force computation with one fault injected before traversal
+    number [flip_at]: [pick len] chooses which of the structure's [len]
+    injectable floats to corrupt and [flip] corrupts it.  [`T] exposes the
+    live tree nodes' mass / center-of-mass / geometry fields, [`P] the
+    particle positions, masses and force accumulators.  With [flip = Fun.id]
+    the returned forces are bit-identical to [run_untraced]'s — the
+    injector's clean reference. *)
+
 val spec : ?result:result -> params -> Access_patterns.App_spec.t
 (** Random-access model for T parameterized by the measured [nodes] and
     [avg_visits] (from [result], or from an untraced run when absent),

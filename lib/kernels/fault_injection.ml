@@ -1,3 +1,5 @@
+module Ap = Access_patterns
+
 type outcome = Benign | Sdc | Detected
 
 type campaign = {
@@ -6,6 +8,15 @@ type campaign = {
   benign : int;
   sdc : int;
   detected : int;
+}
+
+type injector = {
+  label : string;
+  spec : Ap.App_spec.t;
+  flops : int;
+  structures : string list;
+  default_trials : int;
+  trial : structure:string -> Dvf_util.Rng.t -> outcome;
 }
 
 let sdc_rate c =
@@ -76,17 +87,58 @@ let classify_value ~clean ~tol corrupted =
   else if Dvf_util.Maths.rel_error ~expected:clean ~actual:corrupted > tol then Sdc
   else Benign
 
-let vm_campaign ?(trials = 400) ?(seed = 1234) p =
-  let clean = vm_clean_checksum p in
-  List.map
-    (fun structure ->
-      let rng = Dvf_util.Rng.create (seed + Hashtbl.hash structure) in
+(* Per-element comparison normalized by the clean data's overall
+   magnitude: near-zero elements must not turn round-off into SDC, which
+   a plain relative error per element would. *)
+let classify_array ~clean ~tol corrupted =
+  let scale = ref 0.0 in
+  Array.iter (fun v -> scale := Float.max !scale (Float.abs v)) clean;
+  let scale = Float.max !scale 1e-300 in
+  let worst = ref 0.0 and broken = ref false in
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) then broken := true
+      else worst := Float.max !worst (Float.abs (v -. clean.(i)) /. scale))
+    corrupted;
+  if !broken then Detected else if !worst > tol then Sdc else Benign
+
+(* --- the campaign engine --- *)
+
+(* Every trial's RNG is derived from (campaign seed, structure index,
+   trial index) through the splitmix64 finalizer, so trials are
+   independent of each other and of evaluation order: running them in
+   parallel, in any partition, reproduces the serial outcomes exactly. *)
+let trial_rng ~seed ~structure_index ~trial =
+  Dvf_util.Rng.create
+    (Dvf_util.Rng.sub_seed (Dvf_util.Rng.sub_seed seed structure_index) trial)
+
+let run_campaigns ?(seed = 1234) ?trials inj =
+  let trials = Option.value trials ~default:inj.default_trials in
+  if trials < 1 then invalid_arg "Fault_injection.run_campaigns: trials < 1";
+  List.mapi
+    (fun si structure ->
       let outcomes =
-        List.init trials (fun _ ->
-            classify_value ~clean ~tol:1e-12 (vm_trial p ~rng ~structure))
+        List.init trials (fun t ->
+            inj.trial ~structure (trial_rng ~seed ~structure_index:si ~trial:t))
       in
       tally structure outcomes)
-    [ "A"; "B"; "C" ]
+    inj.structures
+
+let vm_injector ?(trials = 400) p =
+  let clean = vm_clean_checksum p in
+  {
+    label = Printf.sprintf "VM n=%d" p.Vm.n;
+    spec = Vm.spec p;
+    flops = Vm.flop_count p;
+    structures = [ "A"; "B"; "C" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng ->
+        classify_value ~clean ~tol:1e-12 (vm_trial p ~rng ~structure));
+  }
+
+let vm_campaign ?(trials = 400) ?(seed = 1234) p =
+  run_campaigns ~seed ~trials (vm_injector p)
 
 (* --- CG --- *)
 
@@ -146,37 +198,185 @@ let cg_trial (p : Cg.params) ~rng ~structure ~clean_iterations xstar =
     if !err > 1e-5 then Sdc else Benign
   end
 
-let cg_campaign ?(trials = 200) ?(seed = 91) p =
+let cg_injector ?(trials = 200) p =
   let clean = Cg.run_untraced p in
   let clean_iterations = max 1 clean.Cg.iterations in
-  let rng0 = Dvf_util.Rng.create p.Cg.seed in
-  let xstar = Spd.known_solution rng0 p.Cg.n in
-  List.map
-    (fun structure ->
-      let rng = Dvf_util.Rng.create (seed + Hashtbl.hash structure) in
-      let outcomes =
-        List.init trials (fun _ ->
-            cg_trial p ~rng ~structure ~clean_iterations xstar)
-      in
-      tally structure outcomes)
-    [ "A"; "x"; "p"; "r" ]
+  let xstar = Spd.known_solution (Dvf_util.Rng.create p.Cg.seed) p.Cg.n in
+  {
+    label = Printf.sprintf "CG n=%d" p.Cg.n;
+    spec = Cg.spec ~iterations:clean_iterations p;
+    flops = clean.Cg.flops;
+    structures = [ "A"; "x"; "p"; "r" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng -> cg_trial p ~rng ~structure ~clean_iterations xstar);
+  }
 
-let to_table campaigns =
+let cg_campaign ?(trials = 200) ?(seed = 91) p =
+  run_campaigns ~seed ~trials (cg_injector p)
+
+(* --- NB / MG / FT / MC, over the kernels' [run_injected] hooks --- *)
+
+let flatten_pairs a =
+  Array.init
+    (2 * Array.length a)
+    (fun i ->
+      let x, y = a.(i / 2) in
+      if i land 1 = 0 then x else y)
+
+let nb_injector ?(trials = 200) p =
+  let identity_pick _ = 0 in
+  let clean =
+    flatten_pairs
+      (Barnes_hut.run_injected p ~structure:`P ~flip_at:0 ~pick:identity_pick
+         ~flip:Fun.id)
+  in
+  let reference = Barnes_hut.run_untraced p in
+  let steps = Barnes_hut.injection_steps p in
+  {
+    label = Printf.sprintf "NB n=%d" p.Barnes_hut.particles;
+    spec = Barnes_hut.spec ~result:reference p;
+    flops = reference.Barnes_hut.flops;
+    structures = [ "T"; "P" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng ->
+        let s =
+          match structure with "T" -> `T | "P" -> `P | _ -> assert false
+        in
+        let flip_at = Dvf_util.Rng.int rng (steps + 1) in
+        let bit = Dvf_util.Rng.int rng 64 in
+        classify_array ~clean ~tol:1e-9
+          (flatten_pairs
+             (Barnes_hut.run_injected p ~structure:s ~flip_at
+                ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit))));
+  }
+
+let mg_injector ?(trials = 200) p =
+  let identity_pick _ = 0 in
+  let clean_res, clean_sum =
+    Multigrid.run_injected p ~structure:`U ~flip_at:0 ~pick:identity_pick
+      ~flip:Fun.id
+  in
+  let phases = Multigrid.injection_phases p in
+  (* The solution sum can cancel towards zero, so deviations are measured
+     against the problem's own magnitude (the initial residual). *)
+  let scale =
+    Float.max (Float.abs clean_sum)
+      (Float.max clean_res.Multigrid.initial_residual 1e-30)
+  in
+  {
+    label = Printf.sprintf "MG m=%d" p.Multigrid.m;
+    spec = Multigrid.spec p;
+    flops = clean_res.Multigrid.flops;
+    structures = [ "R"; "U"; "V" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng ->
+        let s =
+          match structure with
+          | "R" -> `R
+          | "U" -> `U
+          | "V" -> `V
+          | _ -> assert false
+        in
+        let flip_at = Dvf_util.Rng.int rng (phases + 1) in
+        let bit = Dvf_util.Rng.int rng 64 in
+        let res, usum =
+          Multigrid.run_injected p ~structure:s ~flip_at
+            ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit)
+        in
+        let final = res.Multigrid.final_residual in
+        if not (Float.is_finite final && Float.is_finite usum) then Detected
+        else if final > 10.0 *. clean_res.Multigrid.initial_residual then
+          (* a solver driver would flag the failure to contract *)
+          Detected
+        else if
+          Float.abs (usum -. clean_sum) /. scale > 1e-9
+          || Float.abs (final -. clean_res.Multigrid.final_residual) /. scale
+             > 1e-9
+        then Sdc
+        else Benign);
+  }
+
+let ft_injector ?(trials = 300) p =
+  let identity_pick _ = 0 in
+  let clean =
+    flatten_pairs
+      (Array.map
+         (fun (c : Complex.t) -> (c.Complex.re, c.Complex.im))
+         (Fft.run_injected p ~flip_at:0 ~pick:identity_pick ~flip:Fun.id))
+  in
+  let reference = Fft.run_untraced p in
+  let passes = Fft.injection_passes p in
+  {
+    label = Printf.sprintf "FT n=%d" p.Fft.n;
+    spec = Fft.spec p;
+    flops = reference.Fft.flops;
+    structures = [ "X" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng ->
+        assert (String.equal structure "X");
+        let flip_at = Dvf_util.Rng.int rng (passes + 1) in
+        let bit = Dvf_util.Rng.int rng 64 in
+        classify_array ~clean ~tol:1e-12
+          (flatten_pairs
+             (Array.map
+                (fun (c : Complex.t) -> (c.Complex.re, c.Complex.im))
+                (Fft.run_injected p ~flip_at ~pick:(Dvf_util.Rng.int rng)
+                   ~flip:(flip_bit ~bit)))));
+  }
+
+let mc_injector ?(trials = 200) p =
+  let identity_pick _ = 0 in
+  let clean =
+    Monte_carlo.run_injected p ~structure:`G ~flip_at:0 ~pick:identity_pick
+      ~flip:Fun.id
+  in
+  let lookups = Monte_carlo.injection_lookups p in
+  {
+    label = Printf.sprintf "MC lookups=%d" p.Monte_carlo.lookups;
+    spec = Monte_carlo.spec p;
+    flops = clean.Monte_carlo.flops;
+    structures = [ "G"; "E" ];
+    default_trials = trials;
+    trial =
+      (fun ~structure rng ->
+        let s = match structure with "G" -> `G | "E" -> `E | _ -> assert false in
+        let flip_at = Dvf_util.Rng.int rng lookups in
+        let bit = Dvf_util.Rng.int rng 64 in
+        let res =
+          Monte_carlo.run_injected p ~structure:s ~flip_at
+            ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit)
+        in
+        classify_value ~clean:clean.Monte_carlo.total_xs ~tol:1e-12
+          res.Monte_carlo.total_xs);
+  }
+
+let sdc_interval ?z c =
+  if c.trials = 0 then (0.0, 1.0)
+  else Dvf_util.Maths.wilson_interval ?z ~successes:c.sdc ~trials:c.trials ()
+
+let to_table ?(title = "Fault-injection campaign") campaigns =
   let t =
-    Dvf_util.Table.create ~title:"Fault-injection campaign"
+    Dvf_util.Table.create ~title
       [
         ("structure", Dvf_util.Table.Left); ("trials", Dvf_util.Table.Right);
         ("benign", Dvf_util.Table.Right); ("SDC", Dvf_util.Table.Right);
         ("detected", Dvf_util.Table.Right); ("SDC rate", Dvf_util.Table.Right);
+        ("95% CI", Dvf_util.Table.Right);
       ]
   in
   List.iter
     (fun c ->
+      let lo, hi = sdc_interval c in
       Dvf_util.Table.add_row t
         [
           c.structure; string_of_int c.trials; string_of_int c.benign;
           string_of_int c.sdc; string_of_int c.detected;
-          Printf.sprintf "%.2f" (sdc_rate c);
+          Printf.sprintf "%.4f" (sdc_rate c);
+          Printf.sprintf "[%.4f, %.4f]" lo hi;
         ])
     campaigns;
   t
@@ -186,7 +386,7 @@ let rank_by_sdc campaigns =
     (fun c -> c.structure)
     (List.sort
        (fun a b ->
-         match compare b.sdc a.sdc with
+         match Float.compare (sdc_rate b) (sdc_rate a) with
          | 0 -> compare a.structure b.structure
          | c -> c)
        campaigns)

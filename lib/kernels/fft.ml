@@ -43,9 +43,11 @@ let log2i n =
 (* In-place iterative radix-2 transform; [sign] = -1 forward, +1 inverse
    (without the 1/n scaling).  All element accesses go through [O], so the
    traced kernel and the template generator share the exact pass
-   structure. *)
-let transform (module O : Ops) ~n ~sign ~flops =
+   structure.  [on_pass] fires before the bit-reversal pass and before
+   each butterfly pass — the fault injector's hook. *)
+let transform ?(on_pass = fun () -> ()) (module O : Ops) ~n ~sign ~flops =
   let bits = log2i n in
+  on_pass ();
   for i = 0 to n - 1 do
     let j = bit_reverse ~bits i in
     if i < j then begin
@@ -56,6 +58,7 @@ let transform (module O : Ops) ~n ~sign ~flops =
   done;
   let len = ref 2 in
   while !len <= n do
+    on_pass ();
     let half = !len / 2 in
     let ang = sign *. 2.0 *. Dvf_util.Maths.pi /. float_of_int !len in
     let wlen = { Complex.re = cos ang; im = sin ang } in
@@ -136,6 +139,35 @@ let run_untraced p =
     transform (array_ops work) ~n:p.n ~sign:(-1.0) ~flops
   done;
   finish p ~flops:!flop_total work signal
+
+let injection_passes p = p.repeats * (1 + log2i p.n)
+
+(* Fault-injection entry: the forward transforms of [run_untraced] with
+   one flip in the signal array before pass number [flip_at] (or after the
+   last pass when [flip_at = injection_passes]).  The injectable floats
+   are re(X) | im(X) (2n of them).  Returns the transformed array;
+   [flip = Fun.id] reproduces [run_untraced]'s output bit-for-bit. *)
+let run_injected p ~flip_at ~pick ~flip =
+  let work = Array.copy (gen_signal p) in
+  let inject () =
+    let idx = pick (2 * p.n) in
+    let e = idx mod p.n in
+    let x = work.(e) in
+    work.(e) <-
+      (if idx < p.n then { x with Complex.re = flip x.Complex.re }
+       else { x with Complex.im = flip x.Complex.im })
+  in
+  let step = ref 0 in
+  let on_pass () =
+    if !step = flip_at then inject ();
+    incr step
+  in
+  let no_flops _ = () in
+  for _ = 1 to p.repeats do
+    transform ~on_pass (array_ops work) ~n:p.n ~sign:(-1.0) ~flops:no_flops
+  done;
+  if flip_at >= !step then inject ();
+  work
 
 let fft_in_place a =
   let n = Array.length a in

@@ -48,5 +48,23 @@ val fft_in_place : Complex.t array -> unit
 (** Forward transform of a plain array (untraced); length must be a power
     of two.  Exposed for tests and the quickstart example. *)
 
+val injection_passes : params -> int
+(** Number of pass boundaries a fault can land on
+    ([repeats * (1 + log2 n)]: bit-reversal plus the butterfly passes);
+    {!run_injected}'s [flip_at] ranges over [0 .. injection_passes]
+    inclusive (the last value strikes the finished output). *)
+
+val run_injected :
+  params ->
+  flip_at:int ->
+  pick:(int -> int) ->
+  flip:(float -> float) ->
+  Complex.t array
+(** The forward transforms of [run_untraced] with one fault injected into
+    the signal array "X" before pass number [flip_at]: [pick (2n)]
+    chooses among the real and imaginary components, [flip] corrupts the
+    chosen one.  With [flip = Fun.id] the output is bit-identical to the
+    clean transform — the injector's reference. *)
+
 val spec : params -> Access_patterns.App_spec.t
 (** Template pattern for "X" mirroring the kernel's pass structure. *)

@@ -81,6 +81,45 @@ let run_untraced p =
     ~read_grid:(fun i -> grid.(i))
     ~read_xs:(fun ~nuclide ~point -> xs_value ~nuclide ~point)
 
+let injection_lookups p = p.lookups
+
+(* Fault-injection entry.  Unlike [run_with] — which knows the grid is
+   uniform and derives the interpolation fraction analytically — this
+   loop computes the fraction from the grid energies it reads, the way
+   XSBench does; otherwise every strike on G would be trivially dead.
+   The clean reference is therefore this same function with
+   [flip = Fun.id], not [run_untraced]. *)
+let run_injected p ~structure ~flip_at ~pick ~flip =
+  let g = p.grid_points in
+  let grid = Array.init g (fun i -> float_of_int i /. float_of_int (g - 1)) in
+  let xs =
+    Array.init (g * p.nuclides) (fun i ->
+        xs_value ~nuclide:(i mod p.nuclides) ~point:(i / p.nuclides))
+  in
+  let inject () =
+    let target = match structure with `G -> grid | `E -> xs in
+    let e = pick (Array.length target) in
+    target.(e) <- flip target.(e)
+  in
+  let rng = Dvf_util.Rng.create p.seed in
+  let total = ref 0.0 in
+  let flops = ref 0 in
+  for step = 0 to p.lookups - 1 do
+    if step = flip_at then inject ();
+    let energy = Dvf_util.Rng.float rng 1.0 in
+    let fidx = energy *. float_of_int (g - 1) in
+    let idx = int_of_float fidx in
+    let e_lo = grid.(idx) and e_hi = grid.(idx + 1) in
+    let frac = (energy -. e_lo) /. (e_hi -. e_lo) in
+    for nuc = 0 to p.nuclides - 1 do
+      let lo = xs.((idx * p.nuclides) + nuc) in
+      let hi = xs.(((idx + 1) * p.nuclides) + nuc) in
+      total := !total +. (((1.0 -. frac) *. lo) +. (frac *. hi));
+      flops := !flops + 4
+    done
+  done;
+  { total_xs = !total; flops = !flops }
+
 let spec p =
   let g_bytes = 8 * p.grid_points in
   let e_bytes = 8 * p.grid_points * p.nuclides in

@@ -45,3 +45,22 @@ val run_untraced : params -> result
 val spec : params -> Access_patterns.App_spec.t
 (** Random-access models for G (k = 2 visits/lookup) and E
     (k = 2 * nuclides visits/lookup) with proportional cache shares. *)
+
+val injection_lookups : params -> int
+(** Number of lookup boundaries a fault can land on; {!run_injected}'s
+    [flip_at] ranges over [0 .. injection_lookups - 1] (G and E are pure
+    inputs, so a strike after the last lookup cannot reach the output). *)
+
+val run_injected :
+  params ->
+  structure:[ `G | `E ] ->
+  flip_at:int ->
+  pick:(int -> int) ->
+  flip:(float -> float) ->
+  result
+(** Untraced lookups with one fault injected before lookup [flip_at]:
+    [pick len] chooses the element of the materialized grid (G) or
+    nuclide table (E), [flip] corrupts it.  The interpolation fraction is
+    computed from the grid energies actually read (XSBench-style), so the
+    clean reference is this function with [flip = Fun.id] — {e not}
+    [run_untraced], whose fraction is analytic. *)

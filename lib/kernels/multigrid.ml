@@ -72,7 +72,11 @@ let for_interior s f =
     done
   done
 
-let v_cycle (module O : Ops) p ~flops =
+(* [on_phase] fires before every sweep of the cycle (residual, each
+   restriction, each smoothing pass, each prolongation) — the fault
+   injector's hook; the default is a no-op so traced/untraced runs are
+   untouched. *)
+let v_cycle ?(on_phase = fun () -> ()) (module O : Ops) p ~flops =
   let finest = level_size p 0 in
   (* Relax A U_l = RHS_l in place (Gauss-Seidel, 7-point Laplacian). *)
   let smooth l ~rhs_is_v =
@@ -135,17 +139,22 @@ let v_cycle (module O : Ops) p ~flops =
         flops 1)
   in
   (* One sawtooth V-cycle. *)
+  on_phase ();
   residual_finest ();
   for l = 0 to p.levels - 2 do
+    on_phase ();
     zero_level (l + 1);
     restrict l
   done;
   for _ = 1 to p.coarse_smooth do
+    on_phase ();
     smooth (p.levels - 1) ~rhs_is_v:false
   done;
   for l = p.levels - 2 downto 0 do
+    on_phase ();
     prolong l;
     for _ = 1 to p.post_smooth do
+      on_phase ();
       smooth l ~rhs_is_v:(l = 0)
     done
   done
@@ -226,6 +235,64 @@ let run_untraced p =
     end : Ops)
   in
   run_generic p ~ops ~get_u:(fun i -> u.(i)) ~get_v:(fun i -> vrhs.(i))
+
+let injection_phases p =
+  let per_cycle =
+    1 (* finest residual *)
+    + (p.levels - 1) (* restrictions *)
+    + p.coarse_smooth
+    + ((p.levels - 1) * (1 + p.post_smooth)) (* prolong + post-smooths *)
+  in
+  p.v_cycles * per_cycle
+
+(* Fault-injection entry: [run_untraced] plus one flip before sweep number
+   [flip_at] (or after the last sweep when [flip_at = injection_phases]).
+   Returns the result and the finest-level solution sum — the observable
+   output an SDC must corrupt.  [flip = Fun.id] reproduces [run_untraced]
+   bit-for-bit. *)
+let run_injected p ~structure ~flip_at ~pick ~flip =
+  let total = hierarchy_elements p in
+  let r = Array.make total 0.0 in
+  let u = Array.make total 0.0 in
+  let vrhs = gen_rhs p in
+  let inject () =
+    let target =
+      match structure with `R -> r | `U -> u | `V -> vrhs
+    in
+    let e = pick (Array.length target) in
+    target.(e) <- flip target.(e)
+  in
+  let step = ref 0 in
+  let on_phase () =
+    if !step = flip_at then inject ();
+    incr step
+  in
+  let ops =
+    (module struct
+      let get_r i = r.(i)
+      let set_r i x = r.(i) <- x
+      let get_u i = u.(i)
+      let set_u i x = u.(i) <- x
+      let get_v i = vrhs.(i)
+    end : Ops)
+  in
+  let flop_total = ref 0 in
+  let flops n = flop_total := !flop_total + n in
+  let get_u i = u.(i) and get_v i = vrhs.(i) in
+  let initial_residual = residual_norm ~get_u ~get_v p in
+  for _ = 1 to p.v_cycles do
+    v_cycle ~on_phase ops p ~flops
+  done;
+  if flip_at >= !step then inject ();
+  let result =
+    {
+      initial_residual;
+      final_residual = residual_norm ~get_u ~get_v p;
+      flops = !flop_total;
+    }
+  in
+  let finest = p.m * p.m * p.m in
+  (result, Dvf_util.Maths.sum (Array.sub u 0 finest))
 
 (* Reference-stream generator: execute the same V-cycle with phantom
    values, recording each structure's element indices in order.  This is

@@ -61,3 +61,21 @@ val level_offset : params -> int -> int
 
 val hierarchy_elements : params -> int
 (** Total elements across all levels of R or U. *)
+
+val injection_phases : params -> int
+(** Number of sweep boundaries across all V-cycles a fault can land on;
+    {!run_injected}'s [flip_at] ranges over [0 .. injection_phases]
+    inclusive (the last value strikes after the final sweep). *)
+
+val run_injected :
+  params ->
+  structure:[ `R | `U | `V ] ->
+  flip_at:int ->
+  pick:(int -> int) ->
+  flip:(float -> float) ->
+  result * float
+(** Untraced V-cycles with one fault injected before sweep number
+    [flip_at]: [pick len] chooses the element, [flip] corrupts it.
+    Returns the result plus the finest-level solution sum (the observable
+    output).  With [flip = Fun.id] both are bit-identical to a clean
+    [run_untraced] — the injector's reference. *)

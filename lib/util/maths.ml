@@ -147,3 +147,59 @@ let rel_error ~expected ~actual =
 
 let log1p = Float.log1p
 let expm1 = Float.expm1
+
+let wilson_interval ?(z = 1.959963984540054) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Maths.wilson_interval: trials <= 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Maths.wilson_interval: successes outside 0..trials";
+  if z < 0.0 then invalid_arg "Maths.wilson_interval: negative z";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+
+(* Average ranks (1-based), ties sharing the mean of the positions they
+   occupy — the standard fractional ranking Spearman's rho requires. *)
+let fractional_ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let ranks = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i .. !j hold equal values; mean 1-based rank *)
+    let r = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      ranks.(order.(k)) <- r
+    done;
+    i := !j + 1
+  done;
+  ranks
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Maths.spearman: length mismatch";
+  if n < 2 then Float.nan
+  else begin
+    let rx = fractional_ranks xs and ry = fractional_ranks ys in
+    let mean_rank = float_of_int (n + 1) /. 2.0 in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mean_rank and dy = ry.(i) -. mean_rank in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then Float.nan
+    else !sxy /. sqrt (!sxx *. !syy)
+  end

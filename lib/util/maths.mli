@@ -62,3 +62,18 @@ val rel_error : expected:float -> actual:float -> float
 
 val log1p : float -> float
 val expm1 : float -> float
+
+val wilson_interval :
+  ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** Wilson score interval for a binomial proportion, clamped to [\[0;1\]].
+    [z] defaults to 1.96 (the two-sided 95% normal quantile).  Unlike the
+    Wald interval it stays informative at 0 or [trials] successes — the
+    regime small fault-injection campaigns live in.  Raises
+    [Invalid_argument] on [trials <= 0], successes outside [0..trials],
+    or negative [z]. *)
+
+val spearman : float array -> float array -> float
+(** Spearman's rank correlation coefficient, with fractional (average)
+    ranks for ties.  [nan] when either input has fewer than two elements
+    or zero rank variance (all values equal); raises [Invalid_argument]
+    on length mismatch. *)

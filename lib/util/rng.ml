@@ -2,13 +2,26 @@ type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s
 
 (* splitmix64: used only to expand the seed into the xoshiro state, per the
    generator authors' recommendation. *)
-let splitmix64 state =
+let splitmix64_mix z =
   let open Int64 in
-  state := add !state 0x9E3779B97F4A7C15L;
-  let z = !state in
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
+
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  splitmix64_mix !state
+
+let sub_seed seed index =
+  let open Int64 in
+  (* Key the golden-ratio increment by [index] and mix twice: one pass of
+     the finalizer on an attacker-free input is already a fine integer
+     hash, the second breaks the residual affinity between adjacent
+     (seed, index) pairs.  Unlike [Hashtbl.hash] this is a documented
+     function of the two integers alone — stable across OCaml versions
+     and never truncated to 30 bits. *)
+  let z = add (of_int seed) (mul (add (of_int index) 1L) 0x9E3779B97F4A7C15L) in
+  to_int (splitmix64_mix (splitmix64_mix z))
 
 let create seed =
   let state = ref (Int64.of_int seed) in

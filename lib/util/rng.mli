@@ -37,3 +37,11 @@ val sample_without_replacement : t -> n:int -> k:int -> int array
 
 val split : t -> t
 (** Derive an independent child generator (for per-structure streams). *)
+
+val sub_seed : int -> int -> int
+(** [sub_seed seed index] derives the [index]-th child seed of [seed]
+    through the splitmix64 finalizer.  A pure function of the two
+    integers — unlike [Hashtbl.hash]-based schemes it cannot collide two
+    distinct indices of the same seed in practice, and it is stable
+    across OCaml versions.  Chain calls to derive from a path, e.g.
+    [sub_seed (sub_seed seed structure) trial]. *)

@@ -1,0 +1,295 @@
+(* The injection subsystem: per-kernel injectors (clean-reference and
+   outcome-partition invariants), the serial/parallel campaign engine's
+   bit-identity, and the DVF correlation report. *)
+
+module Fi = Kernels.Fault_injection
+module Inj = Core.Injection
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+let campaign = Alcotest.testable (fun ppf (c : Fi.campaign) ->
+    Format.fprintf ppf "%s: %d/%d/%d of %d" c.Fi.structure c.Fi.benign
+      c.Fi.sdc c.Fi.detected c.Fi.trials)
+    ( = )
+
+(* Small configurations so campaigns stay fast. *)
+let nb_params = Kernels.Barnes_hut.make_params 80
+let mg_params = Kernels.Multigrid.make_params ~v_cycles:1 8
+let ft_params = Kernels.Fft.make_params 64
+let mc_params = Kernels.Monte_carlo.make_params ~grid_points:128 ~nuclides:4 300
+
+let injectors () =
+  [
+    Fi.nb_injector nb_params;
+    Fi.mg_injector mg_params;
+    Fi.ft_injector ft_params;
+    Fi.mc_injector mc_params;
+  ]
+
+(* --- identity flips reproduce the clean run --- *)
+
+let test_nb_identity_flip_is_clean () =
+  let injected =
+    Kernels.Barnes_hut.run_injected nb_params ~structure:`P ~flip_at:0
+      ~pick:(fun _ -> 0) ~flip:Fun.id
+  in
+  let reference = (Kernels.Barnes_hut.run_untraced nb_params).Kernels.Barnes_hut.forces in
+  Alcotest.(check int) "lengths" (Array.length reference) (Array.length injected);
+  Array.iteri
+    (fun i (fx, fy) ->
+      let rx, ry = reference.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "force %d bit-identical" i)
+        true
+        (Int64.bits_of_float fx = Int64.bits_of_float rx
+        && Int64.bits_of_float fy = Int64.bits_of_float ry))
+    injected
+
+let test_mg_identity_flip_is_clean () =
+  let res, _ =
+    Kernels.Multigrid.run_injected mg_params ~structure:`U ~flip_at:0
+      ~pick:(fun _ -> 0) ~flip:Fun.id
+  in
+  let reference = Kernels.Multigrid.run_untraced mg_params in
+  Alcotest.(check bool) "final residual bit-identical" true
+    (Int64.bits_of_float res.Kernels.Multigrid.final_residual
+    = Int64.bits_of_float reference.Kernels.Multigrid.final_residual)
+
+let test_ft_identity_flip_is_clean () =
+  let injected =
+    Kernels.Fft.run_injected ft_params ~flip_at:0 ~pick:(fun _ -> 0)
+      ~flip:Fun.id
+  in
+  let checksum =
+    Array.fold_left (fun acc x -> acc +. Complex.norm x) 0.0 injected
+  in
+  let reference = Kernels.Fft.run_untraced ft_params in
+  Alcotest.(check bool) "checksum bit-identical" true
+    (Int64.bits_of_float checksum
+    = Int64.bits_of_float reference.Kernels.Fft.checksum)
+
+let test_mc_identity_flip_matches_untraced () =
+  (* MC's injected loop interpolates from the grid values it reads, so
+     it is numerically (not bit-) equivalent to the analytic loop. *)
+  let injected =
+    Kernels.Monte_carlo.run_injected mc_params ~structure:`G ~flip_at:0
+      ~pick:(fun _ -> 0) ~flip:Fun.id
+  in
+  let reference = Kernels.Monte_carlo.run_untraced mc_params in
+  Alcotest.(check bool) "totals agree to 1e-9" true
+    (Dvf_util.Maths.rel_error
+       ~expected:reference.Kernels.Monte_carlo.total_xs
+       ~actual:injected.Kernels.Monte_carlo.total_xs
+    < 1e-9)
+
+(* --- every injector: determinism + outcome partition --- *)
+
+let test_injector_invariants () =
+  List.iter
+    (fun (inj : Fi.injector) ->
+      let a = Fi.run_campaigns ~seed:5 ~trials:25 inj in
+      let b = Fi.run_campaigns ~seed:5 ~trials:25 inj in
+      Alcotest.(check (list campaign)) (inj.Fi.label ^ " deterministic") a b;
+      Alcotest.(check int)
+        (inj.Fi.label ^ " one campaign per structure")
+        (List.length inj.Fi.structures)
+        (List.length a);
+      List.iter
+        (fun (c : Fi.campaign) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s outcomes partition trials" inj.Fi.label
+               c.Fi.structure)
+            c.Fi.trials
+            (c.Fi.benign + c.Fi.sdc + c.Fi.detected))
+        a;
+      (* A different seed draws different strikes somewhere. *)
+      let c = Fi.run_campaigns ~seed:6 ~trials:25 inj in
+      Alcotest.(check bool)
+        (inj.Fi.label ^ " seed matters")
+        true (a <> c);
+      (* Strikes are not universally harmless: with high bits in play
+         some trial must corrupt or crash the output. *)
+      Alcotest.(check bool)
+        (inj.Fi.label ^ " some non-benign outcome")
+        true
+        (List.exists (fun c -> c.Fi.sdc + c.Fi.detected > 0) a))
+    (injectors ())
+
+let test_injector_structures_match_spec () =
+  (* The correlation report joins campaigns to spec structures by name;
+     every injector must keep them aligned. *)
+  List.iter
+    (fun (inj : Fi.injector) ->
+      let spec_names =
+        List.map
+          (fun (s : Access_patterns.App_spec.structure) ->
+            s.Access_patterns.App_spec.name)
+          inj.Fi.spec.Access_patterns.App_spec.structures
+      in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s in spec" inj.Fi.label s)
+            true (List.mem s spec_names))
+        inj.Fi.structures)
+    (injectors ())
+
+(* --- engine: parallel runs are bit-identical to serial --- *)
+
+let test_parallel_matches_serial () =
+  let inj = Fi.mc_injector mc_params in
+  let serial = Fi.run_campaigns ~seed:11 ~trials:40 inj in
+  let fake_workload name injector =
+    {
+      Core.Workload.name;
+      computational_class = "test";
+      major_structures = inj.Fi.structures;
+      pattern_classes = "test";
+      example_benchmark = "test";
+      input_size = (fun _ -> "test");
+      instance = (fun _ -> failwith "not used");
+      injector;
+      aspen_source = None;
+    }
+  in
+  let w = fake_workload "MCTEST" (Some (fun () -> inj)) in
+  List.iter
+    (fun jobs ->
+      match Inj.run ~seed:11 ~trials:40 ~jobs w with
+      | None -> Alcotest.fail "injector went missing"
+      | Some r ->
+          Alcotest.(check (list campaign))
+            (Printf.sprintf "-j %d bit-identical to serial" jobs)
+            serial r.Inj.campaigns)
+    [ 1; 4 ];
+  Alcotest.(check (option reject)) "no injector -> None"
+    None
+    (Option.map ignore (Inj.run (fake_workload "NOINJ" None)))
+
+let test_run_all_skips_and_shares_pool () =
+  let inj = Fi.ft_injector ft_params in
+  let mk name injector =
+    {
+      Core.Workload.name;
+      computational_class = "test";
+      major_structures = [];
+      pattern_classes = "test";
+      example_benchmark = "test";
+      input_size = (fun _ -> "test");
+      instance = (fun _ -> failwith "not used");
+      injector;
+      aspen_source = None;
+    }
+  in
+  let results =
+    Inj.run_all ~seed:3 ~trials:10 ~jobs:2
+      [ mk "A1" (Some (fun () -> inj)); mk "SKIP" None;
+        mk "A2" (Some (fun () -> inj)) ]
+  in
+  Alcotest.(check (list string)) "skips injector-less workloads"
+    [ "A1"; "A2" ]
+    (List.map (fun r -> r.Inj.workload) results);
+  let a1 = List.nth results 0 and a2 = List.nth results 1 in
+  Alcotest.(check (list campaign)) "same injector+seed, same tallies"
+    a1.Inj.campaigns a2.Inj.campaigns
+
+(* --- registered workloads all carry injectors --- *)
+
+let test_builtin_workloads_have_injectors () =
+  List.iter
+    (fun name ->
+      let w = Core.Workloads.of_name name in
+      Alcotest.(check bool) (name ^ " has injector") true
+        (Option.is_some w.Core.Workload.injector))
+    [ "VM"; "CG"; "NB"; "MG"; "FT"; "MC" ]
+
+(* --- rank-by-rate regression (unequal trial counts) --- *)
+
+let test_rank_by_rate_not_count () =
+  let mk structure trials sdc =
+    { Fi.structure; trials; benign = trials - sdc; sdc; detected = 0 }
+  in
+  (* B has more raw SDCs (12 > 10) but a 4x lower rate; ranking by count
+     -- the old bug -- would put B first. *)
+  Alcotest.(check (list string)) "rate beats count"
+    [ "A"; "B" ]
+    (Fi.rank_by_sdc [ mk "B" 400 12; mk "A" 100 10 ]);
+  Alcotest.(check (list string)) "equal rates tie-break by name"
+    [ "a"; "b"; "c" ]
+    (Fi.rank_by_sdc [ mk "c" 300 30; mk "b" 100 10; mk "a" 200 20 ])
+
+let test_table_has_rate_precision_and_ci () =
+  let c = { Fi.structure = "S"; trials = 300; benign = 299; sdc = 1; detected = 0 } in
+  let rendered = Dvf_util.Table.render (Fi.to_table [ c ]) in
+  (* %.2f would print 0.00 for 1/300; the fix demands 4 decimals plus a
+     Wilson interval column. *)
+  Alcotest.(check bool) "rate printed as 0.0033" true
+    (contains ~needle:"0.0033" rendered);
+  Alcotest.(check bool) "CI column present" true
+    (contains ~needle:"95% CI" rendered)
+
+(* --- correlation --- *)
+
+let test_correlate () =
+  let results =
+    Inj.run_all ~seed:2 ~trials:15 ~jobs:1
+      [ Core.Workloads.of_name "VM"; Core.Workloads.of_name "FT" ]
+  in
+  let corr = Inj.correlate results in
+  Alcotest.(check int) "one row per (workload, structure)" 4
+    (List.length corr.Inj.rows);
+  List.iter
+    (fun (r : Inj.row) ->
+      let lo, hi = r.Inj.ci in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: rate inside its CI" r.Inj.row_workload
+           r.Inj.structure)
+        true
+        (lo <= r.Inj.rate && r.Inj.rate <= hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: positive DVF" r.Inj.row_workload
+           r.Inj.structure)
+        true (r.Inj.dvf > 0.0))
+    corr.Inj.rows;
+  (* VM has 3 distinct structures; its rho is defined unless the rates
+     all tie, and always within [-1, 1] when present. *)
+  List.iter
+    (fun (_, rho) ->
+      Alcotest.(check bool) "rho in [-1,1]" true (rho >= -1.0 && rho <= 1.0))
+    corr.Inj.per_workload;
+  let table = Dvf_util.Table.render (Inj.correlation_table corr) in
+  Alcotest.(check bool) "correlation table renders" true
+    (String.length table > 100);
+  let spearman_text = Format.asprintf "%a" Inj.pp_spearman corr in
+  Alcotest.(check bool) "spearman report mentions the pooled rho" true
+    (contains ~needle:"all structures" spearman_text)
+
+let suite =
+  [
+    Alcotest.test_case "NB identity flip = clean run" `Quick
+      test_nb_identity_flip_is_clean;
+    Alcotest.test_case "MG identity flip = clean run" `Quick
+      test_mg_identity_flip_is_clean;
+    Alcotest.test_case "FT identity flip = clean run" `Quick
+      test_ft_identity_flip_is_clean;
+    Alcotest.test_case "MC identity flip ~ untraced" `Quick
+      test_mc_identity_flip_matches_untraced;
+    Alcotest.test_case "injector invariants (NB MG FT MC)" `Slow
+      test_injector_invariants;
+    Alcotest.test_case "injector structures match spec" `Quick
+      test_injector_structures_match_spec;
+    Alcotest.test_case "parallel bit-identical to serial" `Slow
+      test_parallel_matches_serial;
+    Alcotest.test_case "run_all skips and shares pool" `Quick
+      test_run_all_skips_and_shares_pool;
+    Alcotest.test_case "builtins carry injectors" `Quick
+      test_builtin_workloads_have_injectors;
+    Alcotest.test_case "rank by rate, not count" `Quick
+      test_rank_by_rate_not_count;
+    Alcotest.test_case "table precision and CI" `Quick
+      test_table_has_rate_precision_and_ci;
+    Alcotest.test_case "DVF correlation report" `Slow test_correlate;
+  ]

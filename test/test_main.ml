@@ -29,4 +29,5 @@ let () =
       ("kernel-pcg", Test_pcg.suite);
       ("selective", Test_selective.suite);
       ("fault-injection", Test_fault_injection.suite);
+      ("injection", Test_injection.suite);
     ]

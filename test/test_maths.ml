@@ -172,6 +172,46 @@ let prop_choose_monotone_in_n =
       let k = min k n in
       M.choose (n + 1) k >= M.choose n k -. 1e-9)
 
+
+let test_wilson_interval () =
+  (* Symmetric case against hand-computed values. *)
+  let lo, hi = M.wilson_interval ~successes:5 ~trials:10 () in
+  Alcotest.(check (float 1e-3)) "5/10 lo" 0.2366 lo;
+  Alcotest.(check (float 1e-3)) "5/10 hi" 0.7634 hi;
+  (* Zero successes: lower bound exactly 0, upper still informative. *)
+  let lo0, hi0 = M.wilson_interval ~successes:0 ~trials:10 () in
+  Alcotest.(check (float 1e-12)) "0/10 lo" 0.0 lo0;
+  Alcotest.(check bool) "0/10 hi in (0,0.35)" true (hi0 > 0.0 && hi0 < 0.35);
+  (* All successes mirrors it. *)
+  let lo1, hi1 = M.wilson_interval ~successes:10 ~trials:10 () in
+  Alcotest.(check (float 1e-12)) "10/10 hi" 1.0 hi1;
+  Alcotest.(check (float 1e-9)) "mirror" (1.0 -. hi0) lo1;
+  (* z = 0 collapses to the point estimate. *)
+  let loz, hiz = M.wilson_interval ~z:0.0 ~successes:3 ~trials:12 () in
+  Alcotest.(check (float 1e-12)) "z=0 lo" 0.25 loz;
+  Alcotest.(check (float 1e-12)) "z=0 hi" 0.25 hiz;
+  Alcotest.check_raises "trials <= 0"
+    (Invalid_argument "Maths.wilson_interval: trials <= 0") (fun () ->
+      ignore (M.wilson_interval ~successes:0 ~trials:0 ()))
+
+let test_spearman () =
+  let check_rho name expected xs ys =
+    Alcotest.(check (float 1e-9)) name expected (M.spearman xs ys)
+  in
+  check_rho "monotone" 1.0 [| 1.0; 2.0; 5.0 |] [| 10.0; 20.0; 21.0 |];
+  check_rho "reversed" (-1.0) [| 1.0; 2.0; 3.0 |] [| 3.0; 1.0; 0.5 |];
+  (* Ties get fractional ranks: x = [1; 2.5; 2.5; 4] vs y = [1;2;3;4]. *)
+  let rho = M.spearman [| 1.0; 2.0; 2.0; 3.0 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check bool) "ties: strong but imperfect" true
+    (rho > 0.9 && rho < 1.0);
+  Alcotest.(check bool) "constant input is nan" true
+    (Float.is_nan (M.spearman [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]));
+  Alcotest.(check bool) "short input is nan" true
+    (Float.is_nan (M.spearman [| 1.0 |] [| 2.0 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Maths.spearman: length mismatch") (fun () ->
+      ignore (M.spearman [| 1.0 |] [| 1.0; 2.0 |]))
+
 let suite =
   [
     Alcotest.test_case "lgamma small integers" `Quick test_lgamma_small_integers;
@@ -194,6 +234,8 @@ let suite =
     Alcotest.test_case "kahan summation" `Quick test_kahan_sum;
     Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
     Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+    Alcotest.test_case "spearman" `Quick test_spearman;
     QCheck_alcotest.to_alcotest prop_binomial_normalizes;
     QCheck_alcotest.to_alcotest prop_hypergeom_normalizes;
     QCheck_alcotest.to_alcotest prop_choose_monotone_in_n;

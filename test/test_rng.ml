@@ -108,6 +108,31 @@ let test_split_independent () =
   done;
   Alcotest.(check bool) "split differs from parent" true !differs
 
+
+let test_sub_seed () =
+  (* Deterministic, and collision-free across a dense coordinate grid --
+     the property the [seed + Hashtbl.hash structure] scheme it replaced
+     did not have. *)
+  Alcotest.(check int) "deterministic" (R.sub_seed 7 3) (R.sub_seed 7 3);
+  let seen = Hashtbl.create 4096 in
+  for seed = 0 to 31 do
+    for index = 0 to 63 do
+      let s = R.sub_seed seed index in
+      (match Hashtbl.find_opt seen s with
+      | Some (seed', index') ->
+          Alcotest.failf "collision: (%d,%d) and (%d,%d) -> %d" seed index
+            seed' index' s
+      | None -> ());
+      Hashtbl.add seen s (seed, index)
+    done
+  done;
+  (* Chaining derives a fresh stream per (structure, trial) coordinate. *)
+  let a = R.create (R.sub_seed (R.sub_seed 1234 0) 0) in
+  let b = R.create (R.sub_seed (R.sub_seed 1234 0) 1) in
+  let c = R.create (R.sub_seed (R.sub_seed 1234 1) 0) in
+  let da = R.bits64 a and db = R.bits64 b and dc = R.bits64 c in
+  Alcotest.(check bool) "streams differ" true (da <> db && db <> dc && da <> dc)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -126,4 +151,5 @@ let suite =
     Alcotest.test_case "sample full population" `Quick
       test_sample_full_population;
     Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "sub_seed derivation" `Quick test_sub_seed;
   ]
