@@ -11,7 +11,12 @@
    domain count for the parallel sections (fig4, fig6, sweep, inject); the
    default
    is Domain.recommended_domain_count, and [-j 1] forces the serial
-   path. *)
+   path.
+
+   Every run also writes BENCH_dvf.json — a machine-readable performance
+   snapshot (command, cache geometry, job count, wall-clock, trace-replay
+   events/sec, and the full telemetry document) — so CI can archive
+   per-commit performance without parsing the human-readable tables. *)
 
 let section_header title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -28,9 +33,9 @@ let run_tables () =
 
 (* --- Fig. 4: model verification --- *)
 
-let run_fig4 ~jobs () =
+let run_fig4 ~jobs ~telemetry () =
   section_header "Fig. 4 - Model verification (trace-driven simulation vs CGPMAC)";
-  let rows = Core.Verify.run_all ~jobs () in
+  let rows = Core.Verify.run_all ~jobs ~telemetry () in
   Dvf_util.Table.print (Core.Verify.to_table rows);
   let summary =
     Dvf_util.Table.create ~title:"Aggregate (total-traffic) error per kernel"
@@ -90,9 +95,9 @@ let run_fig5 () =
 
 (* --- Fig. 6: CG vs PCG --- *)
 
-let run_fig6 ~jobs () =
+let run_fig6 ~jobs ~telemetry () =
   section_header "Fig. 6 - Algorithm optimization (CG vs PCG)";
-  let rows = Core.Experiments.fig6 ~jobs () in
+  let rows = Core.Experiments.fig6 ~jobs ~telemetry () in
   Dvf_util.Table.print (Core.Experiments.fig6_table rows);
   let crossover =
     List.find_opt
@@ -138,14 +143,15 @@ let run_ablation () =
       Cachesim.Cache.access c ~owner:2 ~write:false
         ~addr:((1 lsl 24) + (b * line)) ~size:1
     done;
-    let before =
-      (Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1).Cachesim.Stats.misses
+    let misses () =
+      let snap = Cachesim.Stats.snapshot (Cachesim.Cache.stats c) in
+      (Cachesim.Stats.Snapshot.owner snap 1).Cachesim.Stats.misses
     in
+    let before = misses () in
     for b = 0 to fa - 1 do
       Cachesim.Cache.access c ~owner:1 ~write:false ~addr:(b * line) ~size:1
     done;
-    (Cachesim.Stats.owner_counters (Cachesim.Cache.stats c) 1).Cachesim.Stats.misses
-    - before
+    misses () - before
   in
   let t =
     Dvf_util.Table.create
@@ -195,11 +201,12 @@ let run_ablation () =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let c = Cachesim.Cache.create cache in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink c);
+  ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink c));
   ignore (Kernels.Monte_carlo.run registry recorder mc);
   Cachesim.Cache.flush c;
   let sim_total =
-    Cachesim.Stats.total_main_memory_accesses (Cachesim.Cache.stats c)
+    Cachesim.Stats.Snapshot.total_main_memory
+      (Cachesim.Stats.snapshot (Cachesim.Cache.stats c))
   in
   let model_total run_length_aware =
     let spec = Kernels.Monte_carlo.spec mc in
@@ -262,12 +269,12 @@ let run_ablation () =
 
 (* --- Cache-capacity sweep (Fig. 5's x-axis at full resolution) --- *)
 
-let run_sweep ~jobs () =
+let run_sweep ~jobs ~telemetry () =
   section_header "Cache-capacity sweep (DVF_a, 4KB..16MB, 8-way, 64B lines)";
   List.iter
     (fun workload ->
       let instance = Core.Workloads.profiling_instance workload in
-      let rows = Core.Experiments.cache_sweep ~jobs instance in
+      let rows = Core.Experiments.cache_sweep ~jobs ~telemetry instance in
       Dvf_util.Table.print
         (Core.Experiments.cache_sweep_table
            ~label:instance.Core.Workload.label rows))
@@ -294,10 +301,11 @@ let run_sparse () =
       let registry = Memtrace.Region.create () in
       let recorder = Memtrace.Recorder.create () in
       let cache = Cachesim.Cache.create cfg in
-      Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+      ignore
+        (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
       let result = Kernels.Sparse_cg.run registry recorder p in
       Cachesim.Cache.flush cache;
-      let stats = Cachesim.Cache.stats cache in
+      let snap = Cachesim.Stats.snapshot (Cachesim.Cache.stats cache) in
       let spec =
         Kernels.Sparse_cg.spec ~iterations:result.Kernels.Sparse_cg.iterations p
       in
@@ -311,7 +319,7 @@ let run_sparse () =
           sim :=
             !sim
             +. float_of_int
-                 (Cachesim.Stats.main_memory_accesses stats
+                 (Cachesim.Stats.Snapshot.owner_main_memory snap
                     region.Memtrace.Region.id);
           model := !model +. m)
         modeled;
@@ -361,14 +369,14 @@ let run_component () =
 
 (* --- Fault injection vs DVF --- *)
 
-let run_inject ~jobs () =
+let run_inject ~jobs ~telemetry () =
   section_header
     "Fault injection vs DVF (the comparator methodology, paper SS I / SS VI)";
   let cache = Cachesim.Config.profiling_8mb in
   (* All six registered workloads through the injection subsystem, trials
      fanned out over [jobs] domains. *)
   let start = Unix.gettimeofday () in
-  let results = Core.Injection.run_all ~jobs (Core.Workloads.all ()) in
+  let results = Core.Injection.run_all ~jobs ~telemetry (Core.Workloads.all ()) in
   let inject_seconds = Unix.gettimeofday () -. start in
   List.iter
     (fun r -> Dvf_util.Table.print (Core.Injection.to_table r))
@@ -515,14 +523,18 @@ let run_speed () =
                let registry = Memtrace.Region.create () in
                let recorder = Memtrace.Recorder.create () in
                let c = Cachesim.Cache.create cache in
-               Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink c);
+               ignore
+                 (Memtrace.Recorder.add_sink recorder
+                    (Memtrace.Recorder.cache_sink c));
                ignore (Kernels.Vm.run registry recorder vm)));
         Test.make ~name:"simulation: MC trace + LRU cache"
           (Staged.stage (fun () ->
                let registry = Memtrace.Region.create () in
                let recorder = Memtrace.Recorder.create () in
                let c = Cachesim.Cache.create cache in
-               Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink c);
+               ignore
+                 (Memtrace.Recorder.add_sink recorder
+                    (Memtrace.Recorder.cache_sink c));
                ignore (Kernels.Monte_carlo.run registry recorder mc)));
       ]
   in
@@ -554,19 +566,66 @@ let run_speed () =
 
 let sections =
   [
-    ("tables", fun ~jobs:_ () -> run_tables ());
+    ("tables", fun ~jobs:_ ~telemetry:_ () -> run_tables ());
     ("fig4", run_fig4);
-    ("fig5", fun ~jobs:_ () -> run_fig5 ());
+    ("fig5", fun ~jobs:_ ~telemetry:_ () -> run_fig5 ());
     ("fig6", run_fig6);
-    ("fig7", fun ~jobs:_ () -> run_fig7 ());
+    ("fig7", fun ~jobs:_ ~telemetry:_ () -> run_fig7 ());
     ("sweep", run_sweep);
-    ("ablation", fun ~jobs:_ () -> run_ablation ());
-    ("sparse", fun ~jobs:_ () -> run_sparse ());
-    ("component", fun ~jobs:_ () -> run_component ());
+    ("ablation", fun ~jobs:_ ~telemetry:_ () -> run_ablation ());
+    ("sparse", fun ~jobs:_ ~telemetry:_ () -> run_sparse ());
+    ("component", fun ~jobs:_ ~telemetry:_ () -> run_component ());
     ("inject", run_inject);
-    ("aspen", fun ~jobs:_ () -> run_aspen ());
-    ("speed", fun ~jobs:_ () -> run_speed ());
+    ("aspen", fun ~jobs:_ ~telemetry:_ () -> run_aspen ());
+    ("speed", fun ~jobs:_ ~telemetry:_ () -> run_speed ());
   ]
+
+(* BENCH_dvf.json: the machine-readable counterpart of the tables above.
+   One flat header (command, cache geometry, jobs, wall-clock, trace
+   events/sec) plus the whole telemetry document, so downstream tooling
+   never parses the pretty-printed output. *)
+let write_bench_snapshot ~command ~jobs ~wall_clock_sec telemetry =
+  let module J = Dvf_util.Json in
+  let module T = Dvf_util.Telemetry in
+  let events = T.counter_value telemetry "recorder/events" in
+  let trace_ns = T.span_ns telemetry "verify/trace_total" in
+  let events_per_sec =
+    if Int64.compare trace_ns 0L > 0 then
+      J.Float (float_of_int events /. (Int64.to_float trace_ns /. 1e9))
+    else J.Null
+  in
+  let geometry =
+    J.List
+      (List.map
+         (fun (c : Cachesim.Config.t) ->
+           J.Obj
+             [
+               ("name", J.Str c.Cachesim.Config.name);
+               ("associativity", J.Int c.Cachesim.Config.associativity);
+               ("sets", J.Int c.Cachesim.Config.sets);
+               ("line_bytes", J.Int c.Cachesim.Config.line);
+               ("capacity_bytes", J.Int (Cachesim.Config.capacity c));
+             ])
+         (Cachesim.Config.verification_set @ Cachesim.Config.profiling_set))
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "dvf-bench");
+        ("schema_version", J.Int T.schema_version);
+        ("command", J.Str command);
+        ("geometry", geometry);
+        ("jobs", J.Int jobs);
+        ("wall_clock_sec", J.Float wall_clock_sec);
+        ("events_per_sec", events_per_sec);
+        ("telemetry", T.to_json telemetry);
+      ]
+  in
+  let oc = open_out "BENCH_dvf.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "performance snapshot written to BENCH_dvf.json\n"
 
 let usage_error message =
   Printf.eprintf "%s (available sections: %s)\n" message
@@ -602,4 +661,11 @@ let () =
         | None -> usage_error (Printf.sprintf "unknown section '%s'" name))
       requested
   in
-  List.iter (fun run -> run ~jobs:!jobs ()) runs
+  let telemetry = Dvf_util.Telemetry.create () in
+  let start = Unix.gettimeofday () in
+  List.iter (fun run -> run ~jobs:!jobs ~telemetry ()) runs;
+  write_bench_snapshot
+    ~command:(String.concat " " (Array.to_list Sys.argv))
+    ~jobs:!jobs
+    ~wall_clock_sec:(Unix.gettimeofday () -. start)
+    telemetry

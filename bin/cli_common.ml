@@ -1,0 +1,122 @@
+(* Shared cmdliner terms for every dvf subcommand.
+
+   Each subcommand used to re-declare its own --jobs/--seed/--csv/
+   --machine arguments, and their docstrings and defaults drifted.  They
+   are defined once here; a subcommand composes exactly the terms it
+   needs, so `dvf verify --help` and `dvf inject --help` describe -j
+   identically. *)
+
+open Cmdliner
+
+(* --- model-file / machine / parameter terms --- *)
+
+let model_file =
+  let doc = "Aspen model file; the builtin models are used when absent." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let machine_name =
+  let doc = "Machine declaration to evaluate against." in
+  Arg.(
+    value & opt string "prof_8mb" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let param_overrides =
+  let doc = "Override an app parameter, e.g. --param n=5000 (repeatable)." in
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let value = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt value with
+        | Some v -> Ok (name, v)
+        | None -> Error (`Msg (Printf.sprintf "bad parameter value in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected NAME=VALUE, got %S" s))
+  in
+  let print fmt (name, v) = Format.fprintf fmt "%s=%g" name v in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc)
+
+(* --- workload selection --- *)
+
+let workload_conv =
+  (* Case-insensitive registry lookup; the error names every registered
+     workload so typos are self-correcting. *)
+  let parse s =
+    match Core.Workloads.find s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (registered: %s)" s
+               (String.concat ", " (Core.Workloads.names ()))))
+  in
+  let print fmt (w : Core.Workload.t) =
+    Format.pp_print_string fmt w.Core.Workload.name
+  in
+  Arg.conv (parse, print)
+
+let workload_pos_args =
+  let doc = "Workloads by registry name (default: every registered one)." in
+  Arg.(
+    value
+    & pos_all workload_conv (Core.Workloads.all ())
+    & info [] ~docv:"WORKLOAD" ~doc)
+
+(* --- parallelism --- *)
+
+let jobs =
+  let doc =
+    "Worker domains for parallel sweeps (default: the runtime's \
+     recommended domain count).  $(b,-j 1) forces the serial path."
+  in
+  Arg.(
+    value
+    & opt int (Dvf_util.Parallel.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs <= 0 then begin
+    Printf.eprintf "error: -j expects a positive integer (got %d)\n" jobs;
+    exit 1
+  end;
+  jobs
+
+(* --- injection campaign knobs --- *)
+
+let seed =
+  let doc = "Campaign seed; trial RNGs are derived from it." in
+  Arg.(
+    value
+    & opt int Core.Injection.default_seed
+    & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv =
+  let doc = "Also write the correlation rows to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+(* --- telemetry --- *)
+
+let metrics =
+  let doc =
+    "Write machine-readable run metrics (phase wall-clock spans, \
+     throughput counters and gauges) to $(docv) as versioned JSON.  \
+     Collection is off — and costs nothing — when this option is absent, \
+     and never changes the computed results."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* [with_metrics metrics f] runs [f] with a collector matching the
+   [--metrics] choice: the zero-cost null sink when absent, a fresh
+   enabled collector (serialized to the file afterwards) when present.
+   The confirmation goes to stderr so stdout stays byte-identical with
+   and without --metrics. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f Dvf_util.Telemetry.null
+  | Some path ->
+      let telemetry = Dvf_util.Telemetry.create () in
+      let result = f telemetry in
+      Dvf_util.Telemetry.write_file telemetry path;
+      Printf.eprintf "metrics written to %s\n" path;
+      result

@@ -9,7 +9,10 @@
      models      list the builtin models and machines
      components  memory-DVF vs cache-DVF per structure
      protect     selective-protection coverage curves
-     inject      parallel fault-injection campaigns vs the analytical DVF *)
+     inject      parallel fault-injection campaigns vs the analytical DVF
+
+   Shared arguments (-j/--jobs, --seed, --csv, -m/--machine, --metrics)
+   are declared once in Cli_common and composed per subcommand. *)
 
 open Cmdliner
 
@@ -32,34 +35,6 @@ let handle_aspen_errors f =
 let load_models = function
   | None -> Aspen.Builtin_models.load ()
   | Some path -> Aspen.Parser.parse_file (read_file path)
-
-(* --- common arguments --- *)
-
-let model_file =
-  let doc = "Aspen model file; the builtin models are used when absent." in
-  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
-
-let machine_name =
-  let doc = "Machine declaration to evaluate against." in
-  Arg.(value & opt string "prof_8mb" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
-
-let param_overrides =
-  let doc = "Override an app parameter, e.g. --param n=5000 (repeatable)." in
-  let parse s =
-    match String.index_opt s '=' with
-    | Some i -> (
-        let name = String.sub s 0 i in
-        let value = String.sub s (i + 1) (String.length s - i - 1) in
-        match float_of_string_opt value with
-        | Some v -> Ok (name, v)
-        | None -> Error (`Msg (Printf.sprintf "bad parameter value in %S" s)))
-    | None -> Error (`Msg (Printf.sprintf "expected NAME=VALUE, got %S" s))
-  in
-  let print fmt (name, v) = Format.fprintf fmt "%s=%g" name v in
-  Arg.(
-    value
-    & opt_all (conv (parse, print)) []
-    & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc)
 
 (* --- profile --- *)
 
@@ -89,7 +64,9 @@ let profile_cmd =
           apps)
   in
   let term =
-    Term.(const run $ model_file $ machine_name $ param_overrides $ app_names)
+    Term.(
+      const run $ Cli_common.model_file $ Cli_common.machine_name
+      $ Cli_common.param_overrides $ app_names)
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Evaluate Aspen models and print per-structure DVF")
@@ -97,58 +74,22 @@ let profile_cmd =
 
 (* --- verify --- *)
 
-let workload_conv =
-  (* Case-insensitive registry lookup; the error names every registered
-     workload so typos are self-correcting. *)
-  let parse s =
-    match Core.Workloads.find s with
-    | Some w -> Ok w
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown workload %S (registered: %s)" s
-               (String.concat ", " (Core.Workloads.names ()))))
-  in
-  let print fmt (w : Core.Workload.t) =
-    Format.pp_print_string fmt w.Core.Workload.name
-  in
-  Arg.conv (parse, print)
-
-let workload_pos_args =
-  let doc = "Workloads by registry name (default: every registered one)." in
-  Arg.(
-    value
-    & pos_all workload_conv (Core.Workloads.all ())
-    & info [] ~docv:"WORKLOAD" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Worker domains for parallel sweeps (default: the runtime's \
-     recommended domain count).  $(b,-j 1) forces the serial path."
-  in
-  Arg.(
-    value
-    & opt int (Dvf_util.Parallel.recommended_jobs ())
-    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let check_jobs jobs =
-  if jobs <= 0 then begin
-    Printf.eprintf "error: -j expects a positive integer (got %d)\n" jobs;
-    exit 1
-  end;
-  jobs
-
 let verify_cmd =
-  let run jobs workloads =
-    let rows =
-      Core.Verify.run_all ~jobs:(check_jobs jobs) ~workloads ()
-    in
-    Dvf_util.Table.print (Core.Verify.to_table rows)
+  let run jobs metrics workloads =
+    Cli_common.with_metrics metrics (fun telemetry ->
+        let rows =
+          Core.Verify.run_all
+            ~jobs:(Cli_common.check_jobs jobs)
+            ~telemetry ~workloads ()
+        in
+        Dvf_util.Table.print (Core.Verify.to_table rows))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
-    Term.(const run $ jobs_arg $ workload_pos_args)
+    Term.(
+      const run $ Cli_common.jobs $ Cli_common.metrics
+      $ Cli_common.workload_pos_args)
 
 (* --- figure/table reproductions --- *)
 
@@ -168,14 +109,17 @@ let fig5_cmd =
       Dvf_util.Table.print (Core.Profile.to_table (Core.Profile.run_all ())))
 
 let fig6_cmd =
-  let run jobs =
-    Dvf_util.Table.print
-      (Core.Experiments.fig6_table
-         (Core.Experiments.fig6 ~jobs:(check_jobs jobs) ()))
+  let run jobs metrics =
+    Cli_common.with_metrics metrics (fun telemetry ->
+        Dvf_util.Table.print
+          (Core.Experiments.fig6_table
+             (Core.Experiments.fig6
+                ~jobs:(Cli_common.check_jobs jobs)
+                ~telemetry ())))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"CG vs PCG vulnerability over problem size")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ Cli_common.jobs $ Cli_common.metrics)
 
 let fig7_cmd =
   simple_cmd "fig7" "DVF vs ECC performance degradation" (fun () ->
@@ -231,7 +175,7 @@ let components_cmd =
   Cmd.v
     (Cmd.info "components"
        ~doc:"Memory vs cache-component DVF per structure")
-    Term.(const run $ workload_pos_args)
+    Term.(const run $ Cli_common.workload_pos_args)
 
 let protect_cmd =
   let target =
@@ -269,7 +213,7 @@ let protect_cmd =
   Cmd.v
     (Cmd.info "protect"
        ~doc:"Selective-protection coverage curves (chipkill on top-k structures)")
-    Term.(const run $ target $ workload_pos_args)
+    Term.(const run $ target $ Cli_common.workload_pos_args)
 
 (* --- inject: fault-injection campaigns vs the analytical DVF --- *)
 
@@ -278,19 +222,8 @@ let inject_cmd =
     let doc = "Trials per structure (default: each injector's own)." in
     Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
   in
-  let seed =
-    let doc = "Campaign seed; trial RNGs are derived from it." in
-    Arg.(
-      value
-      & opt int Core.Injection.default_seed
-      & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let csv =
-    let doc = "Also write the correlation rows to $(docv) as CSV." in
-    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
-  in
-  let run jobs trials seed csv workloads =
-    let jobs = check_jobs jobs in
+  let run jobs trials seed csv metrics workloads =
+    let jobs = Cli_common.check_jobs jobs in
     (match trials with
     | Some t when t < 1 ->
         Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
@@ -302,25 +235,29 @@ let inject_cmd =
           Printf.eprintf "note: %s has no fault injector; skipping\n"
             w.Core.Workload.name)
       workloads;
-    let results = Core.Injection.run_all ~seed ?trials ~jobs workloads in
-    if results = [] then begin
-      Printf.eprintf "error: none of the selected workloads has an injector\n";
-      exit 1
-    end;
-    List.iter
-      (fun r -> Dvf_util.Table.print (Core.Injection.to_table r))
-      results;
-    let corr = Core.Injection.correlate results in
-    Dvf_util.Table.print (Core.Injection.correlation_table corr);
-    Format.printf "%a" Core.Injection.pp_spearman corr;
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        output_string oc
-          (Dvf_util.Table.to_csv (Core.Injection.correlation_table corr));
-        close_out oc;
-        Printf.printf "wrote %s\n" path)
-      csv
+    Cli_common.with_metrics metrics (fun telemetry ->
+        let results =
+          Core.Injection.run_all ~seed ?trials ~jobs ~telemetry workloads
+        in
+        if results = [] then begin
+          Printf.eprintf
+            "error: none of the selected workloads has an injector\n";
+          exit 1
+        end;
+        List.iter
+          (fun r -> Dvf_util.Table.print (Core.Injection.to_table r))
+          results;
+        let corr = Core.Injection.correlate results in
+        Dvf_util.Table.print (Core.Injection.correlation_table corr);
+        Format.printf "%a" Core.Injection.pp_spearman corr;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc
+              (Dvf_util.Table.to_csv (Core.Injection.correlation_table corr));
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          csv)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -328,11 +265,13 @@ let inject_cmd =
          "Statistical fault injection per data structure (Wilson confidence \
           intervals on SDC rates), compared against the analytical DVF by \
           Spearman rank correlation")
-    Term.(const run $ jobs_arg $ trials $ seed $ csv $ workload_pos_args)
+    Term.(
+      const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.csv
+      $ Cli_common.metrics $ Cli_common.workload_pos_args)
 
 (* --- --model: any Aspen file through the full pipeline --- *)
 
-let run_model path overrides jobs =
+let run_model path overrides jobs telemetry =
   handle_aspen_errors (fun () ->
       let ast = Aspen.Parser.parse_file (read_file path) in
       let apps = Aspen.Compile.apps ~overrides ast in
@@ -389,7 +328,11 @@ let run_model path overrides jobs =
                 Aspen.Model_workload.of_app ~source:path app)
           apps
       in
-      let rows = Core.Verify.run_all ~jobs:(check_jobs jobs) ~workloads () in
+      let rows =
+        Core.Verify.run_all
+          ~jobs:(Cli_common.check_jobs jobs)
+          ~telemetry ~workloads ()
+      in
       Dvf_util.Table.print (Core.Verify.to_table rows))
 
 let default_term =
@@ -404,14 +347,18 @@ let default_term =
       & opt (some file) None
       & info [ "model" ] ~docv:"FILE.aspen" ~doc)
   in
-  let run model overrides jobs =
+  let run model overrides jobs metrics =
     match model with
     | Some path ->
-        run_model path overrides jobs;
+        Cli_common.with_metrics metrics (fun telemetry ->
+            run_model path overrides jobs telemetry);
         `Ok ()
     | None -> `Help (`Pager, None)
   in
-  Term.(ret (const run $ model $ param_overrides $ jobs_arg))
+  Term.(
+    ret
+      (const run $ model $ Cli_common.param_overrides $ Cli_common.jobs
+      $ Cli_common.metrics))
 
 let main_cmd =
   let doc = "Data Vulnerability Factor modeling (SC'14 reproduction)" in

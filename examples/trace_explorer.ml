@@ -13,9 +13,9 @@ let () =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let cache = Cachesim.Cache.create cache_config in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+  ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
   let counting_sink, count = Memtrace.Recorder.counting_sink () in
-  Memtrace.Recorder.add_sink recorder counting_sink;
+  ignore (Memtrace.Recorder.add_sink recorder counting_sink);
 
   let result = Kernels.Barnes_hut.run registry recorder params in
   Cachesim.Cache.flush cache;

@@ -83,6 +83,52 @@ let owners t =
   Array.iteri (fun i c -> if not (is_empty c) then acc := i :: !acc) t.cells;
   List.rev !acc
 
+(* --- immutable snapshots: what consumers outside the simulation loop
+   read.  One coherent record per capture instead of piecemeal
+   [owner_counters]/[totals] calls against a still-mutating [t]. --- *)
+
+type snapshot = { per_owner : (int * counters) array; totals : counters }
+
+let snapshot t =
+  let per_owner =
+    Array.of_list
+      (List.map (fun o -> (o, counters_of_cell t.cells.(o))) (owners t))
+  in
+  let totals =
+    Array.fold_left
+      (fun (acc : counters) (_, (c : counters)) ->
+        {
+          reads = acc.reads + c.reads;
+          writes = acc.writes + c.writes;
+          hits = acc.hits + c.hits;
+          misses = acc.misses + c.misses;
+          writebacks = acc.writebacks + c.writebacks;
+        })
+      zero per_owner
+  in
+  { per_owner; totals }
+
+module Snapshot = struct
+  let totals s = s.totals
+
+  let owners s = Array.to_list (Array.map fst s.per_owner)
+
+  let owner s owner =
+    match
+      Array.find_opt (fun (o, _) -> o = owner) s.per_owner
+    with
+    | Some (_, c) -> c
+    | None -> zero
+
+  let accesses (c : counters) = c.reads + c.writes
+
+  let main_memory (c : counters) = c.misses + c.writebacks
+
+  let owner_main_memory s o = main_memory (owner s o)
+
+  let total_main_memory s = main_memory s.totals
+end
+
 (* Cross-domain aggregation: a parallel sweep runs one cache (and thus one
    stats record) per domain; [merge] folds a worker's counters into an
    accumulator after the domains join.  Addition is commutative, so the

@@ -33,6 +33,40 @@ val total_main_memory_accesses : t -> int
 val owners : t -> int list
 (** Owners with at least one recorded event, ascending. *)
 
+type snapshot = {
+  per_owner : (int * counters) array;  (** active owners, ascending *)
+  totals : counters;
+}
+(** An immutable capture of a whole statistics record: per-owner counters
+    and their totals in one coherent value.  This is the API consumers
+    outside the simulation loop ({!Core.Verify}, the bench harness,
+    telemetry) read; the mutable {!t} stays private to the cache being
+    driven. *)
+
+val snapshot : t -> snapshot
+(** Capture the current state.  Later accesses to the underlying cache do
+    not affect an already-taken snapshot. *)
+
+module Snapshot : sig
+  val totals : snapshot -> counters
+
+  val owners : snapshot -> int list
+
+  val owner : snapshot -> int -> counters
+  (** All-zero counters for owners not in the snapshot. *)
+
+  val accesses : counters -> int
+  (** [reads + writes] — every line-granular lookup the cache served,
+      i.e. lines touched.  The telemetry accesses/sec figures divide this
+      by the simulation span. *)
+
+  val main_memory : counters -> int
+  (** [misses + writebacks]. *)
+
+  val owner_main_memory : snapshot -> int -> int
+  val total_main_memory : snapshot -> int
+end
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] adds every counter of [src] into [into].  Used to
     aggregate the per-domain caches of a parallel sweep after the worker

@@ -10,22 +10,41 @@ type fig6_row = {
   pcg_dvf : float;
 }
 
+module Telemetry = Dvf_util.Telemetry
+
 (* Sweep points are independent (each builds its own solvers and specs),
    so both fig6 and cache_sweep fan out over a domain pool.  [jobs = 1]
    (or an empty pool budget) degrades to List.map in the calling domain;
-   Parallel.map_list preserves order either way. *)
-let sweep_map ?jobs f xs =
+   Parallel.map_list preserves order either way.  Each point is timed
+   under ["<label>/point"] and counted under ["<label>/points"]; the whole
+   sweep's wall-clock lands in ["<label>/total"]. *)
+let sweep_map ?jobs ?(telemetry = Telemetry.null) ~label f xs =
   let jobs =
     match jobs with
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
   in
-  if jobs <= 1 then List.map f xs else Dvf_util.Parallel.map_list ~jobs f xs
+  let f =
+    if not (Telemetry.enabled telemetry) then f
+    else fun x ->
+      Telemetry.add telemetry (label ^ "/points");
+      Telemetry.span telemetry (label ^ "/point") (fun () -> f x)
+  in
+  let t0 = Telemetry.now_ns telemetry in
+  let rows =
+    if jobs <= 1 then List.map f xs
+    else Dvf_util.Parallel.map_list ~telemetry ~jobs f xs
+  in
+  if Telemetry.enabled telemetry then
+    Telemetry.time_ns telemetry (label ^ "/total")
+      (Int64.sub (Telemetry.now_ns telemetry) t0);
+  rows
 
-let fig6 ?jobs ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc)
+let fig6 ?jobs ?telemetry ?(machine = Perf.default_machine)
+    ?(fit = Ecc.fit Ecc.No_ecc)
     ?(cache = Cachesim.Config.profiling_8mb)
     ?(sizes = [ 100; 200; 300; 400; 500; 600; 700; 800 ]) () =
-  sweep_map ?jobs
+  sweep_map ?jobs ?telemetry ~label:"fig6"
     (fun n ->
       let cg_params = Kernels.Cg.make_params ~max_iterations:5000 ~tolerance:1e-8 n in
       let pcg_params =
@@ -140,7 +159,7 @@ type sweep_row = {
   dvf_a : float;
 }
 
-let cache_sweep ?jobs ?(machine = Perf.default_machine)
+let cache_sweep ?jobs ?telemetry ?(machine = Perf.default_machine)
     ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64) ?(associativity = 8) ?capacities
     (instance : Workload.instance) =
   let capacities =
@@ -152,7 +171,7 @@ let cache_sweep ?jobs ?(machine = Perf.default_machine)
         in
         doubling [] 4096
   in
-  sweep_map ?jobs
+  sweep_map ?jobs ?telemetry ~label:"cache_sweep"
     (fun capacity ->
       let sets = capacity / (associativity * line) in
       if sets <= 0 then invalid_arg "Experiments.cache_sweep: capacity too small";

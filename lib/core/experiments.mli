@@ -21,15 +21,20 @@ type fig6_row = {
 }
 
 val fig6 :
-  ?jobs:int -> ?machine:Perf.machine -> ?fit:float ->
-  ?cache:Cachesim.Config.t -> ?sizes:int list -> unit -> fig6_row list
+  ?jobs:int -> ?telemetry:Dvf_util.Telemetry.t -> ?machine:Perf.machine ->
+  ?fit:float -> ?cache:Cachesim.Config.t -> ?sizes:int list -> unit ->
+  fig6_row list
 (** Sweep problem sizes (default 100..800 in steps of 100, the paper's
     x-axis) solving the same SPD system with CG and Jacobi-PCG (dense
     auxiliary M, per Algorithm 5); iteration counts are measured on the
     real solvers, times come from the roofline model, cache defaults to
     the largest Table IV configuration (as in §V).  [jobs] (default
     [Domain.recommended_domain_count ()]) runs the independent sweep
-    points on that many domains; output order is unchanged. *)
+    points on that many domains; output order is unchanged.
+
+    [telemetry] (default {!Dvf_util.Telemetry.null}) records a
+    ["fig6/points"] counter, per-point ["fig6/point"] span, the sweep's
+    ["fig6/total"] wall-clock, and pool wait/compute when [jobs > 1]. *)
 
 val fig6_table : fig6_row list -> Dvf_util.Table.t
 
@@ -57,13 +62,15 @@ type sweep_row = {
 }
 
 val cache_sweep :
-  ?jobs:int -> ?machine:Perf.machine -> ?fit:float -> ?line:int ->
+  ?jobs:int -> ?telemetry:Dvf_util.Telemetry.t -> ?machine:Perf.machine ->
+  ?fit:float -> ?line:int ->
   ?associativity:int -> ?capacities:int list -> Workload.instance ->
   sweep_row list
 (** Generalization of Fig. 5's x-axis: DVF_a of one application over a
     continuous range of cache capacities (default 4 KB .. 16 MB doubling,
     8-way, 64 B lines).  Exposes each kernel's working-set cliffs at full
-    resolution instead of Table IV's four points.  [jobs] as in {!fig6}. *)
+    resolution instead of Table IV's four points.  [jobs] and [telemetry]
+    as in {!fig6} (telemetry paths use the ["cache_sweep"] label). *)
 
 val cache_sweep_table : label:string -> sweep_row list -> Dvf_util.Table.t
 

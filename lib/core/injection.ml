@@ -1,5 +1,6 @@
 module Fi = Kernels.Fault_injection
 module Ap = Access_patterns
+module Telemetry = Dvf_util.Telemetry
 
 type result = {
   workload : string;
@@ -16,7 +17,7 @@ let default_seed = 1234
    Each trial's RNG comes from [Fi.trial_rng], the same derivation the
    serial [Fi.run_campaigns] uses, and [Pool.map] preserves input order,
    so the tallies are bit-identical to the serial run at any job count. *)
-let run_in_pool ~seed ~trials pool ~workload (inj : Fi.injector) =
+let run_in_pool ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
   let trials = Option.value trials ~default:inj.Fi.default_trials in
   if trials < 1 then invalid_arg "Injection.run: trials < 1";
   let structures = Array.of_list inj.Fi.structures in
@@ -25,6 +26,7 @@ let run_in_pool ~seed ~trials pool ~workload (inj : Fi.injector) =
       (Array.length structures * trials)
       (fun i -> (i / trials, i mod trials))
   in
+  let t0 = Telemetry.now_ns telemetry in
   let outcomes =
     Dvf_util.Parallel.Pool.map pool
       (fun (si, t) ->
@@ -32,6 +34,14 @@ let run_in_pool ~seed ~trials pool ~workload (inj : Fi.injector) =
           (Fi.trial_rng ~seed ~structure_index:si ~trial:t))
       tasks
   in
+  if Telemetry.enabled telemetry then begin
+    let trial_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
+    Telemetry.time_ns telemetry
+      (Printf.sprintf "inject/%s/trials" workload)
+      trial_ns;
+    Telemetry.time_ns telemetry "inject/trials_total" trial_ns;
+    Telemetry.add telemetry ~n:(Array.length tasks) "inject/trials"
+  end;
   let campaigns =
     List.mapi
       (fun si structure ->
@@ -48,23 +58,62 @@ let run_in_pool ~seed ~trials pool ~workload (inj : Fi.injector) =
     campaigns;
   }
 
-let run ?(seed = default_seed) ?trials ?(jobs = 1) (w : Workload.t) =
-  Option.map
-    (fun make ->
-      Dvf_util.Parallel.with_pool ~jobs (fun pool ->
-          run_in_pool ~seed ~trials pool ~workload:w.Workload.name (make ())))
-    w.Workload.injector
+(* Building an injector runs each kernel once uninjected (the clean
+   reference output trials compare against).  Time it separately so the
+   metrics expose how that fixed cost amortizes over the campaign. *)
+let make_injector ~telemetry ~workload make =
+  let t0 = Telemetry.now_ns telemetry in
+  let inj =
+    Telemetry.span telemetry
+      (Printf.sprintf "inject/%s/setup" workload)
+      make
+  in
+  if Telemetry.enabled telemetry then
+    Telemetry.time_ns telemetry "inject/setup_total"
+      (Int64.sub (Telemetry.now_ns telemetry) t0);
+  inj
 
-let run_all ?(seed = default_seed) ?trials ?(jobs = 1) ws =
-  Dvf_util.Parallel.with_pool ~jobs (fun pool ->
-      List.filter_map
-        (fun (w : Workload.t) ->
-          Option.map
-            (fun make ->
-              run_in_pool ~seed ~trials pool ~workload:w.Workload.name
-                (make ()))
-            w.Workload.injector)
-        ws)
+let finalize_metrics telemetry =
+  if Telemetry.enabled telemetry then begin
+    Telemetry.gauge_rate telemetry ~name:"inject/trials_per_sec"
+      ~counter:"inject/trials" ~span:"inject/trials_total";
+    let trials = Telemetry.counter_value telemetry "inject/trials" in
+    if trials > 0 then
+      Telemetry.set_gauge telemetry "inject/clean_run_amortization_sec"
+        (Int64.to_float (Telemetry.span_ns telemetry "inject/setup_total")
+        /. 1e9 /. float_of_int trials)
+  end
+
+let run ?(seed = default_seed) ?trials ?(jobs = 1)
+    ?(telemetry = Telemetry.null) (w : Workload.t) =
+  let result =
+    Option.map
+      (fun make ->
+        Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+            run_in_pool ~telemetry ~seed ~trials pool
+              ~workload:w.Workload.name
+              (make_injector ~telemetry ~workload:w.Workload.name make)))
+      w.Workload.injector
+  in
+  finalize_metrics telemetry;
+  result
+
+let run_all ?(seed = default_seed) ?trials ?(jobs = 1)
+    ?(telemetry = Telemetry.null) ws =
+  let results =
+    Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+        List.filter_map
+          (fun (w : Workload.t) ->
+            Option.map
+              (fun make ->
+                run_in_pool ~telemetry ~seed ~trials pool
+                  ~workload:w.Workload.name
+                  (make_injector ~telemetry ~workload:w.Workload.name make))
+              w.Workload.injector)
+          ws)
+  in
+  finalize_metrics telemetry;
+  results
 
 let to_table r = Fi.to_table ~title:("Fault injection: " ^ r.label) r.campaigns
 

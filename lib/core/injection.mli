@@ -23,13 +23,24 @@ val default_seed : int
 (** 1234. *)
 
 val run :
-  ?seed:int -> ?trials:int -> ?jobs:int -> Workload.t -> result option
+  ?seed:int -> ?trials:int -> ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t -> Workload.t -> result option
 (** Run one workload's injector ([None] if it has none).  [trials]
     overrides the injector's default, per structure; [jobs] defaults to
-    1 (serial). *)
+    1 (serial).
+
+    [telemetry] (default {!Dvf_util.Telemetry.null}) records, per
+    workload, an ["inject/<workload>/setup"] span (the uninjected clean
+    reference run an injector is built around) and an
+    ["inject/<workload>/trials"] timer, plus campaign-wide
+    ["inject/trials"], the derived ["inject/trials_per_sec"] gauge and
+    ["inject/clean_run_amortization_sec"] — setup seconds amortized per
+    trial.  Tallies are unaffected: counters are identical at every job
+    count. *)
 
 val run_all :
-  ?seed:int -> ?trials:int -> ?jobs:int -> Workload.t list -> result list
+  ?seed:int -> ?trials:int -> ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t -> Workload.t list -> result list
 (** {!run} for every workload that has an injector, sharing one domain
     pool across the whole batch.  Workloads without injectors are
     skipped. *)

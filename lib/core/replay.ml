@@ -127,7 +127,10 @@ let replay_phase recorder lookup (phase : Ap.Compose.phase) =
       streams
   done
 
-let trace (spec : Ap.App_spec.t) registry recorder =
+let trace ?(telemetry = Dvf_util.Telemetry.null) (spec : Ap.App_spec.t)
+    registry recorder =
+  Dvf_util.Telemetry.span telemetry "replay" @@ fun () ->
+  let events_before = Memtrace.Recorder.events_emitted recorder in
   let regions =
     List.map
       (fun (s : Ap.App_spec.structure) ->
@@ -152,9 +155,13 @@ let trace (spec : Ap.App_spec.t) registry recorder =
           replay_random recorder (lookup s.Ap.App_spec.name) r)
     spec.Ap.App_spec.structures;
   (* Composition phases. *)
-  match spec.Ap.App_spec.composition with
+  (match spec.Ap.App_spec.composition with
   | None -> ()
   | Some c ->
       for _ = 1 to c.Ap.Compose.iterations do
         List.iter (replay_phase recorder lookup) c.Ap.Compose.order
-      done
+      done);
+  if Dvf_util.Telemetry.enabled telemetry then
+    Dvf_util.Telemetry.add telemetry
+      ~n:(Memtrace.Recorder.events_emitted recorder - events_before)
+      "replay/events"

@@ -11,25 +11,55 @@ type row = {
 let error row =
   Dvf_util.Maths.rel_error ~expected:row.simulated ~actual:row.modeled
 
-let verify_instance ~cache (instance : Workload.instance) =
+module Telemetry = Dvf_util.Telemetry
+
+let verify_instance ?(telemetry = Telemetry.null) ~cache
+    (instance : Workload.instance) =
+  Telemetry.span telemetry
+    (Printf.sprintf "verify/%s/%s" instance.Workload.workload
+       cache.Cachesim.Config.name)
+  @@ fun () ->
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.buffered () in
   let sim_cache = Cachesim.Cache.create cache in
-  Memtrace.Recorder.add_batch_sink recorder
-    (Memtrace.Recorder.cache_batch_sink sim_cache);
-  instance.Workload.trace registry recorder;
-  Memtrace.Recorder.flush recorder;
-  Cachesim.Cache.flush sim_cache;
-  let stats = Cachesim.Cache.stats sim_cache in
+  ignore
+    (Memtrace.Recorder.add_batch_sink recorder
+       (Memtrace.Recorder.cache_batch_sink sim_cache));
+  let trace_ns = ref 0L in
+  Telemetry.span telemetry "trace" (fun () ->
+      let t0 = Telemetry.now_ns telemetry in
+      instance.Workload.trace registry recorder;
+      Memtrace.Recorder.flush recorder;
+      Cachesim.Cache.flush sim_cache;
+      trace_ns := Int64.sub (Telemetry.now_ns telemetry) t0);
+  let snapshot =
+    Cachesim.Stats.snapshot (Cachesim.Cache.stats sim_cache)
+  in
+  if Telemetry.enabled telemetry then begin
+    (* Global accumulators the throughput gauges divide at the end of the
+       sweep; counters are deterministic, the [trace_total] span is not. *)
+    Telemetry.add telemetry ~n:(Memtrace.Recorder.events_emitted recorder)
+      "recorder/events";
+    Telemetry.add telemetry
+      ~n:(Memtrace.Recorder.batches_dispatched recorder)
+      "recorder/batches";
+    Telemetry.add telemetry
+      ~n:(Cachesim.Stats.Snapshot.accesses snapshot.Cachesim.Stats.totals)
+      "cache/accesses";
+    Telemetry.time_ns telemetry "verify/trace_total" !trace_ns
+  end;
   let modeled =
-    Access_patterns.App_spec.main_memory_accesses ~cache instance.Workload.spec
+    Telemetry.span telemetry "model" (fun () ->
+        Access_patterns.App_spec.main_memory_accesses ~cache
+          instance.Workload.spec)
   in
   List.map
     (fun (structure, model_value) ->
       let region = Memtrace.Region.lookup registry structure in
       let simulated =
         float_of_int
-          (Cachesim.Stats.main_memory_accesses stats region.Memtrace.Region.id)
+          (Cachesim.Stats.Snapshot.owner_main_memory snapshot
+             region.Memtrace.Region.id)
       in
       { workload = instance.Workload.workload; cache; structure; simulated;
         modeled = model_value })
@@ -40,7 +70,20 @@ let verify_instance ~cache (instance : Workload.instance) =
    to the serial one.  [Parallel.map_list] preserves input order; the
    serial path below enumerates workloads (outer) then caches (inner), and
    the parallel path enumerates the same pairs in the same order. *)
-let run_all ?jobs ?workloads () =
+let finalize_metrics telemetry =
+  if Telemetry.enabled telemetry then begin
+    Telemetry.gauge_rate telemetry ~name:"cache/accesses_per_sec"
+      ~counter:"cache/accesses" ~span:"verify/trace_total";
+    Telemetry.gauge_rate telemetry ~name:"recorder/events_per_sec"
+      ~counter:"recorder/events" ~span:"verify/trace_total";
+    let batches = Telemetry.counter_value telemetry "recorder/batches" in
+    if batches > 0 then
+      Telemetry.set_gauge telemetry "recorder/mean_batch_size"
+        (float_of_int (Telemetry.counter_value telemetry "recorder/events")
+        /. float_of_int batches)
+  end
+
+let run_all ?jobs ?(telemetry = Telemetry.null) ?workloads () =
   let workloads =
     match workloads with Some ws -> ws | None -> Workloads.all ()
   in
@@ -49,35 +92,47 @@ let run_all ?jobs ?workloads () =
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
   in
-  if jobs <= 1 then
-    List.concat_map
-      (fun workload ->
-        let instance = Workloads.verification_instance workload in
-        List.concat_map
-          (fun cache -> verify_instance ~cache instance)
-          Cachesim.Config.verification_set)
-      workloads
-  else
-    Dvf_util.Parallel.with_pool ~jobs (fun pool ->
-        (* Building an instance runs the kernel untraced (to learn its
-           iteration count); parallelize that too, then fan out over the
-           workload x cache cross product. *)
-        let instances =
-          Dvf_util.Parallel.Pool.map_list pool Workloads.verification_instance
-            workloads
-        in
-        let pairs =
+  (* Absolute timer rather than an enclosing [span]: instance spans run in
+     worker domains (fresh span stacks) under [-j N], so an enclosing span
+     would prefix their paths only in the serial case and the two metrics
+     documents would disagree on structure. *)
+  let t0 = Telemetry.now_ns telemetry in
+  let rows =
+    if jobs <= 1 then
+      List.concat_map
+        (fun workload ->
+          let instance = Workloads.verification_instance workload in
           List.concat_map
-            (fun instance ->
-              List.map
-                (fun cache -> (instance, cache))
-                Cachesim.Config.verification_set)
-            instances
-        in
-        List.concat
-          (Dvf_util.Parallel.Pool.map_list pool
-             (fun (instance, cache) -> verify_instance ~cache instance)
-             pairs))
+            (fun cache -> verify_instance ~telemetry ~cache instance)
+            Cachesim.Config.verification_set)
+        workloads
+    else
+      Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+          (* Building an instance runs the kernel untraced (to learn its
+             iteration count); parallelize that too, then fan out over the
+             workload x cache cross product. *)
+          let instances =
+            Dvf_util.Parallel.Pool.map_list pool Workloads.verification_instance
+              workloads
+          in
+          let pairs =
+            List.concat_map
+              (fun instance ->
+                List.map
+                  (fun cache -> (instance, cache))
+                  Cachesim.Config.verification_set)
+              instances
+          in
+          List.concat
+            (Dvf_util.Parallel.Pool.map_list pool
+               (fun (instance, cache) -> verify_instance ~telemetry ~cache instance)
+               pairs))
+  in
+  if Telemetry.enabled telemetry then
+    Telemetry.time_ns telemetry "verify/total"
+      (Int64.sub (Telemetry.now_ns telemetry) t0);
+  finalize_metrics telemetry;
+  rows
 
 let workload_error ~rows workload cache =
   let relevant =

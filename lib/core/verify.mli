@@ -18,18 +18,36 @@ val error : row -> float
 (** |modeled - simulated| / simulated. *)
 
 val verify_instance :
+  ?telemetry:Dvf_util.Telemetry.t ->
   cache:Cachesim.Config.t -> Workload.instance -> row list
-(** One workload instance against one cache configuration. *)
+(** One workload instance against one cache configuration.
 
-val run_all : ?jobs:int -> ?workloads:Workload.t list -> unit -> row list
+    [telemetry] (default {!Dvf_util.Telemetry.null}) receives a span
+    ["verify/<workload>/<cache>"] with nested ["trace"] (kernel execution,
+    recorder fan-out and cache simulation) and ["model"] (analytical
+    N_ha) phases, plus global ["recorder/events"], ["recorder/batches"]
+    and ["cache/accesses"] counters and the ["verify/trace_total"]
+    accumulator behind the throughput gauges. *)
+
+val run_all :
+  ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?workloads:Workload.t list -> unit -> row list
 (** Fig. 4: every workload (Table V sizes) against both verification cache
     configurations.  [workloads] defaults to everything registered.
 
     [jobs] (default [Domain.recommended_domain_count ()]) spreads the
     independent workload x cache simulations over that many domains; each
     job owns its private region registry, recorder and cache, so the rows
-    are identical to the serial run in value and order.  [jobs = 1] takes
-    the serial code path exactly. *)
+    are identical to the serial run in value and order — with or without
+    telemetry.  [jobs = 1] takes the serial code path exactly.
+
+    With an enabled [telemetry], each instance reports as described at
+    {!verify_instance}; the sweep additionally records ["verify/total"]
+    wall-clock and, at the end, derives ["cache/accesses_per_sec"],
+    ["recorder/events_per_sec"] and ["recorder/mean_batch_size"] gauges.
+    Counters and span paths are identical at every job count; only the
+    time fields differ. *)
 
 val workload_error : rows:row list -> string -> Cachesim.Config.t -> float
 (** Aggregate (total-traffic) error for one workload/cache pair, by

@@ -5,6 +5,10 @@ type batch_sink = Event.t array -> int -> unit
    registration order — the old [sinks <- sinks @ [sink]] was O(n^2) across
    many registrations and the list traversal sat on the hot emit path.
 
+   Registration returns a handle; [unsubscribe] swaps the slot for an inert
+   closure in O(1), so a telemetry probe can attach around one phase and
+   detach without perturbing the other sinks' order or indices.
+
    A recorder may also buffer: events accumulate in a fixed chunk and are
    fanned out in bulk when it fills (or on [flush]).  Per-event sinks still
    observe every event in emission order; they just observe them a chunk at
@@ -12,12 +16,15 @@ type batch_sink = Event.t array -> int -> unit
    event.  Unbuffered recorders (the default) dispatch immediately, exactly
    as before. *)
 
+type handle = { kind : [ `Sink | `Batch ]; index : int }
+
 type t = {
   mutable sinks : sink array;
   mutable nsinks : int;
   mutable batch_sinks : batch_sink array;
   mutable nbatch : int;
   mutable count : int;
+  mutable batches : int; (* dispatch calls that delivered >= 1 event *)
   buffer : Event.t array; (* [||] when unbuffered *)
   mutable fill : int;
   scratch : Event.t array; (* 1-slot carrier for unbuffered -> batch sink *)
@@ -39,6 +46,7 @@ let make ~buffer_capacity ~inert =
     batch_sinks = [||];
     nbatch = 0;
     count = 0;
+    batches = 0;
     buffer =
       (if buffer_capacity = 0 then [||]
        else Array.make buffer_capacity placeholder);
@@ -62,19 +70,40 @@ let grow arr n filler =
     arr'
   end
 
+let noop_sink (_ : Event.t) = ()
+let noop_batch_sink (_ : Event.t array) (_ : int) = ()
+
 let add_sink t sink =
   if t.inert then
     invalid_arg "Recorder.add_sink: the null recorder accepts no sinks";
   t.sinks <- grow t.sinks t.nsinks sink;
   t.sinks.(t.nsinks) <- sink;
-  t.nsinks <- t.nsinks + 1
+  t.nsinks <- t.nsinks + 1;
+  { kind = `Sink; index = t.nsinks - 1 }
 
 let add_batch_sink t sink =
   if t.inert then
     invalid_arg "Recorder.add_batch_sink: the null recorder accepts no sinks";
   t.batch_sinks <- grow t.batch_sinks t.nbatch sink;
   t.batch_sinks.(t.nbatch) <- sink;
-  t.nbatch <- t.nbatch + 1
+  t.nbatch <- t.nbatch + 1;
+  { kind = `Batch; index = t.nbatch - 1 }
+
+(* Unsubscription keeps the slot (indices in outstanding handles stay
+   valid, dispatch order is stable) and replaces the closure with an inert
+   one.  Idempotent; delivery stops with the next dispatch, so a buffering
+   recorder's still-pending chunk is not delivered to the removed sink —
+   [flush] before unsubscribing to observe every emitted event. *)
+let unsubscribe t h =
+  match h.kind with
+  | `Sink ->
+      if h.index < 0 || h.index >= t.nsinks then
+        invalid_arg "Recorder.unsubscribe: stale handle";
+      t.sinks.(h.index) <- noop_sink
+  | `Batch ->
+      if h.index < 0 || h.index >= t.nbatch then
+        invalid_arg "Recorder.unsubscribe: stale handle";
+      t.batch_sinks.(h.index) <- noop_batch_sink
 
 let cache_sink cache (e : Event.t) =
   Cachesim.Cache.access cache ~owner:e.owner ~write:e.write ~addr:e.addr
@@ -101,6 +130,7 @@ let counting_sink () =
 (* Fan a block of events out to every sink.  Per-event sinks run first, in
    registration order, then batch sinks in registration order. *)
 let dispatch t events n =
+  if n > 0 then t.batches <- t.batches + 1;
   for s = 0 to t.nsinks - 1 do
     let sink = t.sinks.(s) in
     for i = 0 to n - 1 do
@@ -152,4 +182,5 @@ let read t ~owner ~addr ~size = emit t (Event.read ~owner ~addr ~size)
 let write t ~owner ~addr ~size = emit t (Event.write ~owner ~addr ~size)
 
 let events_emitted t = t.count
+let batches_dispatched t = t.batches
 let pending t = t.fill

@@ -42,11 +42,25 @@ val null : unit -> t
     [Invalid_argument].  Each call returns a new value, so no state can
     leak between users (the old shared [lazy] recorder could). *)
 
-val add_sink : t -> sink -> unit
+type handle
+(** A subscription, returned by registration and consumed by
+    {!unsubscribe}.  Handles are only meaningful on the recorder that
+    issued them. *)
+
+val add_sink : t -> sink -> handle
 (** Sinks run in registration order.  Amortized O(1). *)
 
-val add_batch_sink : t -> batch_sink -> unit
+val add_batch_sink : t -> batch_sink -> handle
 (** Batch sinks run after per-event sinks, in registration order. *)
+
+val unsubscribe : t -> handle -> unit
+(** Detach a previously registered sink: O(1), idempotent, and stable —
+    the other sinks keep their dispatch order.  A buffering recorder's
+    pending chunk is {e not} delivered to the removed sink; [flush] first
+    if the probe must observe every emitted event.  Raises
+    [Invalid_argument] on a handle the recorder never issued.  Telemetry
+    uses this to attach counting probes around one phase without leaking
+    them into the next. *)
 
 val cache_sink : Cachesim.Cache.t -> sink
 (** Forward each event into the cache simulator. *)
@@ -76,6 +90,12 @@ val flush : t -> unit
 
 val events_emitted : t -> int
 (** Total events seen by this recorder (including still-buffered ones). *)
+
+val batches_dispatched : t -> int
+(** Number of non-empty sink dispatches so far.  For a buffering recorder
+    this counts delivered chunks ([events_emitted / batches_dispatched]
+    approximates the mean batch size); for an unbuffered one it equals the
+    delivered event count. *)
 
 val pending : t -> int
 (** Events currently buffered and not yet delivered to sinks. *)

@@ -1,0 +1,38 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    Just enough JSON for the telemetry subsystem: {!Telemetry} serializes
+    its metrics with {!to_string}, tests and CI round-trip the emitted
+    documents with {!of_string}, and [bench/main.exe] builds its
+    [BENCH_dvf.json] snapshot from {!t} values directly.  No external
+    dependency (yojson is not in the toolchain this repo builds against).
+
+    Object member order is preserved as given; emitters that need
+    deterministic output (telemetry does) sort their members before
+    constructing the object. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize.  [indent] (default [true]) pretty-prints with two-space
+    indentation; [false] emits a compact single line.  Floats are printed
+    with enough digits to round-trip ([%.17g]); non-finite floats are
+    emitted as [null] (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without [.]/[e] that fit in
+    an OCaml [int] parse as [Int], everything else as [Float].  The error
+    string names the offending byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to the first [k]; [None] for
+    a missing key or a non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Int 1] <> [Float 1.]). *)

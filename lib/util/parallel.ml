@@ -19,6 +19,7 @@ module Pool = struct
     mutable stopping : bool;
     mutable workers : unit Domain.t array;
     size : int;
+    telemetry : Telemetry.t;
   }
 
   let size t = t.size
@@ -43,7 +44,7 @@ module Pool = struct
         worker_loop t
     | None -> ()
 
-  let create ?jobs () =
+  let create ?(telemetry = Telemetry.null) ?jobs () =
     let jobs =
       match jobs with Some j -> j | None -> recommended_jobs ()
     in
@@ -59,6 +60,7 @@ module Pool = struct
         stopping = false;
         workers = [||];
         size = jobs;
+        telemetry;
       }
     in
     (* The caller's domain only enqueues and waits, so all [jobs] workers
@@ -96,16 +98,35 @@ module Pool = struct
         Mutex.unlock t.mutex;
         invalid_arg "Parallel.Pool.map: pool already shut down"
       end;
+      let instrumented = Telemetry.enabled t.telemetry in
       for i = 0 to n - 1 do
         let x = xs.(i) in
-        Queue.add
-          (fun () ->
-            match f x with
-            | v -> record i (Done v)
-            | exception e ->
-                let bt = Printexc.get_raw_backtrace () in
-                record i (Failed (e, bt)))
-          t.queue
+        let run () =
+          match f x with
+          | v -> record i (Done v)
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              record i (Failed (e, bt))
+        in
+        let task =
+          if not instrumented then run
+          else begin
+            (* Queue-wait vs compute accounting: the time from enqueue to a
+               worker picking the task up is wait; the task body is
+               compute.  Aggregated per pool, not per task, so the counters
+               stay deterministic — only the times vary with scheduling. *)
+            let enqueued = Telemetry.now_ns t.telemetry in
+            fun () ->
+              let started = Telemetry.now_ns t.telemetry in
+              Telemetry.time_ns t.telemetry "pool/queue_wait"
+                (Int64.sub started enqueued);
+              Telemetry.add t.telemetry "pool/tasks";
+              run ();
+              Telemetry.time_ns t.telemetry "pool/compute"
+                (Int64.sub (Telemetry.now_ns t.telemetry) started)
+          end
+        in
+        Queue.add task t.queue
       done;
       Condition.broadcast t.work_available;
       while !remaining > 0 do
@@ -132,16 +153,16 @@ module Pool = struct
     Array.iter Domain.join t.workers
 end
 
-let with_pool ?jobs f =
-  let pool = Pool.create ?jobs () in
+let with_pool ?telemetry ?jobs f =
+  let pool = Pool.create ?telemetry ?jobs () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
-let map ?jobs f xs =
+let map ?telemetry ?jobs f xs =
   match jobs with
   | Some 1 -> Array.map f xs
-  | _ -> with_pool ?jobs (fun pool -> Pool.map pool f xs)
+  | _ -> with_pool ?telemetry ?jobs (fun pool -> Pool.map pool f xs)
 
-let map_list ?jobs f xs =
+let map_list ?telemetry ?jobs f xs =
   match jobs with
   | Some 1 -> List.map f xs
-  | _ -> with_pool ?jobs (fun pool -> Pool.map_list pool f xs)
+  | _ -> with_pool ?telemetry ?jobs (fun pool -> Pool.map_list pool f xs)

@@ -17,11 +17,18 @@ val recommended_jobs : unit -> int
 module Pool : sig
   type t
 
-  val create : ?jobs:int -> unit -> t
+  val create : ?telemetry:Telemetry.t -> ?jobs:int -> unit -> t
   (** [create ~jobs ()] spawns [jobs] worker domains (default
       {!recommended_jobs}).  [jobs = 1] spawns none: every [map] then runs
       serially in the calling domain, preserving the exact serial code
-      path.  Raises [Invalid_argument] when [jobs <= 0]. *)
+      path.  Raises [Invalid_argument] when [jobs <= 0].
+
+      [telemetry] (default {!Telemetry.null}) receives, for every task run
+      on a spawned worker, the queue-wait time (enqueue to pickup) and the
+      compute time under span paths ["pool/queue_wait"] and
+      ["pool/compute"], plus a ["pool/tasks"] counter.  The serial
+      [jobs = 1] path records nothing, keeping it exactly the historical
+      code. *)
 
   val size : t -> int
   (** The job count the pool was created with. *)
@@ -41,13 +48,14 @@ module Pool : sig
       Idempotent-safe to call once; the pool is unusable afterwards. *)
 end
 
-val with_pool : ?jobs:int -> (Pool.t -> 'a) -> 'a
+val with_pool : ?telemetry:Telemetry.t -> ?jobs:int -> (Pool.t -> 'a) -> 'a
 (** Create a pool, run the callback, always shut the pool down. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?telemetry:Telemetry.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** One-shot [Pool.map] on a transient pool.  [~jobs:1] bypasses pool
     machinery entirely ([Array.map]). *)
 
-val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?telemetry:Telemetry.t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot [Pool.map_list] on a transient pool.  [~jobs:1] bypasses
     pool machinery entirely ([List.map]). *)

@@ -231,6 +231,49 @@ let test_stats_totals () =
   Alcotest.(check (list int)) "owners" [ 1; 5 ]
     (C.Stats.owners (C.Cache.stats cache))
 
+(* --- immutable snapshots --- *)
+
+let test_snapshot_matches_live_counters () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  ignore (C.Cache.touch_line cache ~owner:5 ~write:true ~line_addr:16);
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:false ~line_addr:0);
+  let stats = C.Cache.stats cache in
+  let snap = C.Stats.snapshot stats in
+  Alcotest.(check bool) "totals agree" true
+    (C.Stats.Snapshot.totals snap = C.Stats.totals stats);
+  Alcotest.(check (list int)) "owners agree" (C.Stats.owners stats)
+    (C.Stats.Snapshot.owners snap);
+  List.iter
+    (fun owner ->
+      Alcotest.(check bool)
+        (Printf.sprintf "owner %d counters agree" owner)
+        true
+        (C.Stats.Snapshot.owner snap owner = C.Stats.owner_counters stats owner);
+      Alcotest.(check int)
+        (Printf.sprintf "owner %d main memory agrees" owner)
+        (C.Stats.main_memory_accesses stats owner)
+        (C.Stats.Snapshot.owner_main_memory snap owner))
+    (C.Stats.owners stats);
+  Alcotest.(check int) "total main memory agrees"
+    (C.Stats.total_main_memory_accesses stats)
+    (C.Stats.Snapshot.total_main_memory snap);
+  Alcotest.(check int) "accesses = reads + writes" 3
+    (C.Stats.Snapshot.accesses (C.Stats.Snapshot.totals snap))
+
+let test_snapshot_immutable_under_later_accesses () =
+  let cache = C.Cache.create tiny_config in
+  ignore (C.Cache.touch_line cache ~owner:1 ~write:true ~line_addr:0);
+  let snap = C.Stats.snapshot (C.Cache.stats cache) in
+  for i = 1 to 10 do
+    ignore (C.Cache.touch_line cache ~owner:1 ~write:true ~line_addr:(i * 16))
+  done;
+  C.Cache.flush cache;
+  Alcotest.(check int) "snapshot frozen at capture" 1
+    (C.Stats.Snapshot.accesses (C.Stats.Snapshot.totals snap));
+  Alcotest.(check int) "unknown owner is zero" 0
+    (C.Stats.Snapshot.accesses (C.Stats.Snapshot.owner snap 99))
+
 (* Property: the simulator never reports more hits than lookups, and
    misses + hits = lookups. *)
 let prop_stats_consistent =
@@ -298,6 +341,10 @@ let suite =
     Alcotest.test_case "no capacity misses when fits" `Quick
       test_working_set_fits_no_capacity_misses;
     Alcotest.test_case "stats totals" `Quick test_stats_totals;
+    Alcotest.test_case "snapshot matches live counters" `Quick
+      test_snapshot_matches_live_counters;
+    Alcotest.test_case "snapshot immutable" `Quick
+      test_snapshot_immutable_under_later_accesses;
     QCheck_alcotest.to_alcotest prop_stats_consistent;
     QCheck_alcotest.to_alcotest prop_matches_reference_lru;
   ]

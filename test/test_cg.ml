@@ -35,7 +35,7 @@ let model_vs_sim cfg =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let cache = Cachesim.Cache.create cfg in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+  ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
   let res = Cg.run registry recorder p in
   Cachesim.Cache.flush cache;
   let stats = Cachesim.Cache.stats cache in

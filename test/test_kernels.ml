@@ -12,7 +12,7 @@ let run_into_cache cfg run =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let cache = Cachesim.Cache.create cfg in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+  ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
   let result = run registry recorder in
   Cachesim.Cache.flush cache;
   (registry, Cachesim.Cache.stats cache, result)
@@ -114,7 +114,7 @@ let test_mg_spec_ref_counts_match_trace () =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let sink, counted = Memtrace.Recorder.buffer_sink () in
-  Memtrace.Recorder.add_sink recorder sink;
+  ignore (Memtrace.Recorder.add_sink recorder sink);
   let _ = Mg.run registry recorder p in
   let r_owner = (Memtrace.Region.lookup registry "R").Memtrace.Region.id in
   let traced_r =

@@ -30,4 +30,5 @@ let () =
       ("selective", Test_selective.suite);
       ("fault-injection", Test_fault_injection.suite);
       ("injection", Test_injection.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -55,7 +55,7 @@ let test_model_vs_simulation () =
       let registry = Memtrace.Region.create () in
       let recorder = Memtrace.Recorder.create () in
       let cache = Cachesim.Cache.create cfg in
-      Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+      ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
       let result = Pcg.run registry recorder p in
       Cachesim.Cache.flush cache;
       let stats = Cachesim.Cache.stats cache in

@@ -39,8 +39,8 @@ let test_recorder_fanout () =
   let rec_ = Mt.Recorder.create () in
   let sink1, get1 = Mt.Recorder.buffer_sink () in
   let sink2, count2 = Mt.Recorder.counting_sink () in
-  Mt.Recorder.add_sink rec_ sink1;
-  Mt.Recorder.add_sink rec_ sink2;
+  ignore (Mt.Recorder.add_sink rec_ sink1);
+  ignore (Mt.Recorder.add_sink rec_ sink2);
   Mt.Recorder.read rec_ ~owner:1 ~addr:100 ~size:8;
   Mt.Recorder.write rec_ ~owner:2 ~addr:200 ~size:4;
   let events = get1 () in
@@ -55,7 +55,7 @@ let test_tracked_get_set () =
   let reg = Mt.Region.create () in
   let rec_ = Mt.Recorder.create () in
   let sink, get = Mt.Recorder.buffer_sink () in
-  Mt.Recorder.add_sink rec_ sink;
+  ignore (Mt.Recorder.add_sink rec_ sink);
   let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:8 10 0.0 in
   Mt.Tracked.set arr 3 1.5;
   Alcotest.(check (float 0.0)) "get returns value" 1.5 (Mt.Tracked.get arr 3);
@@ -88,7 +88,7 @@ let test_tracked_touch () =
   let reg = Mt.Region.create () in
   let rec_ = Mt.Recorder.create () in
   let sink, get = Mt.Recorder.buffer_sink () in
-  Mt.Recorder.add_sink rec_ sink;
+  ignore (Mt.Recorder.add_sink rec_ sink);
   let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:32 4 () in
   Mt.Tracked.touch arr 2;
   match get () with
@@ -101,7 +101,7 @@ let test_cache_sink_integration () =
   let reg = Mt.Region.create () in
   let rec_ = Mt.Recorder.create () in
   let cache = Cachesim.Cache.create Cachesim.Config.small_verification in
-  Mt.Recorder.add_sink rec_ (Mt.Recorder.cache_sink cache);
+  ignore (Mt.Recorder.add_sink rec_ (Mt.Recorder.cache_sink cache));
   let arr = Mt.Tracked.make reg rec_ ~name:"X" ~elem_size:8 16 0.0 in
   (* Two sequential passes: first all misses (4 lines of 32 B hold 16
      8-byte elements), second all hits. *)
@@ -121,7 +121,7 @@ let test_sink_registration_order () =
   let rec_ = Mt.Recorder.create () in
   let seen = ref [] in
   for i = 0 to 99 do
-    Mt.Recorder.add_sink rec_ (fun _ -> seen := i :: !seen)
+    ignore (Mt.Recorder.add_sink rec_ (fun _ -> seen := i :: !seen))
   done;
   Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:1;
   Alcotest.(check (list int)) "registration order" (List.init 100 Fun.id)
@@ -134,17 +134,17 @@ let test_null_recorder_inert_and_fresh () =
   Alcotest.(check bool) "distinct values" false (n1 == Mt.Recorder.null ());
   (match Mt.Recorder.add_sink n1 (fun _ -> ()) with
   | exception Invalid_argument _ -> ()
-  | () -> Alcotest.fail "null recorder accepted a sink");
+  | _ -> Alcotest.fail "null recorder accepted a sink");
   (match Mt.Recorder.add_batch_sink n1 (fun _ _ -> ()) with
   | exception Invalid_argument _ -> ()
-  | () -> Alcotest.fail "null recorder accepted a batch sink");
+  | _ -> Alcotest.fail "null recorder accepted a batch sink");
   Mt.Recorder.read n1 ~owner:1 ~addr:0 ~size:8;
   Alcotest.(check int) "events dropped" 0 (Mt.Recorder.events_emitted n1)
 
 let test_buffered_chunks_and_flush () =
   let rec_ = Mt.Recorder.create ~buffer_capacity:4 () in
   let sink, get = Mt.Recorder.buffer_sink () in
-  Mt.Recorder.add_sink rec_ sink;
+  ignore (Mt.Recorder.add_sink rec_ sink);
   for i = 0 to 9 do
     Mt.Recorder.read rec_ ~owner:1 ~addr:(i * 8) ~size:8
   done;
@@ -166,9 +166,10 @@ let test_emit_batch_counts_and_order () =
   let rec_ = Mt.Recorder.create ~buffer_capacity:8 () in
   let sink, get = Mt.Recorder.buffer_sink () in
   let batch_chunks = ref [] in
-  Mt.Recorder.add_sink rec_ sink;
-  Mt.Recorder.add_batch_sink rec_ (fun events n ->
-      batch_chunks := Array.to_list (Array.sub events 0 n) :: !batch_chunks);
+  ignore (Mt.Recorder.add_sink rec_ sink);
+  ignore
+    (Mt.Recorder.add_batch_sink rec_ (fun events n ->
+         batch_chunks := Array.to_list (Array.sub events 0 n) :: !batch_chunks));
   (* One buffered event, then a batch: flush-before-batch keeps order. *)
   Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:8;
   let batch = Array.init 3 (fun i -> Mt.Event.read ~owner:1 ~addr:(8 * (i + 1)) ~size:8) in
@@ -198,15 +199,64 @@ let test_buffered_cache_sink_equivalence () =
   let unbuffered =
     run
       (fun () -> Mt.Recorder.create ())
-      (fun r c -> Mt.Recorder.add_sink r (Mt.Recorder.cache_sink c))
+      (fun r c -> ignore (Mt.Recorder.add_sink r (Mt.Recorder.cache_sink c)))
   in
   let buffered =
     run
       (fun () -> Mt.Recorder.buffered ~buffer_capacity:64 ())
-      (fun r c -> Mt.Recorder.add_batch_sink r (Mt.Recorder.cache_batch_sink c))
+      (fun r c -> ignore (Mt.Recorder.add_batch_sink r (Mt.Recorder.cache_batch_sink c)))
   in
   Alcotest.(check bool) "identical stats" true (unbuffered = buffered);
   Alcotest.(check bool) "nonempty" true (unbuffered.Cachesim.Stats.misses > 0)
+
+(* Unsubscription: O(1) removal that keeps every other sink's dispatch
+   order, is idempotent, and rejects foreign handles. *)
+let test_unsubscribe_detaches_sink () =
+  let rec_ = Mt.Recorder.create () in
+  let sink1, count1 = Mt.Recorder.counting_sink () in
+  let sink2, count2 = Mt.Recorder.counting_sink () in
+  let h1 = Mt.Recorder.add_sink rec_ sink1 in
+  ignore (Mt.Recorder.add_sink rec_ sink2);
+  Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:8;
+  Mt.Recorder.unsubscribe rec_ h1;
+  Mt.Recorder.unsubscribe rec_ h1 (* idempotent *);
+  Mt.Recorder.read rec_ ~owner:1 ~addr:8 ~size:8;
+  Alcotest.(check int) "removed sink stops seeing events" 1 (count1 ());
+  Alcotest.(check int) "other sink unaffected" 2 (count2 ());
+  Alcotest.(check int) "recorder still counts" 2
+    (Mt.Recorder.events_emitted rec_)
+
+let test_unsubscribe_batch_sink () =
+  let rec_ = Mt.Recorder.buffered ~buffer_capacity:2 () in
+  let seen = ref 0 in
+  let h = Mt.Recorder.add_batch_sink rec_ (fun _ n -> seen := !seen + n) in
+  Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:8;
+  Mt.Recorder.flush rec_;
+  Mt.Recorder.unsubscribe rec_ h;
+  Mt.Recorder.read rec_ ~owner:1 ~addr:8 ~size:8;
+  Mt.Recorder.flush rec_;
+  Alcotest.(check int) "batch sink detached" 1 !seen
+
+let test_unsubscribe_preserves_order () =
+  let rec_ = Mt.Recorder.create () in
+  let seen = ref [] in
+  let handles =
+    List.init 5 (fun i ->
+        Mt.Recorder.add_sink rec_ (fun _ -> seen := i :: !seen))
+  in
+  Mt.Recorder.unsubscribe rec_ (List.nth handles 2);
+  Mt.Recorder.read rec_ ~owner:1 ~addr:0 ~size:1;
+  Alcotest.(check (list int)) "survivors keep registration order"
+    [ 0; 1; 3; 4 ] (List.rev !seen)
+
+let test_unsubscribe_foreign_handle_rejected () =
+  let r1 = Mt.Recorder.create () in
+  let r2 = Mt.Recorder.create () in
+  let h = Mt.Recorder.add_sink r1 (fun _ -> ()) in
+  ignore h;
+  match Mt.Recorder.unsubscribe r2 h with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "foreign handle accepted"
 
 let test_to_array_snapshot () =
   let reg = Mt.Region.create () in
@@ -242,5 +292,13 @@ let suite =
       test_emit_batch_counts_and_order;
     Alcotest.test_case "buffered cache sink equivalence" `Quick
       test_buffered_cache_sink_equivalence;
+    Alcotest.test_case "unsubscribe detaches sink" `Quick
+      test_unsubscribe_detaches_sink;
+    Alcotest.test_case "unsubscribe batch sink" `Quick
+      test_unsubscribe_batch_sink;
+    Alcotest.test_case "unsubscribe preserves order" `Quick
+      test_unsubscribe_preserves_order;
+    Alcotest.test_case "unsubscribe rejects foreign handle" `Quick
+      test_unsubscribe_foreign_handle_rejected;
     Alcotest.test_case "to_array snapshot" `Quick test_to_array_snapshot;
   ]

@@ -6,7 +6,7 @@ let simulate_vm cache_config p =
   let registry = Memtrace.Region.create () in
   let recorder = Memtrace.Recorder.create () in
   let cache = Cachesim.Cache.create cache_config in
-  Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache);
+  ignore (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
   let result = Kernels.Vm.run registry recorder p in
   Cachesim.Cache.flush cache;
   (registry, Cachesim.Cache.stats cache, result)
