@@ -4,14 +4,16 @@
    analytical models against the cache simulator with bechamel (the
    paper's "evaluation cost at the granularity of seconds" claim).
 
-   Usage: dune exec bench/main.exe [-- section ... [-j N]]
-   where section is one of: tables fig4 fig5 fig6 fig7 sweep ablation
+   Usage: dune exec bench/main.exe [-- section ... [-j N] [--no-tape]]
+   where section is one of: tables fig4 fig5 fig6 fig7 sweep tape ablation
    sparse component inject aspen speed.
    With no sections every section runs.  [-j N] (or [--jobs N]) sets the
    domain count for the parallel sections (fig4, fig6, sweep, inject); the
    default
    is Domain.recommended_domain_count, and [-j 1] forces the serial
-   path.
+   path.  [--no-tape] disables capture-once/replay-many tape reuse in
+   fig4 and sweep (per-geometry retrace, the performance baseline); the
+   [tape] section measures both side by side.
 
    Every run also writes BENCH_dvf.json — a machine-readable performance
    snapshot (command, cache geometry, job count, wall-clock, trace-replay
@@ -33,9 +35,12 @@ let run_tables () =
 
 (* --- Fig. 4: model verification --- *)
 
-let run_fig4 ~jobs ~telemetry () =
+let run_fig4 ~jobs ~telemetry ~tape () =
   section_header "Fig. 4 - Model verification (trace-driven simulation vs CGPMAC)";
-  let rows = Core.Verify.run_all ~jobs ~telemetry () in
+  let strategy =
+    if tape then Core.Verify.Replay else Core.Verify.Retrace
+  in
+  let rows = Core.Verify.run_all ~jobs ~telemetry ~strategy () in
   Dvf_util.Table.print (Core.Verify.to_table rows);
   let summary =
     Dvf_util.Table.create ~title:"Aggregate (total-traffic) error per kernel"
@@ -80,18 +85,18 @@ let run_fig5 () =
     r.Core.Profile.dvf
   in
   Printf.printf "Observations (paper SS IV-B):\n";
-  Printf.printf "  VM: DVF(A) / DVF(B) at 8MB = %.1f (A's stride makes it dominant)\n"
-    (dvf "VM" "A" "8MB" /. dvf "VM" "B" "8MB");
-  Printf.printf "  CG vs FT: DVF_a ratio at 8MB = %.0fx (working set + time)\n"
-    (dvf "CG" "CG" "8MB" /. dvf "FT" "FT" "8MB");
+  Printf.printf "  VM: DVF(A) / DVF(B) at 4MB = %.1f (A's stride makes it dominant)\n"
+    (dvf "VM" "A" "4MB" /. dvf "VM" "B" "4MB");
+  Printf.printf "  CG vs FT: DVF_a ratio at 4MB = %.0fx (working set + time)\n"
+    (dvf "CG" "CG" "4MB" /. dvf "FT" "FT" "4MB");
   Printf.printf
     "  MC vs NB: DVF_a ratio at 16KB = %.0fx (more lookups -> more accesses)\n"
     (dvf "MC" "MC" "16KB" /. dvf "NB" "NB" "16KB");
   Printf.printf "  FT cliff: DVF_a(16KB) / DVF_a(128KB) = %.0fx (sudden jump)\n"
     (dvf "FT" "FT" "16KB" /. dvf "FT" "FT" "128KB");
   Printf.printf
-    "  VM streaming stays flat: DVF_a(16KB) / DVF_a(8MB) = %.1fx (gradual)\n"
-    (dvf "VM" "VM" "16KB" /. dvf "VM" "VM" "8MB")
+    "  VM streaming stays flat: DVF_a(16KB) / DVF_a(4MB) = %.1fx (gradual)\n"
+    (dvf "VM" "VM" "16KB" /. dvf "VM" "VM" "4MB")
 
 (* --- Fig. 6: CG vs PCG --- *)
 
@@ -249,7 +254,7 @@ let run_ablation () =
     let spec =
       Kernels.Pcg.spec ~iterations:result.Kernels.Pcg.iterations params
     in
-    let cache = Cachesim.Config.profiling_8mb in
+    let cache = Cachesim.Config.profiling_4mb in
     let time =
       Core.Perf.app_time Core.Perf.default_machine ~cache
         ~flops:result.Kernels.Pcg.flops spec
@@ -269,16 +274,95 @@ let run_ablation () =
 
 (* --- Cache-capacity sweep (Fig. 5's x-axis at full resolution) --- *)
 
-let run_sweep ~jobs ~telemetry () =
+let run_sweep ~jobs ~telemetry ~tape () =
   section_header "Cache-capacity sweep (DVF_a, 4KB..16MB, 8-way, 64B lines)";
+  (* With tape reuse on, the sweep also runs the trace-driven simulator
+     over every geometry — one captured tape per workload, all geometries
+     driven by fused chunk walks — next to the analytic model. *)
   List.iter
     (fun workload ->
       let instance = Core.Workloads.profiling_instance workload in
-      let rows = Core.Experiments.cache_sweep ~jobs ~telemetry instance in
+      let rows =
+        Core.Experiments.cache_sweep ~jobs ~telemetry ~simulate:tape instance
+      in
       Dvf_util.Table.print
         (Core.Experiments.cache_sweep_table
            ~label:instance.Core.Workload.label rows))
     [ Core.Workloads.vm; Core.Workloads.ft; Core.Workloads.mc ]
+
+(* --- Tape reuse: capture-once/replay-many vs per-geometry retrace --- *)
+
+let run_tape ~jobs ~telemetry () =
+  section_header
+    "Tape reuse - capture-once/replay-many vs per-geometry retrace (Fig. 4 \
+     sweep)";
+  let module T = Dvf_util.Telemetry in
+  (* Each strategy runs against a forked collector so its counters and
+     accumulators don't mix with the other strategies'; rates are read
+     off the fork, then everything merges into the session collector for
+     the BENCH_dvf.json snapshot. *)
+  let run strategy =
+    let fork = T.fork telemetry in
+    let t0 = Unix.gettimeofday () in
+    let rows = Core.Verify.run_all ~jobs ~telemetry:fork ~strategy () in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let rate counter span =
+      let ns = T.span_ns fork span in
+      if Int64.compare ns 0L > 0 then
+        float_of_int (T.counter_value fork counter)
+        /. (Int64.to_float ns /. 1e9)
+      else 0.0
+    in
+    let sim_rate =
+      match strategy with
+      | Core.Verify.Retrace -> rate "recorder/events" "verify/trace_total"
+      | Core.Verify.Replay | Core.Verify.Fused ->
+          rate "tape/replay_events" "verify/replay_total"
+    in
+    T.merge ~into:telemetry fork;
+    (rows, seconds, sim_rate)
+  in
+  let retrace_rows, retrace_s, retrace_rate = run Core.Verify.Retrace in
+  let replay_rows, replay_s, replay_rate = run Core.Verify.Replay in
+  let fused_rows, fused_s, fused_rate = run Core.Verify.Fused in
+  let t =
+    Dvf_util.Table.create
+      ~title:
+        "Verification sweep, three strategies (identical rows, -j \
+         honoured)"
+      [
+        ("strategy", Dvf_util.Table.Left);
+        ("wall s", Dvf_util.Table.Right);
+        ("sim events/sec", Dvf_util.Table.Right);
+        ("vs retrace", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, seconds, r) ->
+      Dvf_util.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" seconds;
+          Printf.sprintf "%.3g" r;
+          Printf.sprintf "%.2fx"
+            (if retrace_rate > 0.0 then r /. retrace_rate else 0.0);
+        ])
+    [
+      ("retrace (baseline)", retrace_s, retrace_rate);
+      ("replay", replay_s, replay_rate);
+      ("fused", fused_s, fused_rate);
+    ];
+  Dvf_util.Table.print t;
+  Printf.printf "rows bit-identical across strategies: %s\n"
+    (if retrace_rows = replay_rows && replay_rows = fused_rows then "yes"
+     else "NO");
+  (* Surface the comparison in the snapshot regardless of which sections
+     ran before or after. *)
+  if T.enabled telemetry then begin
+    T.set_gauge telemetry "bench/retrace_events_per_sec" retrace_rate;
+    T.set_gauge telemetry "bench/replay_events_per_sec" replay_rate;
+    T.set_gauge telemetry "bench/fused_events_per_sec" fused_rate
+  end
 
 (* --- Extensions: sparse CG and cache-component DVF --- *)
 
@@ -334,7 +418,7 @@ let run_sparse () =
   Dvf_util.Table.print t;
   (* Storage-format comparison: same tridiagonal system, dense vs CSR. *)
   let n = 800 and iterations = 20 in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let dvf spec flops =
     let time = Core.Perf.app_time Core.Perf.default_machine ~cache ~flops spec in
     (Core.Dvf.of_spec ~cache ~fit:5000.0 ~time spec).Core.Dvf.total
@@ -354,7 +438,7 @@ let run_sparse () =
 
 let run_component () =
   section_header "Extension: DVF for the cache component (paper SS I)";
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   List.iter
     (fun workload ->
       let instance = Core.Workloads.profiling_instance workload in
@@ -372,7 +456,7 @@ let run_component () =
 let run_inject ~jobs ~telemetry () =
   section_header
     "Fault injection vs DVF (the comparator methodology, paper SS I / SS VI)";
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   (* All six registered workloads through the injection subsystem, trials
      fanned out over [jobs] domains. *)
   let start = Unix.gettimeofday () in
@@ -566,34 +650,44 @@ let run_speed () =
 
 let sections =
   [
-    ("tables", fun ~jobs:_ ~telemetry:_ () -> run_tables ());
+    ("tables", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_tables ());
     ("fig4", run_fig4);
-    ("fig5", fun ~jobs:_ ~telemetry:_ () -> run_fig5 ());
-    ("fig6", run_fig6);
-    ("fig7", fun ~jobs:_ ~telemetry:_ () -> run_fig7 ());
+    ("fig5", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_fig5 ());
+    ("fig6", fun ~jobs ~telemetry ~tape:_ () -> run_fig6 ~jobs ~telemetry ());
+    ("fig7", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_fig7 ());
     ("sweep", run_sweep);
-    ("ablation", fun ~jobs:_ ~telemetry:_ () -> run_ablation ());
-    ("sparse", fun ~jobs:_ ~telemetry:_ () -> run_sparse ());
-    ("component", fun ~jobs:_ ~telemetry:_ () -> run_component ());
-    ("inject", run_inject);
-    ("aspen", fun ~jobs:_ ~telemetry:_ () -> run_aspen ());
-    ("speed", fun ~jobs:_ ~telemetry:_ () -> run_speed ());
+    ("tape", fun ~jobs ~telemetry ~tape:_ () -> run_tape ~jobs ~telemetry ());
+    ("ablation", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_ablation ());
+    ("sparse", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_sparse ());
+    ("component", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_component ());
+    ( "inject",
+      fun ~jobs ~telemetry ~tape:_ () -> run_inject ~jobs ~telemetry () );
+    ("aspen", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_aspen ());
+    ("speed", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_speed ());
   ]
 
 (* BENCH_dvf.json: the machine-readable counterpart of the tables above.
    One flat header (command, cache geometry, jobs, wall-clock, trace
    events/sec) plus the whole telemetry document, so downstream tooling
    never parses the pretty-printed output. *)
-let write_bench_snapshot ~command ~jobs ~wall_clock_sec telemetry =
+let write_bench_snapshot ~command ~jobs ~tape ~wall_clock_sec telemetry =
   let module J = Dvf_util.Json in
   let module T = Dvf_util.Telemetry in
-  let events = T.counter_value telemetry "recorder/events" in
-  let trace_ns = T.span_ns telemetry "verify/trace_total" in
-  let events_per_sec =
-    if Int64.compare trace_ns 0L > 0 then
-      J.Float (float_of_int events /. (Int64.to_float trace_ns /. 1e9))
+  let rate counter span =
+    let ns = T.span_ns telemetry span in
+    if Int64.compare ns 0L > 0 then
+      J.Float
+        (float_of_int (T.counter_value telemetry counter)
+        /. (Int64.to_float ns /. 1e9))
     else J.Null
   in
+  (* Simulation throughput of whichever path ran: tape replay when tape
+     reuse is on, the combined kernel+simulation rate otherwise.  The
+     per-phase fields below carry both so two snapshots (with and without
+     [--no-tape]) are directly comparable. *)
+  let retrace_rate = rate "recorder/events" "verify/trace_total" in
+  let replay_rate = rate "tape/replay_events" "verify/replay_total" in
+  let events_per_sec = if tape then replay_rate else retrace_rate in
   let geometry =
     J.List
       (List.map
@@ -616,8 +710,12 @@ let write_bench_snapshot ~command ~jobs ~wall_clock_sec telemetry =
         ("command", J.Str command);
         ("geometry", geometry);
         ("jobs", J.Int jobs);
+        ("tape_reuse", J.Bool tape);
         ("wall_clock_sec", J.Float wall_clock_sec);
         ("events_per_sec", events_per_sec);
+        ("retrace_events_per_sec", retrace_rate);
+        ("replay_events_per_sec", replay_rate);
+        ("capture_events_per_sec", rate "tape/capture_events" "verify/capture_total");
         ("telemetry", T.to_json telemetry);
       ]
   in
@@ -637,6 +735,7 @@ let () =
      names.  Validate every section up front so a typo exits non-zero
      before anything runs, instead of failing halfway through a sweep. *)
   let jobs = ref (Dvf_util.Parallel.recommended_jobs ()) in
+  let tape = ref true in
   let rec parse acc = function
     | [] -> List.rev acc
     | ("-j" | "--jobs") :: value :: rest -> (
@@ -646,6 +745,11 @@ let () =
             parse acc rest
         | _ -> usage_error (Printf.sprintf "bad job count %S" value))
     | [ ("-j" | "--jobs") ] -> usage_error "-j expects a positive integer"
+    | "--no-tape" :: rest ->
+        (* Per-geometry retrace everywhere a tape would be reused — the
+           measurable baseline for the capture-once/replay-many path. *)
+        tape := false;
+        parse acc rest
     | name :: rest -> parse (name :: acc) rest
   in
   let requested =
@@ -663,9 +767,9 @@ let () =
   in
   let telemetry = Dvf_util.Telemetry.create () in
   let start = Unix.gettimeofday () in
-  List.iter (fun run -> run ~jobs:!jobs ~telemetry ()) runs;
+  List.iter (fun run -> run ~jobs:!jobs ~telemetry ~tape:!tape ()) runs;
   write_bench_snapshot
     ~command:(String.concat " " (Array.to_list Sys.argv))
-    ~jobs:!jobs
+    ~jobs:!jobs ~tape:!tape
     ~wall_clock_sec:(Unix.gettimeofday () -. start)
     telemetry

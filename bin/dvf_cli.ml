@@ -75,12 +75,25 @@ let profile_cmd =
 (* --- verify --- *)
 
 let verify_cmd =
-  let run jobs metrics workloads =
+  let strategy =
+    let doc =
+      "Simulation strategy: $(b,replay) (default) captures each workload's \
+       trace once and replays the tape per cache; $(b,fused) drives all \
+       caches from one chunk walk; $(b,retrace) re-executes the kernel per \
+       cache (the historical baseline).  All strategies print identical \
+       rows."
+    in
+    Arg.(
+      value
+      & opt (enum Core.Verify.strategies) Core.Verify.Replay
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let run jobs metrics strategy workloads =
     Cli_common.with_metrics metrics (fun telemetry ->
         let rows =
           Core.Verify.run_all
             ~jobs:(Cli_common.check_jobs jobs)
-            ~telemetry ~workloads ()
+            ~telemetry ~strategy ~workloads ()
         in
         Dvf_util.Table.print (Core.Verify.to_table rows))
   in
@@ -88,7 +101,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
     Term.(
-      const run $ Cli_common.jobs $ Cli_common.metrics
+      const run $ Cli_common.jobs $ Cli_common.metrics $ strategy
       $ Cli_common.workload_pos_args)
 
 (* --- figure/table reproductions --- *)
@@ -159,7 +172,7 @@ let models_cmd =
 
 let components_cmd =
   let run workloads =
-    let cache = Cachesim.Config.profiling_8mb in
+    let cache = Cachesim.Config.profiling_4mb in
     List.iter
       (fun workload ->
         let instance = Core.Workloads.profiling_instance workload in
@@ -183,7 +196,7 @@ let protect_cmd =
     Arg.(value & opt float 0.10 & info [ "t"; "target" ] ~docv:"FRACTION" ~doc)
   in
   let run target workloads =
-    let cache = Cachesim.Config.profiling_8mb in
+    let cache = Cachesim.Config.profiling_4mb in
     List.iter
       (fun workload ->
         let instance = Core.Workloads.profiling_instance workload in
@@ -284,7 +297,7 @@ let run_model path overrides jobs telemetry =
          file, or the default profiling machine when it declares none. *)
       (match machines with
       | [] ->
-          let cache = Cachesim.Config.profiling_8mb in
+          let cache = Cachesim.Config.profiling_4mb in
           Printf.printf "machine (default): %s, FIT=%g\n\n"
             (Format.asprintf "%a" Cachesim.Config.pp cache)
             (Core.Ecc.fit Core.Ecc.No_ecc);

@@ -4,7 +4,7 @@
    Run with: dune exec examples/ecc_tradeoff.exe *)
 
 let () =
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let instance = Core.Workloads.profiling_instance Core.Workloads.vm in
   let spec = instance.Core.Workload.spec in
   let base_time =

@@ -46,7 +46,7 @@ let () =
   in
   (* Pick a cache (Table IV's largest), estimate execution time with the
      roofline model, and evaluate Eq. 1 per structure. *)
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let time =
     Core.Perf.app_time Core.Perf.default_machine ~cache ~flops:20_000_000 spec
   in

@@ -6,7 +6,7 @@
    Run with: dune exec examples/selective_protection.exe *)
 
 let () =
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   List.iter
     (fun kernel ->
       let instance = Core.Workloads.profiling_instance kernel in

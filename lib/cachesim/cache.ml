@@ -49,9 +49,11 @@ let create config =
 let config t = t.config
 let stats t = t.stats
 
-let touch_line t ~owner ~write ~line_addr =
-  if line_addr < 0 then invalid_arg "Cache.touch_line: negative address";
-  let line = line_addr lsr t.line_shift in
+(* Core lookup on a line *number* (byte address already shifted).  Every
+   entry point funnels here, so [access]/[access_batch] split a request
+   with one shift per boundary instead of the two integer divisions the
+   byte-address API used to pay per line. *)
+let touch t ~owner ~write ~line =
   let set = line land t.set_mask in
   let ca = t.config.Config.associativity in
   let base = set * ca in
@@ -85,14 +87,74 @@ let touch_line t ~owner ~write ~line_addr =
   end;
   hit
 
+let touch_line t ~owner ~write ~line_addr =
+  if line_addr < 0 then invalid_arg "Cache.touch_line: negative address";
+  touch t ~owner ~write ~line:(line_addr lsr t.line_shift)
+
 let access t ~owner ~write ~addr ~size =
   if size <= 0 then invalid_arg "Cache.access: non-positive size";
   if addr < 0 then invalid_arg "Cache.access: negative address";
-  let line_bytes = t.config.Config.line in
-  let first = addr / line_bytes in
-  let last = (addr + size - 1) / line_bytes in
+  let first = addr lsr t.line_shift in
+  let last = (addr + size - 1) lsr t.line_shift in
   for line = first to last do
-    ignore (touch_line t ~owner ~write ~line_addr:(line * line_bytes))
+    ignore (touch t ~owner ~write ~line)
+  done
+
+(* --- packed bulk interface ---
+
+   One event is two ints: the byte address, and a metadata word packing
+   write (bit 0), size (bits 1..30) and owner (bits 31+).  The layout is
+   shared with [Memtrace.Tape], which stores captured traces in columnar
+   [addrs]/[metas] arrays and streams whole chunks back through
+   [access_batch] — one closure dispatch and one bounds check per chunk
+   instead of per event. *)
+
+let meta_size_bits = 30
+let max_size = (1 lsl meta_size_bits) - 1
+let meta_owner_shift = meta_size_bits + 1
+let max_owner = max_int lsr meta_owner_shift
+
+let pack_access ~owner ~write ~size =
+  if size <= 0 || size > max_size then
+    invalid_arg
+      (Printf.sprintf "Cache.pack_access: size %d out of range (1..%d)" size
+         max_size);
+  if owner < 0 || owner > max_owner then
+    invalid_arg
+      (Printf.sprintf "Cache.pack_access: owner %d out of range (0..%d)" owner
+         max_owner);
+  (owner lsl meta_owner_shift)
+  lor (size lsl 1)
+  lor (if write then 1 else 0)
+
+let unpack_access meta =
+  ( meta lsr meta_owner_shift,
+    meta land 1 = 1,
+    (meta lsr 1) land max_size )
+
+let access_batch t ~addrs ~metas ~pos ~len =
+  if
+    pos < 0 || len < 0
+    || pos + len > Array.length addrs
+    || pos + len > Array.length metas
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.access_batch: bad range pos=%d len=%d (addrs %d, metas %d)"
+         pos len (Array.length addrs) (Array.length metas));
+  let shift = t.line_shift in
+  for i = pos to pos + len - 1 do
+    let addr = addrs.(i) in
+    if addr < 0 then invalid_arg "Cache.access_batch: negative address";
+    let meta = metas.(i) in
+    let owner = meta lsr meta_owner_shift in
+    let write = meta land 1 = 1 in
+    let size = (meta lsr 1) land max_size in
+    let first = addr lsr shift in
+    let last = (addr + size - 1) lsr shift in
+    for line = first to last do
+      ignore (touch t ~owner ~write ~line)
+    done
   done
 
 let flush t =

@@ -30,6 +30,31 @@ val touch_line : t -> owner:int -> write:bool -> line_addr:int -> bool
     [line_addr] is a byte address (any byte within the line).  Returns
     [true] on hit. *)
 
+(** {2 Packed bulk interface}
+
+    The hot path for replaying captured traces ({!Memtrace.Tape}): events
+    are stored columnar as two unboxed [int] arrays — byte address, and a
+    metadata word from {!pack_access} — and a whole chunk is driven
+    through the simulator with one call. *)
+
+val pack_access : owner:int -> write:bool -> size:int -> int
+(** Pack one reference's metadata: bit 0 is the write flag, bits 1..30
+    the size in bytes, the remaining high bits the owner id.  Raises
+    [Invalid_argument] when [size] is outside [1 .. 2^30 - 1] or [owner]
+    outside [0 .. max_int lsr 31] — far beyond anything the region
+    registry hands out, but a loud failure beats silent truncation. *)
+
+val unpack_access : int -> int * bool * int
+(** [(owner, write, size)] of a word built by {!pack_access}. *)
+
+val access_batch :
+  t -> addrs:int array -> metas:int array -> pos:int -> len:int -> unit
+(** Simulate [addrs.(pos .. pos+len-1)] (with matching {!pack_access}
+    metadata in [metas]) as if each were passed to {!access} in order:
+    same line splitting, same statistics, one bounds check and one call
+    for the whole block.  Raises [Invalid_argument] on a range outside
+    either array or on a negative address. *)
+
 val flush : t -> unit
 (** Evict everything, recording writebacks for dirty lines.  Called at the
     end of a simulation when the experiment counts end-of-run evictions. *)

@@ -38,11 +38,11 @@ let large_verification =
 
 let profiling_16kb = make ~name:"16KB" ~associativity:2 ~sets:1024 ~line:8
 let profiling_128kb = make ~name:"128KB" ~associativity:4 ~sets:2048 ~line:16
-let profiling_1mb = make ~name:"1MB" ~associativity:6 ~sets:4096 ~line:32
-let profiling_8mb = make ~name:"8MB" ~associativity:8 ~sets:8192 ~line:64
+let profiling_768kb = make ~name:"768KB" ~associativity:6 ~sets:4096 ~line:32
+let profiling_4mb = make ~name:"4MB" ~associativity:8 ~sets:8192 ~line:64
 
 let profiling_set =
-  [ profiling_16kb; profiling_128kb; profiling_1mb; profiling_8mb ]
+  [ profiling_16kb; profiling_128kb; profiling_768kb; profiling_4mb ]
 
 let verification_set = [ small_verification; large_verification ]
 

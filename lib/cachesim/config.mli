@@ -6,10 +6,12 @@
     LLC, "because it has the largest impact on the number of main memory
     accesses within the cache hierarchy".
 
-    Note: Table IV's stated capacities for the "1MB" and "8MB" profiling
+    Note: Table IV's stated capacities for its "1MB" and "8MB" profiling
     configurations do not match their own parameters (CA*NA*CL gives 768 KB
-    and 4 MB respectively).  We keep the parameters verbatim and the paper's
-    labels; {!capacity} always reports the parameter-derived truth. *)
+    and 4 MB respectively).  We keep the parameters verbatim — they are what
+    the paper's results were actually produced with — but name the configs
+    by their true capacities ("768KB", "4MB") so {!capacity} and the label
+    always agree. *)
 
 type t = private {
   name : string;
@@ -46,11 +48,13 @@ val profiling_16kb : t
 val profiling_128kb : t
 (** Table IV "128KB (Profiling)": 4-way, 2048 sets, 16 B lines. *)
 
-val profiling_1mb : t
-(** Table IV "1MB (Profiling)": 6-way, 4096 sets, 32 B lines. *)
+val profiling_768kb : t
+(** Table IV "1MB (Profiling)": 6-way, 4096 sets, 32 B lines — actually
+    768 KB, and named accordingly here. *)
 
-val profiling_8mb : t
-(** Table IV "8MB (Profiling)": 8-way, 8192 sets, 64 B lines. *)
+val profiling_4mb : t
+(** Table IV "8MB (Profiling)": 8-way, 8192 sets, 64 B lines — actually
+    4 MB, and named accordingly here. *)
 
 val profiling_set : t list
 (** The four profiling configurations in Table IV order. *)

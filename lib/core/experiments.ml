@@ -42,7 +42,7 @@ let sweep_map ?jobs ?(telemetry = Telemetry.null) ~label f xs =
 
 let fig6 ?jobs ?telemetry ?(machine = Perf.default_machine)
     ?(fit = Ecc.fit Ecc.No_ecc)
-    ?(cache = Cachesim.Config.profiling_8mb)
+    ?(cache = Cachesim.Config.profiling_4mb)
     ?(sizes = [ 100; 200; 300; 400; 500; 600; 700; 800 ]) () =
   sweep_map ?jobs ?telemetry ~label:"fig6"
     (fun n ->
@@ -109,7 +109,7 @@ type fig7_row = {
 }
 
 let fig7 ?(machine = Perf.default_machine)
-    ?(cache = Cachesim.Config.profiling_8mb) ?(steps = 30)
+    ?(cache = Cachesim.Config.profiling_4mb) ?(steps = 30)
     ?(max_degradation = 0.30) () =
   let instance = Workloads.profiling_instance Workloads.vm in
   let spec = instance.Workload.spec in
@@ -157,10 +157,83 @@ type sweep_row = {
   capacity : int;
   sweep_cache : Cachesim.Config.t;
   dvf_a : float;
+  n_ha : float;
+  sim_n_ha : float option;
 }
 
-let cache_sweep ?jobs ?telemetry ?(machine = Perf.default_machine)
-    ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64) ?(associativity = 8) ?capacities
+(* Split [xs] into at most [groups] contiguous chunks of near-equal
+   length, preserving order.  Grouping only affects scheduling: each
+   cache is private to its group, so the per-cache results are identical
+   however the caches are grouped. *)
+let chunk_list ~groups xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let groups = max 1 (min groups n) in
+    let size = (n + groups - 1) / groups in
+    let rec take k = function
+      | x :: rest when k > 0 ->
+          let taken, rest = take (k - 1) rest in
+          (x :: taken, rest)
+      | rest -> ([], rest)
+    in
+    let rec split = function
+      | [] -> []
+      | xs ->
+          let g, rest = take size xs in
+          g :: split rest
+    in
+    split xs
+  end
+
+(* Trace-driven half of a simulated sweep: capture the workload's tape
+   once, then drive every sweep geometry from fused chunk walks — one
+   walk per job group, the whole sweep in a single walk at [jobs = 1].
+   Returns each cache's simulated total main-memory accesses (misses +
+   writebacks), in [caches] order. *)
+let simulate_totals ~jobs ~telemetry ~caches (instance : Workload.instance) =
+  let cap = Verify.capture ~telemetry instance in
+  let replay_group group =
+    Telemetry.span telemetry
+      (Printf.sprintf "cache_sweep/%s/replay" instance.Workload.workload)
+      (fun () ->
+        let sims = Array.of_list (List.map Cachesim.Cache.create group) in
+        let t0 = Telemetry.now_ns telemetry in
+        Memtrace.Tape.replay_fused cap.Verify.tape sims;
+        Array.iter Cachesim.Cache.flush sims;
+        if Telemetry.enabled telemetry then begin
+          Telemetry.add telemetry
+            ~n:(Array.length sims * Memtrace.Tape.length cap.Verify.tape)
+            "tape/replay_events";
+          Telemetry.time_ns telemetry "verify/replay_total"
+            (Int64.sub (Telemetry.now_ns telemetry) t0)
+        end;
+        Array.to_list
+          (Array.map
+             (fun sim ->
+               let snapshot =
+                 Cachesim.Stats.snapshot (Cachesim.Cache.stats sim)
+               in
+               if Telemetry.enabled telemetry then
+                 Telemetry.add telemetry
+                   ~n:
+                     (Cachesim.Stats.Snapshot.accesses
+                        snapshot.Cachesim.Stats.totals)
+                   "cache/accesses";
+               float_of_int
+                 (Cachesim.Stats.Snapshot.total_main_memory snapshot))
+             sims))
+  in
+  let groups = chunk_list ~groups:jobs caches in
+  let totals =
+    if jobs <= 1 then List.map replay_group groups
+    else Dvf_util.Parallel.map_list ~telemetry ~jobs replay_group groups
+  in
+  List.concat totals
+
+let cache_sweep ?jobs ?(telemetry = Telemetry.null)
+    ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64)
+    ?(associativity = 8) ?capacities ?(simulate = false)
     (instance : Workload.instance) =
   let capacities =
     match capacities with
@@ -171,36 +244,70 @@ let cache_sweep ?jobs ?telemetry ?(machine = Perf.default_machine)
         in
         doubling [] 4096
   in
-  sweep_map ?jobs ?telemetry ~label:"cache_sweep"
-    (fun capacity ->
-      let sets = capacity / (associativity * line) in
-      if sets <= 0 then invalid_arg "Experiments.cache_sweep: capacity too small";
-      let cache =
+  let caches =
+    List.map
+      (fun capacity ->
+        let sets = capacity / (associativity * line) in
+        if sets <= 0 then
+          invalid_arg "Experiments.cache_sweep: capacity too small";
         Cachesim.Config.make
           ~name:(Format.asprintf "%a" Dvf_util.Units.pp_bytes capacity)
-          ~associativity ~sets ~line
-      in
+          ~associativity ~sets ~line)
+      capacities
+  in
+  let effective_jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  let sim_totals =
+    if not simulate then List.map (fun _ -> None) caches
+    else
+      List.map
+        (fun v -> Some v)
+        (simulate_totals ~jobs:effective_jobs ~telemetry ~caches instance)
+  in
+  let points = List.combine (List.combine capacities caches) sim_totals in
+  sweep_map ?jobs ~telemetry ~label:"cache_sweep"
+    (fun ((capacity, cache), sim_n_ha) ->
       let spec = instance.Workload.spec in
       let time = Perf.app_time machine ~cache ~flops:instance.Workload.flops spec in
+      let n_ha =
+        List.fold_left
+          (fun acc (_, v) -> acc +. v)
+          0.0
+          (Access_patterns.App_spec.main_memory_accesses ~cache spec)
+      in
       {
         capacity;
         sweep_cache = cache;
         dvf_a = (Dvf.of_spec ~cache ~fit ~time spec).Dvf.total;
+        n_ha;
+        sim_n_ha;
       })
-    capacities
+    points
 
 let cache_sweep_table ~label rows =
+  let simulated = List.exists (fun r -> r.sim_n_ha <> None) rows in
   let t =
     Table.create ~title:(Printf.sprintf "DVF_a vs cache capacity: %s" label)
-      [ ("capacity", Table.Right); ("DVF_a", Table.Right) ]
+      ([ ("capacity", Table.Right); ("DVF_a", Table.Right);
+         ("N_ha model", Table.Right) ]
+      @ if simulated then [ ("N_ha sim", Table.Right) ] else [])
   in
   List.iter
     (fun r ->
       Table.add_row t
-        [
-          Format.asprintf "%a" Dvf_util.Units.pp_bytes r.capacity;
-          Table.cell_float r.dvf_a;
-        ])
+        ([
+           Format.asprintf "%a" Dvf_util.Units.pp_bytes r.capacity;
+           Table.cell_float r.dvf_a;
+           Table.cell_float r.n_ha;
+         ]
+        @
+        match r.sim_n_ha with
+        | Some v when simulated -> [ Table.cell_float v ]
+        | None when simulated -> [ "-" ]
+        | _ -> []))
     rows;
   t
 

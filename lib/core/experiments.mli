@@ -59,18 +59,33 @@ type sweep_row = {
   capacity : int;        (** bytes *)
   sweep_cache : Cachesim.Config.t;
   dvf_a : float;
+  n_ha : float;            (** analytic (CGPMAC) total main-memory accesses *)
+  sim_n_ha : float option; (** trace-driven total, when [simulate] was set *)
 }
 
 val cache_sweep :
   ?jobs:int -> ?telemetry:Dvf_util.Telemetry.t -> ?machine:Perf.machine ->
   ?fit:float -> ?line:int ->
-  ?associativity:int -> ?capacities:int list -> Workload.instance ->
+  ?associativity:int -> ?capacities:int list -> ?simulate:bool ->
+  Workload.instance ->
   sweep_row list
 (** Generalization of Fig. 5's x-axis: DVF_a of one application over a
     continuous range of cache capacities (default 4 KB .. 16 MB doubling,
     8-way, 64 B lines).  Exposes each kernel's working-set cliffs at full
     resolution instead of Table IV's four points.  [jobs] and [telemetry]
-    as in {!fig6} (telemetry paths use the ["cache_sweep"] label). *)
+    as in {!fig6} (telemetry paths use the ["cache_sweep"] label).
+
+    [simulate] (default [false]) additionally runs the trace-driven
+    simulator over every sweep geometry: the workload's trace is captured
+    {e once} into a {!Memtrace.Tape} ({!Verify.capture}) and all
+    geometries are driven by fused chunk walks
+    ({!Memtrace.Tape.replay_fused}) — one walk for the whole sweep at
+    [jobs = 1], one per job group otherwise; results are independent of
+    the grouping.  Each row's [sim_n_ha] then holds the simulated total
+    main-memory accesses next to the analytic [n_ha].  Telemetry adds
+    ["cache_sweep/<workload>/replay"] spans plus the shared
+    ["tape/*"]/["cache/accesses"] counters and
+    ["verify/capture_total"]/["verify/replay_total"] accumulators. *)
 
 val cache_sweep_table : label:string -> sweep_row list -> Dvf_util.Table.t
 

@@ -144,7 +144,7 @@ let spearman_of rows =
     (Array.of_list (List.map (fun r -> r.rate) rows))
     (Array.of_list (List.map (fun r -> r.dvf) rows))
 
-let correlate ?(cache = Cachesim.Config.profiling_8mb) ?(fit = default_fit)
+let correlate ?(cache = Cachesim.Config.profiling_4mb) ?(fit = default_fit)
     ?(machine = Perf.default_machine) results =
   let rows =
     List.concat_map

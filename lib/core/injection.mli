@@ -78,7 +78,7 @@ val correlate :
 (** Evaluate each result's spec with {!Dvf.of_spec} (execution time from
     the {!Perf} roofline) and pair every structure's empirical SDC rate
     with its analytical DVF.  [cache] defaults to
-    {!Cachesim.Config.profiling_8mb}.  Raises [Invalid_argument] if a
+    {!Cachesim.Config.profiling_4mb}.  Raises [Invalid_argument] if a
     campaign structure is missing from the spec. *)
 
 val correlation_table : correlation -> Dvf_util.Table.t

@@ -13,6 +13,33 @@ let error row =
 
 module Telemetry = Dvf_util.Telemetry
 
+type strategy = Retrace | Replay | Fused
+
+let strategies = [ ("retrace", Retrace); ("replay", Replay); ("fused", Fused) ]
+let strategy_name s = fst (List.find (fun (_, v) -> v = s) strategies)
+
+(* Turn one simulated cache's final state into Fig. 4 rows: run the
+   analytical model (under a ["model"] span) and pair each structure's
+   estimate with the simulator's per-owner main-memory count. *)
+let rows_of_snapshot ~telemetry ~cache ~registry (instance : Workload.instance)
+    snapshot =
+  let modeled =
+    Telemetry.span telemetry "model" (fun () ->
+        Access_patterns.App_spec.main_memory_accesses ~cache
+          instance.Workload.spec)
+  in
+  List.map
+    (fun (structure, model_value) ->
+      let region = Memtrace.Region.lookup registry structure in
+      let simulated =
+        float_of_int
+          (Cachesim.Stats.Snapshot.owner_main_memory snapshot
+             region.Memtrace.Region.id)
+      in
+      { workload = instance.Workload.workload; cache; structure; simulated;
+        modeled = model_value })
+    modeled
+
 let verify_instance ?(telemetry = Telemetry.null) ~cache
     (instance : Workload.instance) =
   Telemetry.span telemetry
@@ -48,34 +75,132 @@ let verify_instance ?(telemetry = Telemetry.null) ~cache
       "cache/accesses";
     Telemetry.time_ns telemetry "verify/trace_total" !trace_ns
   end;
-  let modeled =
-    Telemetry.span telemetry "model" (fun () ->
-        Access_patterns.App_spec.main_memory_accesses ~cache
-          instance.Workload.spec)
-  in
-  List.map
-    (fun (structure, model_value) ->
-      let region = Memtrace.Region.lookup registry structure in
-      let simulated =
-        float_of_int
-          (Cachesim.Stats.Snapshot.owner_main_memory snapshot
-             region.Memtrace.Region.id)
-      in
-      { workload = instance.Workload.workload; cache; structure; simulated;
-        modeled = model_value })
-    modeled
+  rows_of_snapshot ~telemetry ~cache ~registry instance snapshot
 
-(* Every workload x cache job owns a private registry/recorder/cache (all
-   mutable), so jobs share nothing and the parallel sweep is bit-identical
-   to the serial one.  [Parallel.map_list] preserves input order; the
-   serial path below enumerates workloads (outer) then caches (inner), and
-   the parallel path enumerates the same pairs in the same order. *)
+(* --- capture once, replay many --- *)
+
+type capture = {
+  instance : Workload.instance;
+  registry : Memtrace.Region.t;
+  tape : Memtrace.Tape.t;
+}
+
+let capture ?(telemetry = Telemetry.null) (instance : Workload.instance) =
+  Telemetry.span telemetry
+    (Printf.sprintf "verify/%s/capture" instance.Workload.workload)
+  @@ fun () ->
+  let registry = Memtrace.Region.create () in
+  let recorder = Memtrace.Recorder.buffered () in
+  let tape = Memtrace.Tape.create () in
+  ignore
+    (Memtrace.Recorder.add_batch_sink recorder (Memtrace.Tape.batch_sink tape));
+  let t0 = Telemetry.now_ns telemetry in
+  instance.Workload.trace registry recorder;
+  Memtrace.Recorder.flush recorder;
+  let capture_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.add telemetry ~n:(Memtrace.Recorder.events_emitted recorder)
+      "recorder/events";
+    Telemetry.add telemetry
+      ~n:(Memtrace.Recorder.batches_dispatched recorder)
+      "recorder/batches";
+    Telemetry.add telemetry ~n:(Memtrace.Tape.length tape)
+      "tape/capture_events";
+    Telemetry.add telemetry ~n:(Memtrace.Tape.allocated_bytes tape)
+      "tape/allocated_bytes";
+    Telemetry.time_ns telemetry "verify/capture_total" capture_ns
+  end;
+  { instance; registry; tape }
+
+let replay_capture ?(telemetry = Telemetry.null) ~cache cap =
+  Telemetry.span telemetry
+    (Printf.sprintf "verify/%s/%s" cap.instance.Workload.workload
+       cache.Cachesim.Config.name)
+  @@ fun () ->
+  let sim_cache = Cachesim.Cache.create cache in
+  let replay_ns = ref 0L in
+  Telemetry.span telemetry "replay" (fun () ->
+      let t0 = Telemetry.now_ns telemetry in
+      Memtrace.Tape.replay cap.tape sim_cache;
+      Cachesim.Cache.flush sim_cache;
+      replay_ns := Int64.sub (Telemetry.now_ns telemetry) t0);
+  let snapshot = Cachesim.Stats.snapshot (Cachesim.Cache.stats sim_cache) in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.add telemetry ~n:(Memtrace.Tape.length cap.tape)
+      "tape/replay_events";
+    Telemetry.add telemetry
+      ~n:(Cachesim.Stats.Snapshot.accesses snapshot.Cachesim.Stats.totals)
+      "cache/accesses";
+    Telemetry.time_ns telemetry "verify/replay_total" !replay_ns
+  end;
+  rows_of_snapshot ~telemetry ~cache ~registry:cap.registry cap.instance
+    snapshot
+
+let replay_capture_fused ?(telemetry = Telemetry.null) ~caches cap =
+  let sims =
+    Telemetry.span telemetry
+      (Printf.sprintf "verify/%s/fused" cap.instance.Workload.workload)
+      (fun () ->
+        let sims = Array.of_list (List.map Cachesim.Cache.create caches) in
+        let t0 = Telemetry.now_ns telemetry in
+        Memtrace.Tape.replay_fused cap.tape sims;
+        Array.iter Cachesim.Cache.flush sims;
+        let replay_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
+        if Telemetry.enabled telemetry then begin
+          Telemetry.add telemetry
+            ~n:(Array.length sims * Memtrace.Tape.length cap.tape)
+            "tape/replay_events";
+          Telemetry.time_ns telemetry "verify/replay_total" replay_ns
+        end;
+        sims)
+  in
+  List.concat
+    (List.mapi
+       (fun i cache ->
+         let snapshot =
+           Cachesim.Stats.snapshot (Cachesim.Cache.stats sims.(i))
+         in
+         if Telemetry.enabled telemetry then
+           Telemetry.add telemetry
+             ~n:
+               (Cachesim.Stats.Snapshot.accesses
+                  snapshot.Cachesim.Stats.totals)
+             "cache/accesses";
+         rows_of_snapshot ~telemetry ~cache ~registry:cap.registry
+           cap.instance snapshot)
+       caches)
+
+(* Every job owns private mutable state (registry/recorder/cache for a
+   retrace job; the tape is append-only during capture and read-only
+   during replay), so jobs share nothing mutable and the parallel sweep is
+   bit-identical to the serial one.  [Parallel.map_list] preserves input
+   order; every path below enumerates workloads (outer) then caches
+   (inner) in the same order. *)
 let finalize_metrics telemetry =
   if Telemetry.enabled telemetry then begin
+    (* Retrace: whole-pipeline rates (kernel execution + simulation in one
+       denominator).  [gauge_rate] is a no-op for a span with no time, so
+       only the gauges of the strategy that actually ran appear. *)
     Telemetry.gauge_rate telemetry ~name:"cache/accesses_per_sec"
       ~counter:"cache/accesses" ~span:"verify/trace_total";
     Telemetry.gauge_rate telemetry ~name:"recorder/events_per_sec"
       ~counter:"recorder/events" ~span:"verify/trace_total";
+    (* Capture/replay: the two phases rated separately — the retrace-era
+       recorder rate divided by a span that lumped kernel execution in
+       with cache simulation and understated both. *)
+    Telemetry.gauge_rate telemetry ~name:"recorder/events_per_sec"
+      ~counter:"recorder/events" ~span:"verify/capture_total";
+    Telemetry.gauge_rate telemetry ~name:"tape/capture_events_per_sec"
+      ~counter:"tape/capture_events" ~span:"verify/capture_total";
+    Telemetry.gauge_rate telemetry ~name:"tape/replay_events_per_sec"
+      ~counter:"tape/replay_events" ~span:"verify/replay_total";
+    Telemetry.gauge_rate telemetry ~name:"cache/accesses_per_sec"
+      ~counter:"cache/accesses" ~span:"verify/replay_total";
+    let captured = Telemetry.counter_value telemetry "tape/capture_events" in
+    if captured > 0 then
+      Telemetry.set_gauge telemetry "tape/bytes_per_event"
+        (float_of_int (Telemetry.counter_value telemetry "tape/allocated_bytes")
+        /. float_of_int captured);
     let batches = Telemetry.counter_value telemetry "recorder/batches" in
     if batches > 0 then
       Telemetry.set_gauge telemetry "recorder/mean_batch_size"
@@ -83,7 +208,8 @@ let finalize_metrics telemetry =
         /. float_of_int batches)
   end
 
-let run_all ?jobs ?(telemetry = Telemetry.null) ?workloads () =
+let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
+    ?workloads () =
   let workloads =
     match workloads with Some ws -> ws | None -> Workloads.all ()
   in
@@ -92,6 +218,7 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?workloads () =
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
   in
+  let caches = Cachesim.Config.verification_set in
   (* Absolute timer rather than an enclosing [span]: instance spans run in
      worker domains (fresh span stacks) under [-j N], so an enclosing span
      would prefix their paths only in the serial case and the two metrics
@@ -102,31 +229,68 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?workloads () =
       List.concat_map
         (fun workload ->
           let instance = Workloads.verification_instance workload in
-          List.concat_map
-            (fun cache -> verify_instance ~telemetry ~cache instance)
-            Cachesim.Config.verification_set)
+          match strategy with
+          | Retrace ->
+              List.concat_map
+                (fun cache -> verify_instance ~telemetry ~cache instance)
+                caches
+          | Replay ->
+              let cap = capture ~telemetry instance in
+              List.concat_map
+                (fun cache -> replay_capture ~telemetry ~cache cap)
+                caches
+          | Fused ->
+              replay_capture_fused ~telemetry ~caches
+                (capture ~telemetry instance))
         workloads
     else
       Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
           (* Building an instance runs the kernel untraced (to learn its
              iteration count); parallelize that too, then fan out over the
-             workload x cache cross product. *)
+             workload x cache cross product (or, for [Fused], over
+             workloads — each job walks its tape once for all caches). *)
           let instances =
             Dvf_util.Parallel.Pool.map_list pool Workloads.verification_instance
               workloads
           in
-          let pairs =
-            List.concat_map
-              (fun instance ->
-                List.map
-                  (fun cache -> (instance, cache))
-                  Cachesim.Config.verification_set)
-              instances
-          in
-          List.concat
-            (Dvf_util.Parallel.Pool.map_list pool
-               (fun (instance, cache) -> verify_instance ~telemetry ~cache instance)
-               pairs))
+          match strategy with
+          | Retrace ->
+              let pairs =
+                List.concat_map
+                  (fun instance ->
+                    List.map (fun cache -> (instance, cache)) caches)
+                  instances
+              in
+              List.concat
+                (Dvf_util.Parallel.Pool.map_list pool
+                   (fun (instance, cache) ->
+                     verify_instance ~telemetry ~cache instance)
+                   pairs)
+          | Replay ->
+              (* Capture each workload's tape once (in parallel), then fan
+                 the replays over the pool: tapes are immutable after
+                 capture, so concurrent replays of one tape are safe. *)
+              let captures =
+                Dvf_util.Parallel.Pool.map_list pool
+                  (fun instance -> capture ~telemetry instance)
+                  instances
+              in
+              let pairs =
+                List.concat_map
+                  (fun cap -> List.map (fun cache -> (cap, cache)) caches)
+                  captures
+              in
+              List.concat
+                (Dvf_util.Parallel.Pool.map_list pool
+                   (fun (cap, cache) -> replay_capture ~telemetry ~cache cap)
+                   pairs)
+          | Fused ->
+              List.concat
+                (Dvf_util.Parallel.Pool.map_list pool
+                   (fun instance ->
+                     replay_capture_fused ~telemetry ~caches
+                       (capture ~telemetry instance))
+                   instances))
   in
   if Telemetry.enabled telemetry then
     Telemetry.time_ns telemetry "verify/total"

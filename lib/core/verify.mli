@@ -4,7 +4,13 @@
     for model-only workloads), feeds the trace to the LRU cache simulator,
     and compares the per-structure main-memory access counts (misses +
     writebacks) against the CGPMAC analytical estimate.  The paper reports
-    estimation error within 15 % in all cases. *)
+    estimation error within 15 % in all cases.
+
+    Like the paper's methodology (one Pin trace per application, reused
+    for every cache configuration), the default {!strategy} captures each
+    workload's trace {e once} into a {!Memtrace.Tape} and replays it into
+    every verification cache, instead of re-executing the kernel per
+    geometry.  All strategies produce bit-identical rows. *)
 
 type row = {
   workload : string;   (** registry name, e.g. "CG" *)
@@ -17,10 +23,23 @@ type row = {
 val error : row -> float
 (** |modeled - simulated| / simulated. *)
 
+type strategy =
+  | Retrace  (** re-execute and re-trace the kernel for every cache —
+                 the historical path, kept as the measurable baseline *)
+  | Replay   (** capture one tape per workload, replay it per cache *)
+  | Fused    (** capture one tape per workload, drive all caches from a
+                 single chunk walk ({!Memtrace.Tape.replay_fused}) *)
+
+val strategies : (string * strategy) list
+(** CLI-friendly names, e.g. for [Cmdliner.Arg.enum]. *)
+
+val strategy_name : strategy -> string
+
 val verify_instance :
   ?telemetry:Dvf_util.Telemetry.t ->
   cache:Cachesim.Config.t -> Workload.instance -> row list
-(** One workload instance against one cache configuration.
+(** One workload instance against one cache configuration, re-executing
+    the kernel ({!Retrace} unit of work).
 
     [telemetry] (default {!Dvf_util.Telemetry.null}) receives a span
     ["verify/<workload>/<cache>"] with nested ["trace"] (kernel execution,
@@ -29,25 +48,69 @@ val verify_instance :
     and ["cache/accesses"] counters and the ["verify/trace_total"]
     accumulator behind the throughput gauges. *)
 
+type capture = {
+  instance : Workload.instance;
+  registry : Memtrace.Region.t;  (** the address space the tape's events
+                                     refer to *)
+  tape : Memtrace.Tape.t;
+}
+(** One workload's recorded trace, ready to replay into any cache.  After
+    {!capture} returns, the tape is never mutated again, so one capture
+    may be replayed from several domains concurrently. *)
+
+val capture :
+  ?telemetry:Dvf_util.Telemetry.t -> Workload.instance -> capture
+(** Execute the workload kernel once, recording its reference stream into
+    a fresh tape.  Telemetry: span ["verify/<workload>/capture"], the
+    ["recorder/*"] counters, ["tape/capture_events"] and
+    ["tape/allocated_bytes"] counters, and the ["verify/capture_total"]
+    accumulator — kernel execution time is now separable from simulation
+    time, which the old ["verify/trace_total"] lumped together. *)
+
+val replay_capture :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  cache:Cachesim.Config.t -> capture -> row list
+(** Replay a captured tape into one cache configuration and model it —
+    no kernel re-execution.  Rows are bit-identical to
+    {!verify_instance} on the same workload/cache.  Telemetry: span
+    ["verify/<workload>/<cache>"] with nested ["replay"] and ["model"],
+    ["tape/replay_events"] and ["cache/accesses"] counters, and the
+    ["verify/replay_total"] accumulator. *)
+
+val replay_capture_fused :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  caches:Cachesim.Config.t list -> capture -> row list
+(** Replay one tape into all [caches] in a single fused chunk walk; rows
+    are concatenated in [caches] order and bit-identical to sequential
+    {!replay_capture} calls.  Telemetry: span ["verify/<workload>/fused"]
+    and the same replay counters/accumulator ([tape/replay_events] grows
+    by events x caches — every cache consumed the full stream). *)
+
 val run_all :
   ?jobs:int ->
   ?telemetry:Dvf_util.Telemetry.t ->
+  ?strategy:strategy ->
   ?workloads:Workload.t list -> unit -> row list
 (** Fig. 4: every workload (Table V sizes) against both verification cache
-    configurations.  [workloads] defaults to everything registered.
+    configurations.  [workloads] defaults to everything registered;
+    [strategy] defaults to {!Replay}.
 
     [jobs] (default [Domain.recommended_domain_count ()]) spreads the
-    independent workload x cache simulations over that many domains; each
-    job owns its private region registry, recorder and cache, so the rows
-    are identical to the serial run in value and order — with or without
+    independent jobs over that many domains; each job owns its private
+    mutable state, so the rows are identical to the serial run in value
+    and order — at any job count, with any strategy, with or without
     telemetry.  [jobs = 1] takes the serial code path exactly.
 
-    With an enabled [telemetry], each instance reports as described at
-    {!verify_instance}; the sweep additionally records ["verify/total"]
-    wall-clock and, at the end, derives ["cache/accesses_per_sec"],
-    ["recorder/events_per_sec"] and ["recorder/mean_batch_size"] gauges.
-    Counters and span paths are identical at every job count; only the
-    time fields differ. *)
+    With an enabled [telemetry], each phase reports as described at
+    {!verify_instance}/{!capture}/{!replay_capture}; the sweep
+    additionally records ["verify/total"] wall-clock and, at the end,
+    derives the throughput gauges for whichever strategy ran:
+    ["recorder/events_per_sec"] and ["tape/capture_events_per_sec"] (over
+    capture time), ["tape/replay_events_per_sec"] and
+    ["cache/accesses_per_sec"] (over replay time; over the combined
+    trace time under {!Retrace}), ["tape/bytes_per_event"] and
+    ["recorder/mean_batch_size"].  Counters and span paths are identical
+    at every job count; only the time fields differ. *)
 
 val workload_error : rows:row list -> string -> Cachesim.Config.t -> float
 (** Aggregate (total-traffic) error for one workload/cache pair, by

@@ -1,0 +1,104 @@
+(* A captured trace lives in chunks of two parallel unboxed [int] arrays:
+   byte address, and the packed metadata word defined by
+   [Cachesim.Cache.pack_access].  Chunks are fixed-size (default 65536
+   events = two 512 KiB arrays, far past the minor-heap threshold, so
+   capture never churns the minor collector) and are only ever appended
+   to, which keeps [append] at two stores and an increment. *)
+
+type chunk = {
+  addrs : int array;
+  metas : int array;
+  mutable len : int;
+}
+
+type t = {
+  chunk_capacity : int;
+  mutable filled : chunk list; (* full chunks, most recent first *)
+  mutable head : chunk; (* current partially filled chunk *)
+  mutable total : int;
+}
+
+let default_chunk_events = 65536
+let bytes_per_event = 2 * (Sys.word_size / 8)
+
+let fresh_chunk capacity =
+  { addrs = Array.make capacity 0; metas = Array.make capacity 0; len = 0 }
+
+let create ?(chunk_events = default_chunk_events) () =
+  if chunk_events <= 0 then
+    invalid_arg
+      (Printf.sprintf "Tape.create: chunk_events must be positive (got %d)"
+         chunk_events);
+  {
+    chunk_capacity = chunk_events;
+    filled = [];
+    head = fresh_chunk chunk_events;
+    total = 0;
+  }
+
+let length t = t.total
+let chunk_events t = t.chunk_capacity
+
+let chunk_count t =
+  List.length t.filled + if t.head.len > 0 then 1 else 0
+
+let allocated_bytes t =
+  (List.length t.filled + 1) * t.chunk_capacity * bytes_per_event
+
+let append t (e : Event.t) =
+  if e.addr < 0 then invalid_arg "Tape.append: negative address";
+  let c = t.head in
+  let c =
+    if c.len = t.chunk_capacity then begin
+      t.filled <- c :: t.filled;
+      let fresh = fresh_chunk t.chunk_capacity in
+      t.head <- fresh;
+      fresh
+    end
+    else c
+  in
+  c.addrs.(c.len) <- e.addr;
+  c.metas.(c.len) <-
+    Cachesim.Cache.pack_access ~owner:e.owner ~write:e.write ~size:e.size;
+  c.len <- c.len + 1;
+  t.total <- t.total + 1
+
+let append_batch t events n =
+  for i = 0 to n - 1 do
+    append t events.(i)
+  done
+
+let sink t : Recorder.sink = fun e -> append t e
+let batch_sink t : Recorder.batch_sink = fun events n -> append_batch t events n
+
+(* Chunks in capture order: [filled] is most-recent-first, then the
+   partial head (skipped when empty, so replay never dispatches an empty
+   batch). *)
+let iter_chunks t f =
+  List.iter f (List.rev t.filled);
+  if t.head.len > 0 then f t.head
+
+let replay t cache =
+  iter_chunks t (fun c ->
+      Cachesim.Cache.access_batch cache ~addrs:c.addrs ~metas:c.metas ~pos:0
+        ~len:c.len)
+
+let replay_fused t caches =
+  iter_chunks t (fun c ->
+      Array.iter
+        (fun cache ->
+          Cachesim.Cache.access_batch cache ~addrs:c.addrs ~metas:c.metas
+            ~pos:0 ~len:c.len)
+        caches)
+
+let iter t f =
+  iter_chunks t (fun c ->
+      for i = 0 to c.len - 1 do
+        let owner, write, size = Cachesim.Cache.unpack_access c.metas.(i) in
+        f { Event.owner; write; addr = c.addrs.(i); size }
+      done)
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc

@@ -1,0 +1,84 @@
+(** Capture-once / replay-many trace tapes.
+
+    The paper's verification methodology collects one memory trace per
+    application and feeds it to the cache simulator at many
+    configurations (§IV, Fig. 4/6).  A [Tape.t] is that trace: a
+    compact, append-only columnar buffer — per event one byte address
+    and one {!Cachesim.Cache.pack_access} metadata word, stored in
+    chunked unboxed [int] arrays ({!bytes_per_event} = 16 on 64-bit) —
+    captured from a {!Recorder} once and then replayed into any number
+    of caches without re-executing the workload kernel.
+
+    Chunks are allocated at a fixed capacity (default 65536 events),
+    large enough to live on the major heap, so capture is O(1) amortized
+    per event and stays off the minor collector.  Replay streams whole
+    chunks through {!Cachesim.Cache.access_batch}; {!replay_fused}
+    drives several caches from a single chunk walk so a multi-geometry
+    sweep reads each chunk once while it is hot.
+
+    Tapes are single-domain values: capture on one domain, then hand the
+    (immutable-from-then-on) tape to replay jobs freely — concurrent
+    {!replay}s of one tape are safe as long as nobody appends. *)
+
+type t
+
+val create : ?chunk_events:int -> unit -> t
+(** [chunk_events] is the per-chunk capacity in events (default 65536).
+    Raises [Invalid_argument] when not positive. *)
+
+(** {2 Capture} *)
+
+val append : t -> Event.t -> unit
+(** Record one event.  Raises [Invalid_argument] on a negative address
+    or on an owner/size outside the packed-word range (see
+    {!Cachesim.Cache.pack_access}) — the same events a direct
+    {!Cachesim.Cache.access} would reject. *)
+
+val append_batch : t -> Event.t array -> int -> unit
+(** [append_batch t events n] records [events.(0 .. n-1)] in order. *)
+
+val sink : t -> Recorder.sink
+(** Per-event capture sink for {!Recorder.add_sink}. *)
+
+val batch_sink : t -> Recorder.batch_sink
+(** Chunk capture sink for {!Recorder.add_batch_sink} — the fast path
+    when recording from a buffered recorder. *)
+
+(** {2 Replay} *)
+
+val replay : t -> Cachesim.Cache.t -> unit
+(** Stream the captured events, in capture order, into [cache] via
+    {!Cachesim.Cache.access_batch}.  Statistics afterwards are
+    bit-identical to having traced the workload directly into the
+    cache. *)
+
+val replay_fused : t -> Cachesim.Cache.t array -> unit
+(** One pass over the tape driving every cache: for each chunk, replay
+    it into each cache before moving on.  Per-cache results equal
+    [Array.iter (replay t) caches]; the fused walk reads each chunk from
+    memory once instead of once per cache. *)
+
+(** {2 Inspection} *)
+
+val length : t -> int
+(** Events captured so far. *)
+
+val chunk_events : t -> int
+(** Per-chunk capacity this tape was created with. *)
+
+val chunk_count : t -> int
+(** Non-empty chunks currently held. *)
+
+val bytes_per_event : int
+(** Storage cost of one event: two machine words. *)
+
+val allocated_bytes : t -> int
+(** Total bytes of chunk storage allocated (counts the partial head
+    chunk at full capacity — [allocated_bytes t / max 1 (length t)]
+    is the real amortized footprint per event). *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Decode and visit every event in capture order. *)
+
+val to_list : t -> Event.t list
+(** Decoded events in capture order — tests and small tapes only. *)

@@ -134,7 +134,7 @@ let test_dsl_vm_matches_ocaml_api () =
      exactly. *)
   let file = A.Builtin_models.load () in
   let app = A.Compile.find_app file "vm" in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let dsl = Access_patterns.App_spec.main_memory_accesses ~cache app.A.Compile.spec in
   let api =
     Access_patterns.App_spec.main_memory_accesses ~cache

@@ -96,7 +96,39 @@ let test_table_iv_presets () =
   Alcotest.(check int) "16KB profiling" 16384
     (C.Config.capacity C.Config.profiling_16kb);
   Alcotest.(check int) "128KB profiling" 131072
-    (C.Config.capacity C.Config.profiling_128kb)
+    (C.Config.capacity C.Config.profiling_128kb);
+  Alcotest.(check int) "768KB profiling (paper's \"1MB\")" 786432
+    (C.Config.capacity C.Config.profiling_768kb);
+  Alcotest.(check int) "4MB profiling (paper's \"8MB\")" 4194304
+    (C.Config.capacity C.Config.profiling_4mb)
+
+(* Regression for the mislabeled Table IV presets: the paper's "1MB" is
+   really 768 KB and its "8MB" really 4 MB.  Every named config whose
+   name is a byte size must render its parameter-derived capacity
+   exactly, so a label can never drift from the geometry again. *)
+let test_named_capacity_matches_name () =
+  List.iter
+    (fun (cfg : C.Config.t) ->
+      let looks_like_size =
+        String.length cfg.name > 2
+        && (match cfg.name.[0] with '0' .. '9' -> true | _ -> false)
+        && (String.length cfg.name >= 2
+            && String.sub cfg.name (String.length cfg.name - 1) 1 = "B")
+      in
+      if looks_like_size then
+        Alcotest.(check string)
+          (Printf.sprintf "capacity renders as %s" cfg.name)
+          cfg.name
+          (Format.asprintf "%a" Dvf_util.Units.pp_bytes (C.Config.capacity cfg)))
+    (C.Config.profiling_set @ C.Config.verification_set);
+  (* All four profiling presets are size-named, so the check above is not
+     vacuous. *)
+  Alcotest.(check int) "size-named configs" 4
+    (List.length
+       (List.filter
+          (fun (cfg : C.Config.t) ->
+            match cfg.name.[0] with '0' .. '9' -> true | _ -> false)
+          C.Config.profiling_set))
 
 let test_cold_miss_then_hit () =
   let cache = C.Cache.create tiny_config in
@@ -322,6 +354,8 @@ let suite =
     Alcotest.test_case "stats sum equals combined run" `Quick
       test_stats_sum_equals_combined_run;
     Alcotest.test_case "Table IV presets" `Quick test_table_iv_presets;
+    Alcotest.test_case "named capacities match names" `Quick
+      test_named_capacity_matches_name;
     Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
     Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
     Alcotest.test_case "set mapping" `Quick test_set_mapping;

@@ -13,21 +13,21 @@ let checkf ?(eps = 1e-9) msg expected actual =
 
 let test_roofline_compute_bound () =
   let m = Core.Perf.make_machine ~name:"m" ~peak_flops:1e9 ~memory_bandwidth:1e12 in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   (* 1e9 flops at 1 Gflop/s = 1 s; memory side is negligible. *)
   checkf "compute bound" 1.0
     (Core.Perf.execution_time m ~cache ~flops:1_000_000_000 ~n_ha:10.0)
 
 let test_roofline_memory_bound () =
   let m = Core.Perf.make_machine ~name:"m" ~peak_flops:1e15 ~memory_bandwidth:64e6 in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   (* 1e6 line transfers x 64 B at 64 MB/s = 1 s. *)
   checkf "memory bound" 1.0
     (Core.Perf.execution_time m ~cache ~flops:10 ~n_ha:1_000_000.0)
 
 let test_roofline_is_max () =
   let m = Core.Perf.make_machine ~name:"m" ~peak_flops:1e9 ~memory_bandwidth:64e6 in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let t = Core.Perf.execution_time m ~cache ~flops:500_000_000 ~n_ha:500_000.0 in
   checkf "max of both" (Float.max 0.5 0.5) t
 
@@ -110,11 +110,11 @@ let test_profile_vm_shapes () =
     (fun cache ->
       Alcotest.(check bool) ("A > B on " ^ cache) true (dvf "A" cache > dvf "B" cache);
       Alcotest.(check bool) ("A > C on " ^ cache) true (dvf "A" cache > dvf "C" cache))
-    [ "16KB"; "128KB"; "1MB"; "8MB" ];
+    [ "16KB"; "128KB"; "768KB"; "4MB" ];
   (* The aggregate is the sum of the structures. *)
   checkf ~eps:1e-9 "aggregate"
-    (dvf "A" "8MB" +. dvf "B" "8MB" +. dvf "C" "8MB")
-    (dvf "VM" "8MB")
+    (dvf "A" "4MB" +. dvf "B" "4MB" +. dvf "C" "4MB")
+    (dvf "VM" "4MB")
 
 let test_profile_ft_cliff () =
   let rows = Core.Profile.run_all ~workloads:[ Core.Workloads.ft ] () in
@@ -129,8 +129,8 @@ let test_profile_ft_cliff () =
   (* Fig. 5(e): sudden jump once the cache is smaller than the working
      set (32 KB signal vs 16 KB cache), flat-ish among the larger caches. *)
   Alcotest.(check bool) "cliff at 16KB" true (dvf "16KB" > 20.0 *. dvf "128KB");
-  Alcotest.(check bool) "no cliff between 128KB and 1MB" true
-    (dvf "128KB" < 20.0 *. dvf "1MB")
+  Alcotest.(check bool) "no cliff between 128KB and 768KB" true
+    (dvf "128KB" < 20.0 *. dvf "768KB")
 
 (* --- Experiments --- *)
 

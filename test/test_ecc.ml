@@ -37,7 +37,7 @@ let test_effective_fit_monotone () =
 
 let test_fig7_u_shape () =
   (* The optimum sits at the scheme's full-strength point. *)
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let spec = Kernels.Vm.spec Kernels.Vm.profiling in
   let d_opt, dvf_opt =
     E.optimal_degradation ~cache ~base_time:1e-4 ~max_degradation:0.30
@@ -53,7 +53,7 @@ let test_fig7_u_shape () =
   Alcotest.(check bool) "rises after" true (dvf 0.30 > dvf_opt)
 
 let test_chipkill_below_secded () =
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let spec = Kernels.Vm.spec Kernels.Vm.profiling in
   List.iter
     (fun d ->
@@ -70,7 +70,7 @@ let test_chipkill_below_secded () =
 let test_protection_reduces_dvf () =
   (* Fig. 7's headline: with any meaningful investment, DVF drops below
      the unprotected level. *)
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let spec = Kernels.Vm.spec Kernels.Vm.profiling in
   let unprotected =
     (Core.Dvf.of_spec ~cache ~fit:(E.fit E.No_ecc) ~time:1e-4 spec).Core.Dvf.total

@@ -31,4 +31,5 @@ let () =
       ("fault-injection", Test_fault_injection.suite);
       ("injection", Test_injection.suite);
       ("telemetry", Test_telemetry.suite);
+      ("tape", Test_tape.suite);
     ]

@@ -75,7 +75,7 @@ let test_structures_for_target () =
 
 let test_on_real_kernel () =
   (* VM: protecting A alone removes most of the vulnerability. *)
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let spec = Kernels.Vm.spec Kernels.Vm.profiling in
   let app = D.of_spec ~cache ~fit:5000.0 ~time:1e-4 spec in
   let top = List.hd (S.rank app) in

@@ -138,7 +138,7 @@ let test_sparse_dvf_below_dense () =
      moves ~n^2 fewer bytes, so its DVF must be far smaller. *)
   let n = 300 in
   let iterations = 10 in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let sparse_spec =
     S.spec ~iterations (S.make_params (`Tridiagonal n))
   in

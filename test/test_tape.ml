@@ -1,0 +1,293 @@
+(* Memtrace.Tape: capture-once/replay-many correctness.
+
+   The tentpole invariant is bit-identity: replaying a captured tape into
+   a cache must leave statistics identical to tracing the workload
+   straight into that cache — for every builtin workload, every
+   verification geometry, any chunking, and fused multi-cache walks. *)
+
+module C = Cachesim
+module Mt = Memtrace
+
+let snap cache = C.Stats.snapshot (C.Cache.stats cache)
+
+let check_snapshots name (a : C.Stats.snapshot) (b : C.Stats.snapshot) =
+  Alcotest.(check bool) name true (a = b)
+
+(* Deterministic synthetic event stream mixing owners, strides, sizes and
+   line-crossing accesses. *)
+let synthetic_events n =
+  List.init n (fun i ->
+      let owner = 1 + (i mod 3) in
+      let addr = (i * 24 mod 4096) + (i mod 7 * 4096) in
+      let size = 1 + (i mod 9) in
+      if i mod 4 = 0 then Mt.Event.write ~owner ~addr ~size
+      else Mt.Event.read ~owner ~addr ~size)
+
+let drive_direct cfg events =
+  let cache = C.Cache.create cfg in
+  List.iter
+    (fun (e : Mt.Event.t) ->
+      C.Cache.access cache ~owner:e.Mt.Event.owner ~write:e.Mt.Event.write
+        ~addr:e.Mt.Event.addr ~size:e.Mt.Event.size)
+    events;
+  C.Cache.flush cache;
+  snap cache
+
+let drive_tape ?chunk_events cfg events =
+  let tape = Mt.Tape.create ?chunk_events () in
+  List.iter (Mt.Tape.append tape) events;
+  let cache = C.Cache.create cfg in
+  Mt.Tape.replay tape cache;
+  C.Cache.flush cache;
+  (tape, snap cache)
+
+(* --- packed event words --- *)
+
+let test_pack_roundtrip () =
+  List.iter
+    (fun (owner, write, size) ->
+      let meta = C.Cache.pack_access ~owner ~write ~size in
+      Alcotest.(check (triple int bool int))
+        (Printf.sprintf "owner=%d write=%b size=%d" owner write size)
+        (owner, write, size)
+        (C.Cache.unpack_access meta))
+    [
+      (0, false, 1); (0, true, 1); (1, false, 64); (7, true, 4096);
+      (0, false, (1 lsl 30) - 1); (max_int lsr 31, true, 17);
+    ]
+
+let test_pack_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "size 0" (fun () ->
+      C.Cache.pack_access ~owner:0 ~write:false ~size:0);
+  expect_invalid "size too big" (fun () ->
+      C.Cache.pack_access ~owner:0 ~write:false ~size:(1 lsl 30));
+  expect_invalid "negative owner" (fun () ->
+      C.Cache.pack_access ~owner:(-1) ~write:false ~size:1);
+  expect_invalid "owner too big" (fun () ->
+      C.Cache.pack_access ~owner:((max_int lsr 31) + 1) ~write:false ~size:1)
+
+(* --- Cache.access_batch equals per-event Cache.access --- *)
+
+let test_access_batch_equivalence () =
+  let events = synthetic_events 2000 in
+  let cfg = C.Config.small_verification in
+  let direct = drive_direct cfg events in
+  let n = List.length events in
+  let addrs = Array.make n 0 and metas = Array.make n 0 in
+  List.iteri
+    (fun i (e : Mt.Event.t) ->
+      addrs.(i) <- e.Mt.Event.addr;
+      metas.(i) <-
+        C.Cache.pack_access ~owner:e.Mt.Event.owner ~write:e.Mt.Event.write
+          ~size:e.Mt.Event.size)
+    events;
+  let batched = C.Cache.create cfg in
+  (* Split the stream at an arbitrary boundary: two batch calls must
+     behave exactly like one. *)
+  C.Cache.access_batch batched ~addrs ~metas ~pos:0 ~len:777;
+  C.Cache.access_batch batched ~addrs ~metas ~pos:777 ~len:(n - 777);
+  C.Cache.flush batched;
+  check_snapshots "access_batch = access" direct (snap batched)
+
+let test_access_batch_bad_range () =
+  let cache = C.Cache.create C.Config.small_verification in
+  let addrs = Array.make 4 0 and metas = Array.make 4 0 in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "len past end" (fun () ->
+      C.Cache.access_batch cache ~addrs ~metas ~pos:2 ~len:3);
+  expect_invalid "negative pos" (fun () ->
+      C.Cache.access_batch cache ~addrs ~metas ~pos:(-1) ~len:1);
+  expect_invalid "negative len" (fun () ->
+      C.Cache.access_batch cache ~addrs ~metas ~pos:0 ~len:(-1));
+  expect_invalid "mismatched metas" (fun () ->
+      C.Cache.access_batch cache ~addrs ~metas:(Array.make 2 0) ~pos:0 ~len:3)
+
+(* --- chunk-boundary edge cases --- *)
+
+let test_empty_tape () =
+  let tape = Mt.Tape.create ~chunk_events:8 () in
+  Alcotest.(check int) "length" 0 (Mt.Tape.length tape);
+  Alcotest.(check int) "chunks" 0 (Mt.Tape.chunk_count tape);
+  Alcotest.(check int) "to_list" 0 (List.length (Mt.Tape.to_list tape));
+  let cache = C.Cache.create C.Config.small_verification in
+  Mt.Tape.replay tape cache;
+  Alcotest.(check int) "no accesses" 0
+    (C.Stats.Snapshot.accesses (C.Stats.Snapshot.totals (snap cache)))
+
+let test_exactly_one_chunk () =
+  let events = synthetic_events 64 in
+  let cfg = C.Config.small_verification in
+  let tape, replayed = drive_tape ~chunk_events:64 cfg events in
+  Alcotest.(check int) "length" 64 (Mt.Tape.length tape);
+  Alcotest.(check int) "one chunk" 1 (Mt.Tape.chunk_count tape);
+  check_snapshots "replay = direct" (drive_direct cfg events) replayed
+
+let test_capacity_plus_one () =
+  let events = synthetic_events 65 in
+  let cfg = C.Config.small_verification in
+  let tape, replayed = drive_tape ~chunk_events:64 cfg events in
+  Alcotest.(check int) "length" 65 (Mt.Tape.length tape);
+  Alcotest.(check int) "two chunks" 2 (Mt.Tape.chunk_count tape);
+  check_snapshots "replay = direct" (drive_direct cfg events) replayed;
+  (* Decoding across the chunk boundary preserves order and values. *)
+  Alcotest.(check bool) "to_list roundtrip" true
+    (List.for_all2 Mt.Event.equal events (Mt.Tape.to_list tape))
+
+let test_chunking_invariance () =
+  (* The same stream chunked three ways replays identically. *)
+  let events = synthetic_events 500 in
+  let cfg = C.Config.small_verification in
+  let _, s1 = drive_tape ~chunk_events:1 cfg events in
+  let _, s7 = drive_tape ~chunk_events:7 cfg events in
+  let _, s10000 = drive_tape ~chunk_events:10000 cfg events in
+  check_snapshots "chunk 1 = chunk 7" s1 s7;
+  check_snapshots "chunk 7 = chunk 10000" s7 s10000
+
+let test_append_validation () =
+  let tape = Mt.Tape.create () in
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Tape.append: negative address") (fun () ->
+      Mt.Tape.append tape (Mt.Event.read ~owner:0 ~addr:(-1) ~size:4));
+  Alcotest.check_raises "bad chunk capacity"
+    (Invalid_argument "Tape.create: chunk_events must be positive (got 0)")
+    (fun () -> ignore (Mt.Tape.create ~chunk_events:0 ()))
+
+(* --- fused multi-cache replay --- *)
+
+let test_fused_equals_sequential () =
+  let events = synthetic_events 3000 in
+  let tape = Mt.Tape.create ~chunk_events:256 () in
+  List.iter (Mt.Tape.append tape) events;
+  let caches = Array.of_list (List.map C.Cache.create C.Config.verification_set) in
+  Mt.Tape.replay_fused tape caches;
+  Array.iter C.Cache.flush caches;
+  List.iteri
+    (fun i cfg ->
+      let sequential = C.Cache.create cfg in
+      Mt.Tape.replay tape sequential;
+      C.Cache.flush sequential;
+      check_snapshots
+        (Printf.sprintf "fused = sequential on %s" cfg.C.Config.name)
+        (snap sequential) (snap caches.(i)))
+    C.Config.verification_set
+
+(* --- capture -> replay bit-identity on every builtin workload --- *)
+
+let capture_instance (instance : Core.Workload.instance) =
+  let registry = Mt.Region.create () in
+  let recorder = Mt.Recorder.buffered () in
+  let tape = Mt.Tape.create () in
+  ignore (Mt.Recorder.add_batch_sink recorder (Mt.Tape.batch_sink tape));
+  instance.Core.Workload.trace registry recorder;
+  Mt.Recorder.flush recorder;
+  tape
+
+let direct_instance (instance : Core.Workload.instance) cfg =
+  let registry = Mt.Region.create () in
+  let recorder = Mt.Recorder.buffered () in
+  let cache = C.Cache.create cfg in
+  ignore (Mt.Recorder.add_batch_sink recorder (Mt.Recorder.cache_batch_sink cache));
+  instance.Core.Workload.trace registry recorder;
+  Mt.Recorder.flush recorder;
+  C.Cache.flush cache;
+  snap cache
+
+let test_workload_bit_identity () =
+  List.iter
+    (fun workload ->
+      let instance = Core.Workloads.verification_instance workload in
+      let tape = capture_instance instance in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s captured something" instance.Core.Workload.workload)
+        true
+        (Mt.Tape.length tape > 0);
+      List.iter
+        (fun cfg ->
+          let replayed = C.Cache.create cfg in
+          Mt.Tape.replay tape replayed;
+          C.Cache.flush replayed;
+          check_snapshots
+            (Printf.sprintf "%s on %s" instance.Core.Workload.workload
+               cfg.C.Config.name)
+            (direct_instance instance cfg)
+            (snap replayed))
+        C.Config.verification_set)
+    (Core.Workloads.all ())
+
+(* --- Verify strategies agree --- *)
+
+let test_verify_strategies_identical () =
+  let workloads = [ Core.Workloads.vm; Core.Workloads.mc ] in
+  let run strategy = Core.Verify.run_all ~jobs:1 ~strategy ~workloads () in
+  let retrace = run Core.Verify.Retrace in
+  let replay = run Core.Verify.Replay in
+  let fused = run Core.Verify.Fused in
+  Alcotest.(check bool) "replay = retrace" true (replay = retrace);
+  Alcotest.(check bool) "fused = retrace" true (fused = retrace);
+  let parallel =
+    Core.Verify.run_all ~jobs:4 ~strategy:Core.Verify.Replay ~workloads ()
+  in
+  Alcotest.(check bool) "parallel replay = serial" true (parallel = replay)
+
+(* --- simulated cache sweep --- *)
+
+let test_sweep_simulate () =
+  let instance = Core.Workloads.verification_instance Core.Workloads.vm in
+  let capacities = [ 8192; 65536 ] in
+  let rows =
+    Core.Experiments.cache_sweep ~jobs:1 ~capacities ~simulate:true instance
+  in
+  let parallel =
+    Core.Experiments.cache_sweep ~jobs:4 ~capacities ~simulate:true instance
+  in
+  Alcotest.(check bool) "sweep -j4 = -j1" true (rows = parallel);
+  List.iter
+    (fun (r : Core.Experiments.sweep_row) ->
+      match r.Core.Experiments.sim_n_ha with
+      | None -> Alcotest.failf "missing sim_n_ha at %d" r.Core.Experiments.capacity
+      | Some sim ->
+          (* The fused sweep replay must agree exactly with tracing the
+             workload directly into the same geometry. *)
+          let direct = direct_instance instance r.Core.Experiments.sweep_cache in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "sim_n_ha at %d" r.Core.Experiments.capacity)
+            (float_of_int (C.Stats.Snapshot.total_main_memory direct))
+            sim)
+    rows;
+  (* Without [simulate] the column stays empty. *)
+  let plain = Core.Experiments.cache_sweep ~jobs:1 ~capacities instance in
+  Alcotest.(check bool) "no sim column" true
+    (List.for_all
+       (fun (r : Core.Experiments.sweep_row) ->
+         r.Core.Experiments.sim_n_ha = None)
+       plain)
+
+let suite =
+  [
+    Alcotest.test_case "pack/unpack roundtrip" `Quick test_pack_roundtrip;
+    Alcotest.test_case "pack validation" `Quick test_pack_validation;
+    Alcotest.test_case "access_batch = access" `Quick
+      test_access_batch_equivalence;
+    Alcotest.test_case "access_batch bad range" `Quick
+      test_access_batch_bad_range;
+    Alcotest.test_case "empty tape" `Quick test_empty_tape;
+    Alcotest.test_case "exactly one chunk" `Quick test_exactly_one_chunk;
+    Alcotest.test_case "capacity + 1" `Quick test_capacity_plus_one;
+    Alcotest.test_case "chunking invariance" `Quick test_chunking_invariance;
+    Alcotest.test_case "append validation" `Quick test_append_validation;
+    Alcotest.test_case "fused = sequential" `Quick test_fused_equals_sequential;
+    Alcotest.test_case "capture/replay bit-identity (all workloads)" `Quick
+      test_workload_bit_identity;
+    Alcotest.test_case "verify strategies identical" `Quick
+      test_verify_strategies_identical;
+    Alcotest.test_case "simulated sweep" `Quick test_sweep_simulate;
+  ]

@@ -59,7 +59,7 @@ let test_stride_increases_accesses () =
   (* Fig. 5(a)'s driver: larger stride on A means more main-memory
      accesses than B and C at equal trip count. *)
   let p = Kernels.Vm.profiling in
-  let cache = Cachesim.Config.profiling_8mb in
+  let cache = Cachesim.Config.profiling_4mb in
   let nha = Access_patterns.App_spec.main_memory_accesses ~cache (Kernels.Vm.spec p) in
   let a = List.assoc "A" nha and b = List.assoc "B" nha in
   Alcotest.(check bool) "A > B" true (a > b)
