@@ -301,10 +301,10 @@ let run_tape ~jobs ~telemetry () =
      accumulators don't mix with the other strategies'; rates are read
      off the fork, then everything merges into the session collector for
      the BENCH_dvf.json snapshot. *)
-  let run strategy =
+  let run ?(jobs = jobs) ?shards strategy =
     let fork = T.fork telemetry in
     let t0 = Unix.gettimeofday () in
-    let rows = Core.Verify.run_all ~jobs ~telemetry:fork ~strategy () in
+    let rows = Core.Verify.run_all ~jobs ~telemetry:fork ~strategy ?shards () in
     let seconds = Unix.gettimeofday () -. t0 in
     let rate counter span =
       let ns = T.span_ns fork span in
@@ -316,19 +316,24 @@ let run_tape ~jobs ~telemetry () =
     let sim_rate =
       match strategy with
       | Core.Verify.Retrace -> rate "recorder/events" "verify/trace_total"
-      | Core.Verify.Replay | Core.Verify.Fused ->
+      | Core.Verify.Replay | Core.Verify.Fused | Core.Verify.Sharded ->
           rate "tape/replay_events" "verify/replay_total"
     in
+    (* Engine-side throughput summed over shard domains (each shard task
+       walks the full stream for every cache it owns sets of); zero for
+       the unsharded strategies, and equal to [sim_rate] at one shard. *)
+    let walked_rate = rate "shard/walked_events" "verify/replay_total" in
     T.merge ~into:telemetry fork;
-    (rows, seconds, sim_rate)
+    (rows, seconds, sim_rate, walked_rate)
   in
-  let retrace_rows, retrace_s, retrace_rate = run Core.Verify.Retrace in
-  let replay_rows, replay_s, replay_rate = run Core.Verify.Replay in
-  let fused_rows, fused_s, fused_rate = run Core.Verify.Fused in
+  let retrace_rows, retrace_s, retrace_rate, _ = run Core.Verify.Retrace in
+  let replay_rows, replay_s, replay_rate, _ = run Core.Verify.Replay in
+  let fused_rows, fused_s, fused_rate, _ = run Core.Verify.Fused in
+  let sharded_rows, sharded_s, sharded_rate, _ = run Core.Verify.Sharded in
   let t =
     Dvf_util.Table.create
       ~title:
-        "Verification sweep, three strategies (identical rows, -j \
+        "Verification sweep, four strategies (identical rows, -j \
          honoured)"
       [
         ("strategy", Dvf_util.Table.Left);
@@ -351,18 +356,135 @@ let run_tape ~jobs ~telemetry () =
       ("retrace (baseline)", retrace_s, retrace_rate);
       ("replay", replay_s, replay_rate);
       ("fused", fused_s, fused_rate);
+      ("sharded", sharded_s, sharded_rate);
     ];
   Dvf_util.Table.print t;
   Printf.printf "rows bit-identical across strategies: %s\n"
-    (if retrace_rows = replay_rows && replay_rows = fused_rows then "yes"
+    (if
+       retrace_rows = replay_rows
+       && replay_rows = fused_rows
+       && fused_rows = sharded_rows
+     then "yes"
      else "NO");
   (* Surface the comparison in the snapshot regardless of which sections
      ran before or after. *)
   if T.enabled telemetry then begin
     T.set_gauge telemetry "bench/retrace_events_per_sec" retrace_rate;
     T.set_gauge telemetry "bench/replay_events_per_sec" replay_rate;
-    T.set_gauge telemetry "bench/fused_events_per_sec" fused_rate
-  end
+    T.set_gauge telemetry "bench/fused_events_per_sec" fused_rate;
+    T.set_gauge telemetry "bench/sharded_events_per_sec" sharded_rate
+  end;
+  (* Sharded scaling: the single-domain legacy fused walk is the baseline
+     the ROADMAP's events/sec target is measured against; the sharded
+     engine combines set-partitioned domain parallelism with its
+     specialized early-exit kernel, and is measured here on >= 4 domains
+     (each shard task is a domain's unit of work). *)
+  let shard_domains = max 4 jobs in
+  let fused1_rows, fused1_s, fused1_rate, _ = run ~jobs:1 Core.Verify.Fused in
+  let shardn_rows, shardn_s, shardn_rate, shardn_walked =
+    run ~jobs:shard_domains ~shards:shard_domains Core.Verify.Sharded
+  in
+  (* Two rates per walk: "logical" divides the stream each cache consumed
+     once by replay wall-clock; "aggregate" divides the event-walks the
+     engine performed across all its shard domains by the same wall-clock
+     (a 1-domain fused walk performs exactly one walk, so both rates
+     coincide for the baseline).  On a box with >= shard_domains cores
+     the logical rate converges to the aggregate; the aggregate is the
+     machine-independent engine throughput. *)
+  let t =
+    Dvf_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "Sharded fused scaling (set-partitioned, %d shards on %d domains)"
+           shard_domains shard_domains)
+      [
+        ("walk", Dvf_util.Table.Left);
+        ("wall s", Dvf_util.Table.Right);
+        ("logical events/sec", Dvf_util.Table.Right);
+        ("aggregate events/sec", Dvf_util.Table.Right);
+        ("agg speedup", Dvf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, seconds, logical, aggregate) ->
+      Dvf_util.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" seconds;
+          Printf.sprintf "%.3g" logical;
+          Printf.sprintf "%.3g" aggregate;
+          Printf.sprintf "%.2fx"
+            (if fused1_rate > 0.0 then aggregate /. fused1_rate else 0.0);
+        ])
+    [
+      ("fused, 1 domain (baseline)", fused1_s, fused1_rate, fused1_rate);
+      ( Printf.sprintf "sharded, %d domains" shard_domains,
+        shardn_s,
+        shardn_rate,
+        shardn_walked );
+    ];
+  Dvf_util.Table.print t;
+  Printf.printf "sharded rows bit-identical to serial fused: %s\n"
+    (if fused1_rows = shardn_rows then "yes" else "NO");
+  if T.enabled telemetry then begin
+    T.set_gauge telemetry "bench/fused_1dom_events_per_sec" fused1_rate;
+    T.set_gauge telemetry "bench/sharded_scaling_events_per_sec" shardn_walked;
+    T.set_gauge telemetry "bench/shard_domains" (float_of_int shard_domains)
+  end;
+  (* Per-level hierarchy throughput: a two-level run reports each level's
+     served accesses over the same replay wall-clock. *)
+  let levels = 2 in
+  let fork = T.fork telemetry in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Core.Verify.level_row list) =
+    Core.Verify.run_all_levels ~jobs ~telemetry:fork
+      ~strategy:Core.Verify.Fused ~levels ()
+  in
+  let hier_s = Unix.gettimeofday () -. t0 in
+  let level_counter fmt level = T.counter_value fork (Printf.sprintf fmt level) in
+  let t =
+    Dvf_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "L1/L2 write-back hierarchy (verification sweep, %d levels, \
+            %.3f s)"
+           levels hier_s)
+      [
+        ("level", Dvf_util.Table.Left);
+        ("accesses", Dvf_util.Table.Right);
+        ("misses", Dvf_util.Table.Right);
+        ("writebacks", Dvf_util.Table.Right);
+        ("accesses/sec", Dvf_util.Table.Right);
+      ]
+  in
+  for level = 1 to levels do
+    let accesses = level_counter "hierarchy/l%d/accesses" level in
+    let rate =
+      if hier_s > 0.0 then float_of_int accesses /. hier_s else 0.0
+    in
+    Dvf_util.Table.add_row t
+      [
+        Printf.sprintf "L%d" level;
+        Printf.sprintf "%d" accesses;
+        Printf.sprintf "%d" (level_counter "hierarchy/l%d/misses" level);
+        Printf.sprintf "%d" (level_counter "hierarchy/l%d/writebacks" level);
+        Printf.sprintf "%.3g" rate;
+      ];
+    if T.enabled telemetry then
+      T.set_gauge telemetry
+        (Printf.sprintf "bench/level%d_accesses_per_sec" level)
+        rate
+  done;
+  Dvf_util.Table.print t;
+  let l1_out =
+    level_counter "hierarchy/l%d/misses" 1
+    + level_counter "hierarchy/l%d/writebacks" 1
+  in
+  Printf.printf "L2 accesses = L1 misses + L1 writebacks: %s\n"
+    (if level_counter "hierarchy/l%d/accesses" 2 = l1_out then "yes" else "NO");
+  T.merge ~into:telemetry fork;
+  if T.enabled telemetry then
+    T.set_gauge telemetry "bench/hierarchy_levels" (float_of_int levels)
 
 (* --- Extensions: sparse CG and cache-component DVF --- *)
 
@@ -688,6 +810,16 @@ let write_bench_snapshot ~command ~jobs ~tape ~wall_clock_sec telemetry =
   let retrace_rate = rate "recorder/events" "verify/trace_total" in
   let replay_rate = rate "tape/replay_events" "verify/replay_total" in
   let events_per_sec = if tape then replay_rate else retrace_rate in
+  let gauge name =
+    match T.gauge_value telemetry name with
+    | Some v -> J.Float v
+    | None -> J.Null
+  in
+  let gauge_int name =
+    match T.gauge_value telemetry name with
+    | Some v -> J.Int (int_of_float v)
+    | None -> J.Null
+  in
   let geometry =
     J.List
       (List.map
@@ -716,6 +848,17 @@ let write_bench_snapshot ~command ~jobs ~tape ~wall_clock_sec telemetry =
         ("retrace_events_per_sec", retrace_rate);
         ("replay_events_per_sec", replay_rate);
         ("capture_events_per_sec", rate "tape/capture_events" "verify/capture_total");
+        (* Sharded scaling and per-level hierarchy rates, measured by the
+           tape section (gauges are absent — Null here — when that
+           section did not run).  [sharded_events_per_sec] is the
+           aggregate engine rate over all shard domains; the 1-domain
+           fused baseline's aggregate and logical rates coincide. *)
+        ("fused_events_per_sec", gauge "bench/fused_1dom_events_per_sec");
+        ("sharded_events_per_sec", gauge "bench/sharded_scaling_events_per_sec");
+        ("shards", gauge_int "bench/shard_domains");
+        ("levels", gauge_int "bench/hierarchy_levels");
+        ("level1_accesses_per_sec", gauge "bench/level1_accesses_per_sec");
+        ("level2_accesses_per_sec", gauge "bench/level2_accesses_per_sec");
         ("telemetry", T.to_json telemetry);
       ]
   in

@@ -82,6 +82,41 @@ let check_jobs jobs =
   end;
   jobs
 
+(* --- hierarchy / sharding --- *)
+
+let levels =
+  let doc =
+    "Cache hierarchy depth (1..3).  Levels past L1 keep the base \
+     geometry's associativity and line size with 8x the sets per level \
+     and report their own per-level statistics; the default 1 is the \
+     single-cache behaviour."
+  in
+  Arg.(value & opt int 1 & info [ "levels" ] ~docv:"N" ~doc)
+
+let check_levels levels =
+  if levels < 1 || levels > 3 then begin
+    Printf.eprintf "error: --levels expects 1..3 (got %d)\n" levels;
+    exit 1
+  end;
+  levels
+
+let shards =
+  let doc =
+    "Set-index partitions for the sharded replay strategy (positive \
+     power of two; default: the largest power of two <= --jobs).  \
+     Results are bit-identical at any shard count."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+
+let check_shards shards =
+  match shards with
+  | None -> None
+  | Some s when s > 0 && s land (s - 1) = 0 -> Some s
+  | Some s ->
+      Printf.eprintf
+        "error: --shards expects a positive power of two (got %d)\n" s;
+      exit 1
+
 (* --- injection campaign knobs --- *)
 
 let seed =

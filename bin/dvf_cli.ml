@@ -79,30 +79,48 @@ let verify_cmd =
     let doc =
       "Simulation strategy: $(b,replay) (default) captures each workload's \
        trace once and replays the tape per cache; $(b,fused) drives all \
-       caches from one chunk walk; $(b,retrace) re-executes the kernel per \
-       cache (the historical baseline).  All strategies print identical \
-       rows."
+       caches from one chunk walk; $(b,sharded) partitions the fused walk \
+       by cache-set index into independent per-shard tasks (see \
+       $(b,--shards)); $(b,retrace) re-executes the kernel per cache (the \
+       historical baseline).  All strategies print identical rows."
     in
     Arg.(
       value
       & opt (enum Core.Verify.strategies) Core.Verify.Replay
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
   in
-  let run jobs metrics strategy workloads =
+  let run jobs metrics strategy levels shards workloads =
+    let jobs = Cli_common.check_jobs jobs in
+    let levels = Cli_common.check_levels levels in
+    let shards = Cli_common.check_shards shards in
     Cli_common.with_metrics metrics (fun telemetry ->
-        let rows =
-          Core.Verify.run_all
-            ~jobs:(Cli_common.check_jobs jobs)
-            ~telemetry ~strategy ~workloads ()
-        in
-        Dvf_util.Table.print (Core.Verify.to_table rows))
+        if levels = 1 then
+          let rows =
+            Core.Verify.run_all ~jobs ~telemetry ~strategy ?shards ~workloads ()
+          in
+          Dvf_util.Table.print (Core.Verify.to_table rows)
+        else begin
+          if strategy = Core.Verify.Retrace then begin
+            Printf.eprintf
+              "error: --strategy retrace cannot drive a multi-level \
+               hierarchy; use replay, fused or sharded\n";
+            exit 1
+          end;
+          let rows =
+            Core.Verify.run_all_levels ~jobs ~telemetry ~strategy ?shards
+              ~workloads ~levels ()
+          in
+          Dvf_util.Table.print (Core.Verify.to_level_table rows)
+        end)
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Fig. 4: trace-driven simulation vs the analytical models")
+       ~doc:
+         "Fig. 4: trace-driven simulation vs the analytical models \
+          (per-level traffic with --levels > 1)")
     Term.(
       const run $ Cli_common.jobs $ Cli_common.metrics $ strategy
-      $ Cli_common.workload_pos_args)
+      $ Cli_common.levels $ Cli_common.shards $ Cli_common.workload_pos_args)
 
 (* --- figure/table reproductions --- *)
 
@@ -122,17 +140,32 @@ let fig5_cmd =
       Dvf_util.Table.print (Core.Profile.to_table (Core.Profile.run_all ())))
 
 let fig6_cmd =
-  let run jobs metrics =
+  let run jobs metrics levels =
+    let jobs = Cli_common.check_jobs jobs in
+    let levels = Cli_common.check_levels levels in
     Cli_common.with_metrics metrics (fun telemetry ->
-        Dvf_util.Table.print
-          (Core.Experiments.fig6_table
-             (Core.Experiments.fig6
-                ~jobs:(Cli_common.check_jobs jobs)
-                ~telemetry ())))
+        (* One analytic sweep per hierarchy level: level 1 is the classic
+           4MB profiling cache (stdout unchanged at --levels 1); deeper
+           levels re-evaluate DVF at that level's derived geometry. *)
+        let configs =
+          Cachesim.Config.hierarchy_of ~levels Cachesim.Config.profiling_4mb
+        in
+        List.iteri
+          (fun i cache ->
+            if i > 0 then
+              Printf.printf "=== L%d: %s ===\n" (i + 1)
+                cache.Cachesim.Config.name;
+            Dvf_util.Table.print
+              (Core.Experiments.fig6_table
+                 (Core.Experiments.fig6 ~jobs ~telemetry ~cache ())))
+          configs)
   in
   Cmd.v
-    (Cmd.info "fig6" ~doc:"CG vs PCG vulnerability over problem size")
-    Term.(const run $ Cli_common.jobs $ Cli_common.metrics)
+    (Cmd.info "fig6"
+       ~doc:
+         "CG vs PCG vulnerability over problem size (one sweep per cache \
+          level with --levels > 1)")
+    Term.(const run $ Cli_common.jobs $ Cli_common.metrics $ Cli_common.levels)
 
 let fig7_cmd =
   simple_cmd "fig7" "DVF vs ECC performance degradation" (fun () ->

@@ -132,7 +132,11 @@ let unpack_access meta =
     meta land 1 = 1,
     (meta lsr 1) land max_size )
 
-let access_batch t ~addrs ~metas ~pos ~len =
+(* Whole-range validation before any state change: a bad event mid-batch
+   used to abort the walk half-applied, leaving tags and statistics torn.
+   Validating up front means a failed batch leaves the cache untouched —
+   and lets the walks below index with [Array.unsafe_get]. *)
+let validate_batch ~addrs ~metas ~pos ~len =
   if
     pos < 0 || len < 0
     || pos + len > Array.length addrs
@@ -142,10 +146,17 @@ let access_batch t ~addrs ~metas ~pos ~len =
       (Printf.sprintf
          "Cache.access_batch: bad range pos=%d len=%d (addrs %d, metas %d)"
          pos len (Array.length addrs) (Array.length metas));
+  for i = pos to pos + len - 1 do
+    if addrs.(i) < 0 then
+      invalid_arg
+        (Printf.sprintf "Cache.access_batch: negative address at index %d" i)
+  done
+
+let access_batch t ~addrs ~metas ~pos ~len =
+  validate_batch ~addrs ~metas ~pos ~len;
   let shift = t.line_shift in
   for i = pos to pos + len - 1 do
     let addr = addrs.(i) in
-    if addr < 0 then invalid_arg "Cache.access_batch: negative address";
     let meta = metas.(i) in
     let owner = meta lsr meta_owner_shift in
     let write = meta land 1 = 1 in
@@ -157,11 +168,188 @@ let access_batch t ~addrs ~metas ~pos ~len =
     done
   done
 
+(* --- set-sharded walks ---
+
+   Every set's LRU state is independent of every other set's, so a batch
+   can be partitioned by set index across domains with zero locking: a
+   line belongs to shard [line land (eff - 1)] where [eff] is the shard
+   count clamped to the set count (both powers of two, so the shard bits
+   are the low bits of the set index and a set is never split between
+   shards).  Each shard walks the whole batch and touches only its own
+   lines; per-set decision sequences are exactly the serial ones, so
+   [Stats.merge] over the shard caches reproduces the serial statistics
+   bit for bit.
+
+   This is the throughput path (the ROADMAP's >= 100M events/sec
+   target), so the walk is specialized: addresses were validated up
+   front (unsafe indexing is safe), and the way scan exits on the first
+   tag match instead of tracking the LRU victim on hits — the victim
+   scan runs only on a miss.  Decisions are identical to [touch]'s. *)
+
+let check_shards ~shards ~shard =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Cache: shards must be a positive power of two (got %d)" shards);
+  if shard < 0 || shard >= shards then
+    invalid_arg
+      (Printf.sprintf "Cache: shard %d out of range (0..%d)" shard (shards - 1))
+
+let effective_shards t ~shards =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Cache: shards must be a positive power of two (got %d)" shards);
+  min shards t.config.Config.sets
+
+let access_batch_sharded t ~addrs ~metas ~pos ~len ~shards ~shard =
+  check_shards ~shards ~shard;
+  validate_batch ~addrs ~metas ~pos ~len;
+  let eff = min shards t.config.Config.sets in
+  (* With fewer usable shards than requested (tiny cache), shards
+     [eff..shards-1] own no sets of this cache: lines are partitioned by
+     [line land (eff - 1)], which only shards [0..eff-1] can match. *)
+  if shard < eff then begin
+    let mask = eff - 1 in
+    let shift = t.line_shift in
+    let set_mask = t.set_mask in
+    let ca = t.config.Config.associativity in
+    let tags = t.tags
+    and owners = t.owners
+    and dirty = t.dirty
+    and stamps = t.stamps in
+    for i = pos to pos + len - 1 do
+      let addr = Array.unsafe_get addrs i in
+      let meta = Array.unsafe_get metas i in
+      let owner = meta lsr meta_owner_shift in
+      let write = meta land 1 = 1 in
+      let first = addr lsr shift in
+      let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+      for line = first to last do
+        if line land mask = shard then begin
+          let base = (line land set_mask) * ca in
+          let limit = base + ca in
+          t.clock <- t.clock + 1;
+          let w = ref base in
+          while !w < limit && Array.unsafe_get tags !w <> line do incr w done;
+          if !w < limit then begin
+            let w = !w in
+            Stats.record_access t.stats ~owner ~write ~hit:true;
+            Array.unsafe_set stamps w t.clock;
+            if write then Array.unsafe_set dirty w true
+          end
+          else begin
+            Stats.record_access t.stats ~owner ~write ~hit:false;
+            let victim = ref base and victim_stamp = ref max_int in
+            for w = base to limit - 1 do
+              if Array.unsafe_get stamps w < !victim_stamp then begin
+                victim_stamp := Array.unsafe_get stamps w;
+                victim := w
+              end
+            done;
+            let w = !victim in
+            if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w then
+              Stats.record_writeback t.stats ~owner:(Array.unsafe_get owners w);
+            Array.unsafe_set tags w line;
+            Array.unsafe_set owners w owner;
+            Array.unsafe_set dirty w write;
+            Array.unsafe_set stamps w t.clock
+          end
+        end
+      done
+    done
+  end
+
+(* Same walk, but reporting the traffic a next cache level would see:
+   [fill] for every line miss (the demand fetch) and [spill] for every
+   dirty eviction (the write-back), both with the line *number*.  The
+   victim's spill fires before the missing line's fill, matching the
+   order [touch] records statistics in. *)
+let access_batch_feed t ~addrs ~metas ~pos ~len ~shards ~shard ~fill ~spill =
+  check_shards ~shards ~shard;
+  validate_batch ~addrs ~metas ~pos ~len;
+  let eff = min shards t.config.Config.sets in
+  if shard < eff then begin
+    let mask = eff - 1 in
+    let shift = t.line_shift in
+    let set_mask = t.set_mask in
+    let ca = t.config.Config.associativity in
+    let tags = t.tags
+    and owners = t.owners
+    and dirty = t.dirty
+    and stamps = t.stamps in
+    for i = pos to pos + len - 1 do
+      let addr = Array.unsafe_get addrs i in
+      let meta = Array.unsafe_get metas i in
+      let owner = meta lsr meta_owner_shift in
+      let write = meta land 1 = 1 in
+      let first = addr lsr shift in
+      let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+      for line = first to last do
+        if line land mask = shard then begin
+          let base = (line land set_mask) * ca in
+          let limit = base + ca in
+          t.clock <- t.clock + 1;
+          let w = ref base in
+          while !w < limit && Array.unsafe_get tags !w <> line do incr w done;
+          if !w < limit then begin
+            let w = !w in
+            Stats.record_access t.stats ~owner ~write ~hit:true;
+            Array.unsafe_set stamps w t.clock;
+            if write then Array.unsafe_set dirty w true
+          end
+          else begin
+            Stats.record_access t.stats ~owner ~write ~hit:false;
+            let victim = ref base and victim_stamp = ref max_int in
+            for w = base to limit - 1 do
+              if Array.unsafe_get stamps w < !victim_stamp then begin
+                victim_stamp := Array.unsafe_get stamps w;
+                victim := w
+              end
+            done;
+            let w = !victim in
+            if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w then begin
+              Stats.record_writeback t.stats ~owner:(Array.unsafe_get owners w);
+              spill
+                ~owner:(Array.unsafe_get owners w)
+                ~line:(Array.unsafe_get tags w)
+            end;
+            Array.unsafe_set tags w line;
+            Array.unsafe_set owners w owner;
+            Array.unsafe_set dirty w write;
+            Array.unsafe_set stamps w t.clock;
+            fill ~owner ~line
+          end
+        end
+      done
+    done
+  end
+
+let set_of_addr t addr =
+  if addr < 0 then invalid_arg "Cache.set_of_addr: negative address";
+  (addr lsr t.line_shift) land t.set_mask
+
 let flush t =
   Array.iteri
     (fun w tag ->
       if tag >= 0 then begin
         if t.dirty.(w) then Stats.record_writeback t.stats ~owner:t.owners.(w);
+        t.tags.(w) <- -1;
+        t.dirty.(w) <- false;
+        t.stamps.(w) <- 0
+      end)
+    t.tags
+
+(* [flush], but every dirty line's write-back is also handed to [spill]
+   (slot order, i.e. set-major) so a next cache level can absorb it. *)
+let flush_feed t ~spill =
+  Array.iteri
+    (fun w tag ->
+      if tag >= 0 then begin
+        if t.dirty.(w) then begin
+          Stats.record_writeback t.stats ~owner:t.owners.(w);
+          spill ~owner:t.owners.(w) ~line:tag
+        end;
         t.tags.(w) <- -1;
         t.dirty.(w) <- false;
         t.stamps.(w) <- 0

@@ -37,6 +37,12 @@ val touch_line : t -> owner:int -> write:bool -> line_addr:int -> bool
     metadata word from {!pack_access} — and a whole chunk is driven
     through the simulator with one call. *)
 
+val max_size : int
+(** Largest reference size {!pack_access} can encode: [2^30 - 1]. *)
+
+val max_owner : int
+(** Largest owner id {!pack_access} can encode. *)
+
 val pack_access : owner:int -> write:bool -> size:int -> int
 (** Pack one reference's metadata: bit 0 is the write flag, bits 1..30
     the size in bytes, the remaining high bits the owner id.  Raises
@@ -55,9 +61,65 @@ val access_batch :
     for the whole block.  Raises [Invalid_argument] on a range outside
     either array or on a negative address. *)
 
+(** {2 Set-sharded walks}
+
+    Each set's LRU state is independent of every other set's, so a batch
+    can be partitioned by set index with zero locking: a line belongs to
+    shard [line land (eff - 1)] where [eff = min shards sets] (both
+    powers of two, so the shard bits are the low bits of the set index
+    and no set is split between shards).  Running every shard in
+    [0 .. shards-1] over the same batch — in any order, on any domains —
+    makes exactly the serial per-set decisions, so merging the shard
+    caches' statistics reproduces the serial totals bit for bit. *)
+
+val effective_shards : t -> shards:int -> int
+(** [min shards sets]: the number of shards that actually own sets of
+    this cache.  Shards [>= effective_shards] are no-ops for it.  Raises
+    [Invalid_argument] if [shards] is not a positive power of two. *)
+
+val access_batch_sharded :
+  t ->
+  addrs:int array ->
+  metas:int array ->
+  pos:int ->
+  len:int ->
+  shards:int ->
+  shard:int ->
+  unit
+(** Like {!access_batch} but touching only the lines owned by [shard] of
+    [shards].  [~shards:1 ~shard:0] is the full walk.  Raises
+    [Invalid_argument] on a bad range, a negative address, a [shards]
+    that is not a positive power of two, or [shard] outside
+    [0 .. shards-1]. *)
+
+val access_batch_feed :
+  t ->
+  addrs:int array ->
+  metas:int array ->
+  pos:int ->
+  len:int ->
+  shards:int ->
+  shard:int ->
+  fill:(owner:int -> line:int -> unit) ->
+  spill:(owner:int -> line:int -> unit) ->
+  unit
+(** {!access_batch_sharded} that also reports the traffic a next cache
+    level would see: [fill ~owner ~line] for every line miss (the demand
+    fetch) and [spill ~owner ~line] for every dirty eviction (the
+    write-back), with [line] the line {e number}.  A victim's spill is
+    reported before the missing line's fill. *)
+
+val set_of_addr : t -> int -> int
+(** Set index of a byte address — the sharding key.  Raises
+    [Invalid_argument] on a negative address. *)
+
 val flush : t -> unit
 (** Evict everything, recording writebacks for dirty lines.  Called at the
     end of a simulation when the experiment counts end-of-run evictions. *)
+
+val flush_feed : t -> spill:(owner:int -> line:int -> unit) -> unit
+(** {!flush} that also hands every dirty line's write-back to [spill]
+    (slot order), so a next cache level can absorb end-of-run traffic. *)
 
 val invalidate : t -> unit
 (** Drop all contents without recording writebacks (cold restart between

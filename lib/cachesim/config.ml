@@ -46,6 +46,27 @@ let profiling_set =
 
 let verification_set = [ small_verification; large_verification ]
 
+(* Derive a hierarchy from a base (L1) configuration: each deeper level
+   keeps the associativity and line size and has 8x the sets of the one
+   above — a conventional capacity ratio, and sharing one line size is
+   what lets the funnel forward whole lines and the set-sharded walk
+   partition every level consistently.  Level 1 is [t] itself,
+   unchanged, so a 1-level hierarchy is indistinguishable from the
+   single cache it wraps (names included). *)
+let hierarchy_of ~levels t =
+  if levels < 1 || levels > 3 then
+    invalid_arg
+      (Printf.sprintf "Config.hierarchy_of: levels must be 1..3 (got %d)"
+         levels);
+  List.init levels (fun i ->
+      if i = 0 then t
+      else
+        make
+          ~name:(Printf.sprintf "%s/L%d" t.name (i + 1))
+          ~associativity:t.associativity
+          ~sets:(t.sets * (1 lsl (3 * i)))
+          ~line:t.line)
+
 let pp fmt t =
   Format.fprintf fmt "%s: %d-way, %d sets, %dB lines, %a" t.name
     t.associativity t.sets t.line Dvf_util.Units.pp_bytes (capacity t)

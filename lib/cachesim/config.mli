@@ -62,4 +62,12 @@ val profiling_set : t list
 val verification_set : t list
 (** Small and large verification configurations. *)
 
+val hierarchy_of : levels:int -> t -> t list
+(** Derive an L1..L[levels] hierarchy from a base configuration: level 1
+    is the base itself (unchanged, name included); each deeper level
+    keeps the associativity and line size and has 8x the sets of the
+    level above, named ["<base>/L2"], ["<base>/L3"].  Sharing one line
+    size is required by {!Hierarchy.create}.  Raises [Invalid_argument]
+    unless [1 <= levels <= 3]. *)
+
 val pp : Format.formatter -> t -> unit

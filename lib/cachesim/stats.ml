@@ -113,12 +113,24 @@ module Snapshot = struct
 
   let owners s = Array.to_list (Array.map fst s.per_owner)
 
+  (* [per_owner] is sorted by owner id ([snapshot] builds it from
+     [owners t], which is ascending), so lookup is a binary search —
+     [Verify.rows_of_snapshot] calls this once per structure per row. *)
   let owner s owner =
-    match
-      Array.find_opt (fun (o, _) -> o = owner) s.per_owner
-    with
-    | Some (_, c) -> c
-    | None -> zero
+    let a = s.per_owner in
+    let lo = ref 0 and hi = ref (Array.length a - 1) in
+    let found = ref zero in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let o, c = a.(mid) in
+      if o = owner then begin
+        found := c;
+        lo := !hi + 1
+      end
+      else if o < owner then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
 
   let accesses (c : counters) = c.reads + c.writes
 

@@ -13,10 +13,32 @@ let error row =
 
 module Telemetry = Dvf_util.Telemetry
 
-type strategy = Retrace | Replay | Fused
+type strategy = Retrace | Replay | Fused | Sharded
 
-let strategies = [ ("retrace", Retrace); ("replay", Replay); ("fused", Fused) ]
+let strategies =
+  [
+    ("retrace", Retrace); ("replay", Replay); ("fused", Fused);
+    ("sharded", Sharded);
+  ]
+
 let strategy_name s = fst (List.find (fun (_, v) -> v = s) strategies)
+
+(* Largest power of two <= n; the set-sharded walks require a
+   power-of-two shard count so the shard bits nest inside the set
+   index bits. *)
+let pow2_floor n =
+  if n < 1 then 1
+  else begin
+    let p = ref 1 in
+    while !p * 2 <= n do p := !p * 2 done;
+    !p
+  end
+
+let check_shard_count shards =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Verify: shards must be a positive power of two (got %d)" shards)
 
 (* Turn one simulated cache's final state into Fig. 4 rows: run the
    analytical model (under a ["model"] span) and pair each structure's
@@ -170,6 +192,80 @@ let replay_capture_fused ?(telemetry = Telemetry.null) ~caches cap =
            cap.instance snapshot)
        caches)
 
+(* --- set-sharded fused replay ---
+
+   The shard task for shard [s] creates a private replica of every cache,
+   walks the whole tape once touching only [s]'s lines in each replica,
+   and flushes.  Replicas share nothing, so the tasks run on any domains
+   with zero locking; merging each cache's replica statistics in shard
+   order ([Stats.sum], commutative addition) reproduces the serial fused
+   statistics bit for bit. *)
+let sharded_shard_stats ?pool ~caches ~shards cap =
+  let run_shard shard =
+    let sims = Array.of_list (List.map Cachesim.Cache.create caches) in
+    Memtrace.Tape.replay_fused_sharded cap.tape sims ~shards ~shard;
+    Array.iter Cachesim.Cache.flush sims;
+    Array.map Cachesim.Cache.stats sims
+  in
+  let shard_ids = List.init shards (fun s -> s) in
+  let per_shard =
+    match pool with
+    | Some pool -> Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
+    | None -> List.map run_shard shard_ids
+  in
+  List.mapi
+    (fun i _ -> Cachesim.Stats.sum (List.map (fun stats -> stats.(i)) per_shard))
+    caches
+
+let replay_capture_sharded ?(telemetry = Telemetry.null) ?pool ~caches ~shards
+    cap =
+  check_shard_count shards;
+  Telemetry.span telemetry
+    (Printf.sprintf "verify/%s/sharded" cap.instance.Workload.workload)
+  @@ fun () ->
+  let t0 = Telemetry.now_ns telemetry in
+  let merged = sharded_shard_stats ?pool ~caches ~shards cap in
+  let replay_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
+  if Telemetry.enabled telemetry then begin
+    (* Logical event count, independent of the shard fan-out: every cache
+       consumed the full stream exactly once (each shard touched a
+       disjoint slice of it). *)
+    Telemetry.add telemetry
+      ~n:(List.length caches * Memtrace.Tape.length cap.tape)
+      "tape/replay_events";
+    Telemetry.add telemetry ~n:shards "shard/tasks";
+    (* Engine-side work: shard task [s] walks the full stream once for
+       every cache whose effective shard count exceeds [s] (tasks past a
+       cache's clamp skip it without scanning), so the walked total is
+       len x sum over caches of min(shards, sets).  The aggregate
+       walked-events rate is the sharded engine's throughput summed over
+       its domains — the figure wall-clock converges to when the shard
+       tasks really run in parallel. *)
+    Telemetry.add telemetry
+      ~n:
+        (List.fold_left
+           (fun acc (cache : Cachesim.Config.t) ->
+             acc
+             + (min shards cache.Cachesim.Config.sets
+               * Memtrace.Tape.length cap.tape))
+           0 caches)
+      "shard/walked_events";
+    Telemetry.set_gauge telemetry "shard/count" (float_of_int shards);
+    Telemetry.time_ns telemetry "verify/replay_total" replay_ns
+  end;
+  List.concat
+    (List.map2
+       (fun cache stats ->
+         let snapshot = Cachesim.Stats.snapshot stats in
+         if Telemetry.enabled telemetry then
+           Telemetry.add telemetry
+             ~n:
+               (Cachesim.Stats.Snapshot.accesses snapshot.Cachesim.Stats.totals)
+             "cache/accesses";
+         rows_of_snapshot ~telemetry ~cache ~registry:cap.registry cap.instance
+           snapshot)
+       caches merged)
+
 (* Every job owns private mutable state (registry/recorder/cache for a
    retrace job; the tape is append-only during capture and read-only
    during replay), so jobs share nothing mutable and the parallel sweep is
@@ -208,7 +304,7 @@ let finalize_metrics telemetry =
         /. float_of_int batches)
   end
 
-let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
+let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
     ?workloads () =
   let workloads =
     match workloads with Some ws -> ws | None -> Workloads.all ()
@@ -217,6 +313,13 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
     match jobs with
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  let shards =
+    match shards with
+    | Some s ->
+        check_shard_count s;
+        s
+    | None -> pow2_floor (max 1 jobs)
   in
   let caches = Cachesim.Config.verification_set in
   (* Absolute timer rather than an enclosing [span]: instance spans run in
@@ -241,6 +344,9 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
                 caches
           | Fused ->
               replay_capture_fused ~telemetry ~caches
+                (capture ~telemetry instance)
+          | Sharded ->
+              replay_capture_sharded ~telemetry ~caches ~shards
                 (capture ~telemetry instance))
         workloads
     else
@@ -290,13 +396,206 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
                    (fun instance ->
                      replay_capture_fused ~telemetry ~caches
                        (capture ~telemetry instance))
-                   instances))
+                   instances)
+          | Sharded ->
+              (* Captures fan out over the pool first; then each capture's
+                 shard tasks do (the pool is handed down, and the shard
+                 fan-out runs from this orchestrating domain). *)
+              let captures =
+                Dvf_util.Parallel.Pool.map_list pool
+                  (fun instance -> capture ~telemetry instance)
+                  instances
+              in
+              List.concat_map
+                (fun cap ->
+                  replay_capture_sharded ~telemetry ~pool ~caches ~shards cap)
+                captures)
   in
   if Telemetry.enabled telemetry then
     Telemetry.time_ns telemetry "verify/total"
       (Int64.sub (Telemetry.now_ns telemetry) t0);
   finalize_metrics telemetry;
   rows
+
+(* --- per-level rows: DVF input per hardware level ---
+
+   A hierarchy run reports raw traffic per level instead of the
+   modeled-vs-simulated pair: the analytical model targets a single
+   (last-level) cache, but per-level misses and writebacks are exactly
+   the per-level access counts a Thales-style vulnerability formulation
+   consumes.  Level 1 of a 1-level run is bit-identical to the single
+   cache the classic rows simulate. *)
+
+type level_row = {
+  l_workload : string;
+  base_cache : Cachesim.Config.t;
+  level : int; (* 1-based *)
+  level_cache : Cachesim.Config.t;
+  l_structure : string;
+  accesses : float;
+  misses : float;
+  l_writebacks : float;
+}
+
+let level_rows_of_stats ~registry (instance : Workload.instance) ~base ~configs
+    stats_list =
+  List.concat
+    (List.mapi
+       (fun li (config, stats) ->
+         let snapshot = Cachesim.Stats.snapshot stats in
+         List.map
+           (fun (r : Memtrace.Region.region) ->
+             let c =
+               Cachesim.Stats.Snapshot.owner snapshot r.Memtrace.Region.id
+             in
+             {
+               l_workload = instance.Workload.workload;
+               base_cache = base;
+               level = li + 1;
+               level_cache = config;
+               l_structure = r.Memtrace.Region.name;
+               accesses = float_of_int (Cachesim.Stats.Snapshot.accesses c);
+               misses = float_of_int c.Cachesim.Stats.misses;
+               l_writebacks = float_of_int c.Cachesim.Stats.writebacks;
+             })
+           (Memtrace.Region.regions registry))
+       (List.combine configs stats_list))
+
+let hierarchy_level_stats h =
+  List.init (Cachesim.Hierarchy.depth h) (fun li ->
+      Cachesim.Cache.stats (Cachesim.Hierarchy.level_cache h li))
+
+let record_level_counters telemetry ~configs stats_list =
+  if Telemetry.enabled telemetry then
+    List.iteri
+      (fun li ((_ : Cachesim.Config.t), stats) ->
+        let totals = Cachesim.Stats.totals stats in
+        let name fmt = Printf.sprintf fmt (li + 1) in
+        Telemetry.add telemetry
+          ~n:(Cachesim.Stats.Snapshot.accesses totals)
+          (name "hierarchy/l%d/accesses");
+        Telemetry.add telemetry ~n:totals.Cachesim.Stats.misses
+          (name "hierarchy/l%d/misses");
+        Telemetry.add telemetry ~n:totals.Cachesim.Stats.writebacks
+          (name "hierarchy/l%d/writebacks"))
+      (List.combine configs stats_list)
+
+let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
+    ?shards ?workloads ~levels () =
+  if strategy = Retrace then
+    invalid_arg
+      "Verify.run_all_levels: the retrace strategy re-executes the kernel \
+       straight into a single cache and cannot drive a hierarchy; use \
+       replay, fused or sharded";
+  let workloads =
+    match workloads with Some ws -> ws | None -> Workloads.all ()
+  in
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  let shards =
+    match shards with
+    | Some s ->
+        check_shard_count s;
+        s
+    | None -> pow2_floor (max 1 jobs)
+  in
+  let bases = Cachesim.Config.verification_set in
+  let process ?pool cap =
+    List.concat_map
+      (fun base ->
+        let configs = Cachesim.Config.hierarchy_of ~levels base in
+        let stats_list =
+          match strategy with
+          | Retrace -> assert false (* rejected above *)
+          | Replay | Fused ->
+              let h = Cachesim.Hierarchy.create configs in
+              Memtrace.Tape.replay_hierarchies cap.tape [| h |];
+              Cachesim.Hierarchy.flush h;
+              hierarchy_level_stats h
+          | Sharded ->
+              let run_shard shard =
+                let h = Cachesim.Hierarchy.create configs in
+                Memtrace.Tape.replay_hierarchies_sharded cap.tape [| h |]
+                  ~shards ~shard;
+                Cachesim.Hierarchy.flush h;
+                hierarchy_level_stats h
+              in
+              let shard_ids = List.init shards (fun s -> s) in
+              let per_shard =
+                match pool with
+                | Some pool ->
+                    Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
+                | None -> List.map run_shard shard_ids
+              in
+              List.init levels (fun li ->
+                  Cachesim.Stats.sum
+                    (List.map (fun stats -> List.nth stats li) per_shard))
+        in
+        record_level_counters telemetry ~configs stats_list;
+        level_rows_of_stats ~registry:cap.registry cap.instance ~base ~configs
+          stats_list)
+      bases
+  in
+  let t0 = Telemetry.now_ns telemetry in
+  let rows =
+    if jobs <= 1 then
+      List.concat_map
+        (fun workload ->
+          process (capture ~telemetry (Workloads.verification_instance workload)))
+        workloads
+    else
+      Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+          let captures =
+            Dvf_util.Parallel.Pool.map_list pool
+              (fun workload ->
+                capture ~telemetry (Workloads.verification_instance workload))
+              workloads
+          in
+          match strategy with
+          | Sharded ->
+              (* Shard tasks are the parallel unit; captures process in
+                 order so telemetry counters accumulate deterministically. *)
+              List.concat_map (fun cap -> process ~pool cap) captures
+          | _ ->
+              List.concat
+                (Dvf_util.Parallel.Pool.map_list pool
+                   (fun cap -> process cap)
+                   captures))
+  in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.set_gauge telemetry "hierarchy/levels" (float_of_int levels);
+    Telemetry.time_ns telemetry "verify/total"
+      (Int64.sub (Telemetry.now_ns telemetry) t0)
+  end;
+  finalize_metrics telemetry;
+  rows
+
+let to_level_table rows =
+  let t =
+    Table.create
+      ~title:
+        "Per-level hierarchy traffic: accesses, misses and writebacks by \
+         cache level"
+      [
+        ("kernel", Table.Left); ("cache", Table.Left); ("level", Table.Left);
+        ("structure", Table.Left); ("accesses", Table.Right);
+        ("misses", Table.Right); ("writebacks", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.l_workload; r.base_cache.Cachesim.Config.name;
+          Printf.sprintf "L%d" r.level; r.l_structure;
+          Table.cell_float r.accesses; Table.cell_float r.misses;
+          Table.cell_float r.l_writebacks;
+        ])
+    rows;
+  t
 
 let workload_error ~rows workload cache =
   let relevant =

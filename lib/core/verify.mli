@@ -29,6 +29,10 @@ type strategy =
   | Replay   (** capture one tape per workload, replay it per cache *)
   | Fused    (** capture one tape per workload, drive all caches from a
                  single chunk walk ({!Memtrace.Tape.replay_fused}) *)
+  | Sharded  (** fused walk partitioned by cache-set index: one
+                 independent task per shard over private cache replicas,
+                 statistics merged afterwards — bit-identical to
+                 {!Fused} (see {!Memtrace.Tape.replay_fused_sharded}) *)
 
 val strategies : (string * strategy) list
 (** CLI-friendly names, e.g. for [Cmdliner.Arg.enum]. *)
@@ -86,14 +90,37 @@ val replay_capture_fused :
     and the same replay counters/accumulator ([tape/replay_events] grows
     by events x caches — every cache consumed the full stream). *)
 
+val replay_capture_sharded :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?pool:Dvf_util.Parallel.Pool.t ->
+  caches:Cachesim.Config.t list ->
+  shards:int -> capture -> row list
+(** Replay one tape into all [caches] as [shards] set-partitioned tasks:
+    each task owns a private replica of every cache and walks the tape
+    touching only its shard's lines; replica statistics are merged in
+    shard order afterwards.  Rows are bit-identical to
+    {!replay_capture_fused}.  Tasks run on [pool]'s domains when given,
+    serially otherwise (same results either way).  Raises
+    [Invalid_argument] unless [shards] is a positive power of two.
+    Telemetry: span ["verify/<workload>/sharded"], the usual replay
+    counters (["tape/replay_events"] counts the logical stream — events
+    x caches — independent of the fan-out), plus ["shard/tasks"],
+    ["shard/walked_events"] (engine-side work: every shard task scans the
+    full stream for each cache it owns sets of, so this counts events x
+    sum over caches of min(shards, sets) — the basis of the aggregate
+    all-domains throughput figure) and the ["shard/count"] gauge. *)
+
 val run_all :
   ?jobs:int ->
   ?telemetry:Dvf_util.Telemetry.t ->
   ?strategy:strategy ->
+  ?shards:int ->
   ?workloads:Workload.t list -> unit -> row list
 (** Fig. 4: every workload (Table V sizes) against both verification cache
     configurations.  [workloads] defaults to everything registered;
-    [strategy] defaults to {!Replay}.
+    [strategy] defaults to {!Replay}.  [shards] (used by {!Sharded} only;
+    default: largest power of two <= [jobs]) is the set-partition width;
+    rows do not depend on it.
 
     [jobs] (default [Domain.recommended_domain_count ()]) spreads the
     independent jobs over that many domains; each job owns its private
@@ -111,6 +138,45 @@ val run_all :
     trace time under {!Retrace}), ["tape/bytes_per_event"] and
     ["recorder/mean_batch_size"].  Counters and span paths are identical
     at every job count; only the time fields differ. *)
+
+(** {2 Per-level rows}
+
+    A multi-level run reports raw traffic per hardware level instead of
+    the modeled-vs-simulated pair: the analytical model targets a single
+    (last-level) cache, while per-level misses and writebacks are the
+    access counts a per-level vulnerability formulation (Thales)
+    consumes. *)
+
+type level_row = {
+  l_workload : string;
+  base_cache : Cachesim.Config.t;   (** the L1/base geometry *)
+  level : int;                      (** 1-based *)
+  level_cache : Cachesim.Config.t;  (** this level's geometry *)
+  l_structure : string;
+  accesses : float;                 (** line lookups this level served *)
+  misses : float;
+  l_writebacks : float;
+}
+
+val run_all_levels :
+  ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?strategy:strategy ->
+  ?shards:int ->
+  ?workloads:Workload.t list ->
+  levels:int -> unit -> level_row list
+(** Every workload against both verification geometries extended to
+    [levels]-deep hierarchies ({!Cachesim.Config.hierarchy_of}).  Rows
+    are ordered workload-major, then base cache, then level, then
+    structure (registration order).  [levels = 1] reports exactly the
+    single-cache traffic the classic rows simulate.  Raises
+    [Invalid_argument] for {!Retrace} (a hierarchy can only be driven
+    from a captured tape) and outside [1 <= levels <= 3].  Telemetry:
+    per-level ["hierarchy/l<n>/accesses"|"misses"|"writebacks"] counters
+    (deterministic at any [jobs]/[shards]) and a ["hierarchy/levels"]
+    gauge. *)
+
+val to_level_table : level_row list -> Dvf_util.Table.t
 
 val workload_error : rows:row list -> string -> Cachesim.Config.t -> float
 (** Aggregate (total-traffic) error for one workload/cache pair, by

@@ -14,6 +14,7 @@ type chunk = {
 type t = {
   chunk_capacity : int;
   mutable filled : chunk list; (* full chunks, most recent first *)
+  mutable filled_count : int; (* List.length filled, tracked incrementally *)
   mutable head : chunk; (* current partially filled chunk *)
   mutable total : int;
 }
@@ -32,6 +33,7 @@ let create ?(chunk_events = default_chunk_events) () =
   {
     chunk_capacity = chunk_events;
     filled = [];
+    filled_count = 0;
     head = fresh_chunk chunk_events;
     total = 0;
   }
@@ -39,34 +41,80 @@ let create ?(chunk_events = default_chunk_events) () =
 let length t = t.total
 let chunk_events t = t.chunk_capacity
 
-let chunk_count t =
-  List.length t.filled + if t.head.len > 0 then 1 else 0
+(* [filled_count] is maintained on every chunk retirement; telemetry
+   gauges sample these per chunk, so recomputing [List.length t.filled]
+   here used to make capture quadratic in tape length. *)
+let chunk_count t = t.filled_count + if t.head.len > 0 then 1 else 0
+let allocated_bytes t = (t.filled_count + 1) * t.chunk_capacity * bytes_per_event
 
-let allocated_bytes t =
-  (List.length t.filled + 1) * t.chunk_capacity * bytes_per_event
+let retire_head t =
+  t.filled <- t.head :: t.filled;
+  t.filled_count <- t.filled_count + 1;
+  t.head <- fresh_chunk t.chunk_capacity
 
 let append t (e : Event.t) =
   if e.addr < 0 then invalid_arg "Tape.append: negative address";
+  if t.head.len = t.chunk_capacity then retire_head t;
   let c = t.head in
-  let c =
-    if c.len = t.chunk_capacity then begin
-      t.filled <- c :: t.filled;
-      let fresh = fresh_chunk t.chunk_capacity in
-      t.head <- fresh;
-      fresh
-    end
-    else c
-  in
   c.addrs.(c.len) <- e.addr;
   c.metas.(c.len) <-
     Cachesim.Cache.pack_access ~owner:e.owner ~write:e.write ~size:e.size;
   c.len <- c.len + 1;
   t.total <- t.total + 1
 
+(* Packed layout mirrored from [Cachesim.Cache.pack_access]; the shift is
+   derived from [Cache.max_size] so the two cannot drift, and the
+   equivalence is asserted once at module initialization. *)
+let meta_owner_shift =
+  let rec bits n = if n = 0 then 0 else 1 + bits (n lsr 1) in
+  bits Cachesim.Cache.max_size + 1
+
+let () =
+  assert (
+    Cachesim.Cache.pack_access ~owner:3 ~write:true ~size:5
+    = (3 lsl meta_owner_shift) lor (5 lsl 1) lor 1)
+
+(* Bulk capture: validate the whole batch up front (a failed batch
+   leaves the tape untouched), then store runs directly into the chunk
+   arrays, splitting only at chunk boundaries — no per-event boundary
+   re-check and no per-event validation inside [pack_access].  Capture
+   is the pipeline bottleneck, so this path is what [batch_sink] rides. *)
 let append_batch t events n =
+  if n < 0 || n > Array.length events then
+    invalid_arg
+      (Printf.sprintf "Tape.append_batch: bad count %d (have %d events)" n
+         (Array.length events));
   for i = 0 to n - 1 do
-    append t events.(i)
-  done
+    let e : Event.t = events.(i) in
+    if e.addr < 0 then
+      invalid_arg
+        (Printf.sprintf "Tape.append_batch: negative address at index %d" i);
+    if e.size <= 0 || e.size > Cachesim.Cache.max_size then
+      invalid_arg
+        (Printf.sprintf "Tape.append_batch: size %d out of range at index %d"
+           e.size i);
+    if e.owner < 0 || e.owner > Cachesim.Cache.max_owner then
+      invalid_arg
+        (Printf.sprintf "Tape.append_batch: owner %d out of range at index %d"
+           e.owner i)
+  done;
+  let i = ref 0 in
+  while !i < n do
+    if t.head.len = t.chunk_capacity then retire_head t;
+    let c = t.head in
+    let run = min (n - !i) (t.chunk_capacity - c.len) in
+    for k = 0 to run - 1 do
+      let e : Event.t = Array.unsafe_get events (!i + k) in
+      Array.unsafe_set c.addrs (c.len + k) e.addr;
+      Array.unsafe_set c.metas (c.len + k)
+        ((e.owner lsl meta_owner_shift)
+        lor (e.size lsl 1)
+        lor (if e.write then 1 else 0))
+    done;
+    c.len <- c.len + run;
+    i := !i + run
+  done;
+  t.total <- t.total + n
 
 let sink t : Recorder.sink = fun e -> append t e
 let batch_sink t : Recorder.batch_sink = fun events n -> append_batch t events n
@@ -90,6 +138,40 @@ let replay_fused t caches =
           Cachesim.Cache.access_batch cache ~addrs:c.addrs ~metas:c.metas
             ~pos:0 ~len:c.len)
         caches)
+
+(* Set-sharded fused walk: one pass over the tape, each cache touched
+   only on [shard]'s lines.  Every cache clamps the shard count to its
+   own set count ([Cache.access_batch_sharded] skips shards beyond the
+   clamp), so heterogeneous sweep geometries neither drop nor duplicate
+   work.  Running all shards of [0 .. shards-1] — serially or on
+   separate domains over per-shard cache replicas — reproduces
+   [replay_fused]'s statistics bit for bit. *)
+let replay_fused_sharded t caches ~shards ~shard =
+  iter_chunks t (fun c ->
+      Array.iter
+        (fun cache ->
+          Cachesim.Cache.access_batch_sharded cache ~addrs:c.addrs
+            ~metas:c.metas ~pos:0 ~len:c.len ~shards ~shard)
+        caches)
+
+let replay_hierarchies t hierarchies =
+  iter_chunks t (fun c ->
+      Array.iter
+        (fun h ->
+          Cachesim.Hierarchy.access_batch h ~addrs:c.addrs ~metas:c.metas
+            ~pos:0 ~len:c.len)
+        hierarchies)
+
+let replay_hierarchies_sharded t hierarchies ~shards ~shard =
+  iter_chunks t (fun c ->
+      Array.iter
+        (fun h ->
+          Cachesim.Hierarchy.access_batch_sharded h ~addrs:c.addrs
+            ~metas:c.metas ~pos:0 ~len:c.len ~shards ~shard)
+        hierarchies)
+
+let iter_raw t f =
+  iter_chunks t (fun c -> f ~addrs:c.addrs ~metas:c.metas ~len:c.len)
 
 let iter t f =
   iter_chunks t (fun c ->

@@ -35,7 +35,13 @@ val append : t -> Event.t -> unit
     {!Cachesim.Cache.access} would reject. *)
 
 val append_batch : t -> Event.t array -> int -> unit
-(** [append_batch t events n] records [events.(0 .. n-1)] in order. *)
+(** [append_batch t events n] records [events.(0 .. n-1)] in order.
+    This is the capture fast path: the whole batch is validated up
+    front (so a rejected batch leaves the tape untouched) and events
+    are then stored in runs split only at chunk boundaries, instead of
+    re-checking the boundary and re-validating per event.  Raises
+    [Invalid_argument] on a bad count, a negative address, or an
+    owner/size outside the packed-word range. *)
 
 val sink : t -> Recorder.sink
 (** Per-event capture sink for {!Recorder.add_sink}. *)
@@ -58,6 +64,25 @@ val replay_fused : t -> Cachesim.Cache.t array -> unit
     [Array.iter (replay t) caches]; the fused walk reads each chunk from
     memory once instead of once per cache. *)
 
+val replay_fused_sharded :
+  t -> Cachesim.Cache.t array -> shards:int -> shard:int -> unit
+(** {!replay_fused} restricted to the cache lines owned by [shard] of
+    [shards] (see {!Cachesim.Cache.access_batch_sharded}).  Each cache
+    clamps [shards] to its own set count, so heterogeneous geometries
+    neither drop nor duplicate lines.  Replaying every shard — in any
+    order, or concurrently over per-shard cache replicas whose
+    statistics are merged afterwards — is bit-identical to
+    {!replay_fused}. *)
+
+val replay_hierarchies : t -> Cachesim.Hierarchy.t array -> unit
+(** Fused walk over multi-level hierarchies: for each chunk, feed it to
+    each hierarchy's L1 before moving on. *)
+
+val replay_hierarchies_sharded :
+  t -> Cachesim.Hierarchy.t array -> shards:int -> shard:int -> unit
+(** Sharded fused walk over hierarchies (see
+    {!Cachesim.Hierarchy.access_batch_sharded}). *)
+
 (** {2 Inspection} *)
 
 val length : t -> int
@@ -76,6 +101,14 @@ val allocated_bytes : t -> int
 (** Total bytes of chunk storage allocated (counts the partial head
     chunk at full capacity — [allocated_bytes t / max 1 (length t)]
     is the real amortized footprint per event). *)
+
+val iter_raw :
+  t -> (addrs:int array -> metas:int array -> len:int -> unit) -> unit
+(** Visit the raw columnar chunks in capture order, without decoding —
+    indices [0 .. len-1] of [addrs]/[metas] are live.  The arrays are
+    the tape's own storage: callers must not mutate them.  This is the
+    hook for custom replay kernels (the bench harness' sharded scaling
+    measurements). *)
 
 val iter : t -> (Event.t -> unit) -> unit
 (** Decode and visit every event in capture order. *)

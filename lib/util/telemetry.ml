@@ -97,6 +97,13 @@ let set_gauge t name v =
           | Some r -> r := v
           | None -> Hashtbl.add e.gauges name (ref v))
 
+let gauge_value t name =
+  match t with
+  | Disabled -> None
+  | Enabled e ->
+      Mutex.protect e.mutex (fun () ->
+          Option.map ( ! ) (Hashtbl.find_opt e.gauges name))
+
 let counter_value t name =
   match t with
   | Disabled -> 0

@@ -70,6 +70,11 @@ val set_gauge : t -> string -> float -> unit
 val counter_value : t -> string -> int
 (** Current value, [0] for unknown counters (always [0] when disabled). *)
 
+val gauge_value : t -> string -> float option
+(** Current gauge value, [None] when the gauge was never set (always
+    [None] when disabled).  Lets report writers (the bench snapshot)
+    read back derived gauges without re-deriving them. *)
+
 val span_ns : t -> string -> int64
 (** Accumulated nanoseconds under a span path, [0L] when absent. *)
 

@@ -32,4 +32,5 @@ let () =
       ("injection", Test_injection.suite);
       ("telemetry", Test_telemetry.suite);
       ("tape", Test_tape.suite);
+      ("hierarchy", Test_hierarchy.suite);
     ]

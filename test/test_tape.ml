@@ -161,6 +161,83 @@ let test_append_validation () =
     (Invalid_argument "Tape.create: chunk_events must be positive (got 0)")
     (fun () -> ignore (Mt.Tape.create ~chunk_events:0 ()))
 
+(* --- bulk append (capture fast path) --- *)
+
+let test_append_batch_equals_append () =
+  let events = Array.of_list (synthetic_events 37) in
+  let one_by_one = Mt.Tape.create ~chunk_events:8 () in
+  Array.iter (Mt.Tape.append one_by_one) events;
+  (* One bulk call crossing four chunk boundaries, and two split calls
+     with the second starting mid-chunk: all three tapes must agree. *)
+  let bulk = Mt.Tape.create ~chunk_events:8 () in
+  Mt.Tape.append_batch bulk events (Array.length events);
+  let split = Mt.Tape.create ~chunk_events:8 () in
+  Mt.Tape.append_batch split (Array.sub events 0 11) 11;
+  Mt.Tape.append_batch split (Array.sub events 11 26) 26;
+  List.iter
+    (fun (name, tape) ->
+      Alcotest.(check int) (name ^ " length") 37 (Mt.Tape.length tape);
+      Alcotest.(check int) (name ^ " chunks") 5 (Mt.Tape.chunk_count tape);
+      Alcotest.(check bool) (name ^ " events") true
+        (List.for_all2 Mt.Event.equal
+           (Mt.Tape.to_list one_by_one)
+           (Mt.Tape.to_list tape)))
+    [ ("bulk", bulk); ("split", split) ];
+  (* A batch can also consume a prefix of its array. *)
+  let prefix = Mt.Tape.create ~chunk_events:8 () in
+  Mt.Tape.append_batch prefix events 5;
+  Alcotest.(check int) "prefix length" 5 (Mt.Tape.length prefix)
+
+let test_append_batch_validation_is_atomic () =
+  let tape = Mt.Tape.create ~chunk_events:8 () in
+  let good = Array.of_list (synthetic_events 5) in
+  Mt.Tape.append_batch tape good 5;
+  let expect_untouched name f =
+    (match f () with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name);
+    (* Up-front validation: nothing before the bad index was recorded. *)
+    Alcotest.(check int) (name ^ ": length untouched") 5 (Mt.Tape.length tape);
+    Alcotest.(check bool) (name ^ ": events untouched") true
+      (List.for_all2 Mt.Event.equal (Array.to_list good) (Mt.Tape.to_list tape))
+  in
+  let with_bad_event e =
+    let events = Array.of_list (synthetic_events 12) in
+    events.(7) <- e;
+    fun () -> Mt.Tape.append_batch tape events 12
+  in
+  expect_untouched "negative address mid-batch"
+    (with_bad_event (Mt.Event.read ~owner:1 ~addr:(-4) ~size:4));
+  expect_untouched "zero size mid-batch"
+    (with_bad_event { Mt.Event.owner = 1; write = false; addr = 0; size = 0 });
+  expect_untouched "negative owner mid-batch"
+    (with_bad_event (Mt.Event.read ~owner:(-1) ~addr:0 ~size:4));
+  expect_untouched "count past end" (fun () -> Mt.Tape.append_batch tape good 6);
+  expect_untouched "negative count" (fun () ->
+      Mt.Tape.append_batch tape good (-1))
+
+(* Chunk accounting is tracked incrementally (recomputing it per append
+   used to make telemetry sampling quadratic); it must stay consistent
+   with the chunked layout at every single length. *)
+let test_chunk_accounting_incremental () =
+  let tape = Mt.Tape.create ~chunk_events:8 () in
+  Alcotest.(check int) "empty chunk count" 0 (Mt.Tape.chunk_count tape);
+  Alcotest.(check int) "empty tape still holds one chunk"
+    (8 * Mt.Tape.bytes_per_event)
+    (Mt.Tape.allocated_bytes tape);
+  List.iteri
+    (fun i e ->
+      Mt.Tape.append tape e;
+      let n = i + 1 in
+      let chunks = Dvf_util.Maths.cdiv n 8 in
+      Alcotest.(check int) (Printf.sprintf "chunks at %d" n) chunks
+        (Mt.Tape.chunk_count tape);
+      Alcotest.(check int)
+        (Printf.sprintf "bytes at %d" n)
+        (chunks * 8 * Mt.Tape.bytes_per_event)
+        (Mt.Tape.allocated_bytes tape))
+    (synthetic_events 40)
+
 (* --- fused multi-cache replay --- *)
 
 let test_fused_equals_sequential () =
@@ -284,6 +361,12 @@ let suite =
     Alcotest.test_case "capacity + 1" `Quick test_capacity_plus_one;
     Alcotest.test_case "chunking invariance" `Quick test_chunking_invariance;
     Alcotest.test_case "append validation" `Quick test_append_validation;
+    Alcotest.test_case "append_batch = append" `Quick
+      test_append_batch_equals_append;
+    Alcotest.test_case "append_batch validation is atomic" `Quick
+      test_append_batch_validation_is_atomic;
+    Alcotest.test_case "chunk accounting incremental" `Quick
+      test_chunk_accounting_incremental;
     Alcotest.test_case "fused = sequential" `Quick test_fused_equals_sequential;
     Alcotest.test_case "capture/replay bit-identity (all workloads)" `Quick
       test_workload_bit_identity;
