@@ -4,16 +4,21 @@
    analytical models against the cache simulator with bechamel (the
    paper's "evaluation cost at the granularity of seconds" claim).
 
-   Usage: dune exec bench/main.exe [-- section ... [-j N] [--no-tape]]
+   Usage: dune exec bench/main.exe
+     [-- section ... [-j N] [--no-tape] [--tape-store DIR]]
    where section is one of: tables fig4 fig5 fig6 fig7 sweep tape ablation
-   sparse component inject aspen speed.
+   sparse component inject aspen speed serve.
    With no sections every section runs.  [-j N] (or [--jobs N]) sets the
    domain count for the parallel sections (fig4, fig6, sweep, inject); the
    default
    is Domain.recommended_domain_count, and [-j 1] forces the serial
    path.  [--no-tape] disables capture-once/replay-many tape reuse in
    fig4 and sweep (per-geometry retrace, the performance baseline); the
-   [tape] section measures both side by side.
+   [tape] section measures both side by side.  [--tape-store DIR] routes
+   every capture in fig4, sweep and serve through a persistent
+   content-addressed tape store, so a warm store benchmarks the
+   replay-from-disk path and the snapshot records store hit/miss/byte
+   counters.
 
    Every run also writes BENCH_dvf.json — a machine-readable performance
    snapshot (command, cache geometry, job count, wall-clock, trace-replay
@@ -35,12 +40,15 @@ let run_tables () =
 
 (* --- Fig. 4: model verification --- *)
 
-let run_fig4 ~jobs ~telemetry ~tape () =
+let run_fig4 ~jobs ~telemetry ~tape ~store () =
   section_header "Fig. 4 - Model verification (trace-driven simulation vs CGPMAC)";
   let strategy =
     if tape then Core.Verify.Replay else Core.Verify.Retrace
   in
-  let rows = Core.Verify.run_all ~jobs ~telemetry ~strategy () in
+  (* The store only makes sense on a tape-reusing strategy: retrace never
+     captures a tape, so it has nothing to persist or load. *)
+  let store = if tape then store else None in
+  let rows = Core.Verify.run_all ~jobs ~telemetry ?store ~strategy () in
   Dvf_util.Table.print (Core.Verify.to_table rows);
   let summary =
     Dvf_util.Table.create ~title:"Aggregate (total-traffic) error per kernel"
@@ -274,7 +282,7 @@ let run_ablation () =
 
 (* --- Cache-capacity sweep (Fig. 5's x-axis at full resolution) --- *)
 
-let run_sweep ~jobs ~telemetry ~tape () =
+let run_sweep ~jobs ~telemetry ~tape ~store () =
   section_header "Cache-capacity sweep (DVF_a, 4KB..16MB, 8-way, 64B lines)";
   (* With tape reuse on, the sweep also runs the trace-driven simulator
      over every geometry — one captured tape per workload, all geometries
@@ -283,7 +291,8 @@ let run_sweep ~jobs ~telemetry ~tape () =
     (fun workload ->
       let instance = Core.Workloads.profiling_instance workload in
       let rows =
-        Core.Experiments.cache_sweep ~jobs ~telemetry ~simulate:tape instance
+        Core.Experiments.cache_sweep ~jobs ~telemetry ?store ~simulate:tape
+          instance
       in
       Dvf_util.Table.print
         (Core.Experiments.cache_sweep_table
@@ -697,6 +706,53 @@ let run_aspen () =
      then "identical"
      else "MISMATCH")
 
+(* --- Serve: query-daemon request throughput --- *)
+
+let run_serve ~jobs ~telemetry ~store () =
+  section_header "Query daemon - dvf serve request throughput";
+  let srv = Core.Serve.create ~telemetry ?store ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Core.Serve.shutdown srv)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Core.Serve.warm srv;
+      let warm_s = Unix.gettimeofday () -. t0 in
+      Printf.printf "warmed %d workloads in %.3f s%s\n"
+        (Core.Serve.warm_count srv) warm_s
+        (match store with Some _ -> " (tape store on)" | None -> "");
+      (* One batch mixes a replay-heavy op (verify: full fused tape walk
+         over the verification set) and a model op (dvf: analytic
+         profile) over every served workload — the shape a monitoring
+         client would send — spread over the pool by handle_batch. *)
+      let names = Core.Serve.workload_names srv in
+      let batch =
+        List.concat
+          (List.mapi
+             (fun i name ->
+               List.map
+                 (fun op ->
+                   Printf.sprintf {|{"id":%d,"op":"%s","workload":"%s"}|} i op
+                     name)
+                 [ "verify"; "dvf" ])
+             names)
+      in
+      (* Untimed pass so the measured rounds hit only warm state. *)
+      ignore (Core.Serve.handle_batch srv batch);
+      let rounds = 2 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        ignore (Core.Serve.handle_batch srv batch)
+      done;
+      let seconds = Unix.gettimeofday () -. t0 in
+      let total = rounds * List.length batch in
+      let rate = if seconds > 0.0 then float_of_int total /. seconds else 0.0 in
+      Printf.printf
+        "%d requests (%d batches of %d) in %.3f s = %.1f requests/sec (-j %d)\n"
+        total rounds (List.length batch) seconds rate jobs;
+      if Dvf_util.Telemetry.enabled telemetry then
+        Dvf_util.Telemetry.set_gauge telemetry "bench/serve_requests_per_sec"
+          rate)
+
 (* --- Speed: analytical models vs cache simulation --- *)
 
 let run_speed () =
@@ -772,27 +828,38 @@ let run_speed () =
 
 let sections =
   [
-    ("tables", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_tables ());
+    ("tables", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_tables ());
     ("fig4", run_fig4);
-    ("fig5", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_fig5 ());
-    ("fig6", fun ~jobs ~telemetry ~tape:_ () -> run_fig6 ~jobs ~telemetry ());
-    ("fig7", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_fig7 ());
+    ("fig5", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_fig5 ());
+    ( "fig6",
+      fun ~jobs ~telemetry ~tape:_ ~store:_ () -> run_fig6 ~jobs ~telemetry ()
+    );
+    ("fig7", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_fig7 ());
     ("sweep", run_sweep);
-    ("tape", fun ~jobs ~telemetry ~tape:_ () -> run_tape ~jobs ~telemetry ());
-    ("ablation", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_ablation ());
-    ("sparse", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_sparse ());
-    ("component", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_component ());
+    ( "tape",
+      fun ~jobs ~telemetry ~tape:_ ~store:_ () -> run_tape ~jobs ~telemetry ()
+    );
+    ( "ablation",
+      fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_ablation () );
+    ("sparse", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_sparse ());
+    ( "component",
+      fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_component () );
     ( "inject",
-      fun ~jobs ~telemetry ~tape:_ () -> run_inject ~jobs ~telemetry () );
-    ("aspen", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_aspen ());
-    ("speed", fun ~jobs:_ ~telemetry:_ ~tape:_ () -> run_speed ());
+      fun ~jobs ~telemetry ~tape:_ ~store:_ () -> run_inject ~jobs ~telemetry ()
+    );
+    ("aspen", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_aspen ());
+    ("speed", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_speed ());
+    ( "serve",
+      fun ~jobs ~telemetry ~tape:_ ~store () -> run_serve ~jobs ~telemetry ~store ()
+    );
   ]
 
 (* BENCH_dvf.json: the machine-readable counterpart of the tables above.
    One flat header (command, cache geometry, jobs, wall-clock, trace
    events/sec) plus the whole telemetry document, so downstream tooling
    never parses the pretty-printed output. *)
-let write_bench_snapshot ~command ~jobs ~tape ~wall_clock_sec telemetry =
+let write_bench_snapshot ~command ~jobs ~tape ~store_dir ~wall_clock_sec
+    telemetry =
   let module J = Dvf_util.Json in
   let module T = Dvf_util.Telemetry in
   let rate counter span =
@@ -859,6 +926,18 @@ let write_bench_snapshot ~command ~jobs ~tape ~wall_clock_sec telemetry =
         ("levels", gauge_int "bench/hierarchy_levels");
         ("level1_accesses_per_sec", gauge "bench/level1_accesses_per_sec");
         ("level2_accesses_per_sec", gauge "bench/level2_accesses_per_sec");
+        (* Persistent tape store traffic (zero when --tape-store is off)
+           and the serve section's request throughput (Null when that
+           section did not run). *)
+        ( "tape_store",
+          match store_dir with Some d -> J.Str d | None -> J.Null );
+        ("store_hits", J.Int (T.counter_value telemetry "store/hits"));
+        ("store_misses", J.Int (T.counter_value telemetry "store/misses"));
+        ( "store_load_bytes",
+          J.Int (T.counter_value telemetry "store/load_bytes") );
+        ( "store_save_bytes",
+          J.Int (T.counter_value telemetry "store/save_bytes") );
+        ("serve_requests_per_sec", gauge "bench/serve_requests_per_sec");
         ("telemetry", T.to_json telemetry);
       ]
   in
@@ -879,6 +958,7 @@ let () =
      before anything runs, instead of failing halfway through a sweep. *)
   let jobs = ref (Dvf_util.Parallel.recommended_jobs ()) in
   let tape = ref true in
+  let store_dir = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | ("-j" | "--jobs") :: value :: rest -> (
@@ -893,6 +973,10 @@ let () =
            measurable baseline for the capture-once/replay-many path. *)
         tape := false;
         parse acc rest
+    | "--tape-store" :: dir :: rest ->
+        store_dir := Some dir;
+        parse acc rest
+    | [ "--tape-store" ] -> usage_error "--tape-store expects a directory"
     | name :: rest -> parse (name :: acc) rest
   in
   let requested =
@@ -909,10 +993,15 @@ let () =
       requested
   in
   let telemetry = Dvf_util.Telemetry.create () in
+  let store =
+    Option.map
+      (fun dir -> Memtrace.Tape_store.create ~telemetry ~dir ())
+      !store_dir
+  in
   let start = Unix.gettimeofday () in
-  List.iter (fun run -> run ~jobs:!jobs ~telemetry ~tape:!tape ()) runs;
+  List.iter (fun run -> run ~jobs:!jobs ~telemetry ~tape:!tape ~store ()) runs;
   write_bench_snapshot
     ~command:(String.concat " " (Array.to_list Sys.argv))
-    ~jobs:!jobs ~tape:!tape
+    ~jobs:!jobs ~tape:!tape ~store_dir:!store_dir
     ~wall_clock_sec:(Unix.gettimeofday () -. start)
     telemetry

@@ -117,6 +117,26 @@ let check_shards shards =
         "error: --shards expects a positive power of two (got %d)\n" s;
       exit 1
 
+(* --- persistent tape store --- *)
+
+let tape_store =
+  let doc =
+    "Persist captured trace tapes in $(docv) (created if missing) and \
+     reuse them across runs: a warm store skips workload capture \
+     entirely and replays straight from disk.  Entries are \
+     content-addressed by (workload, size, seed, format version); \
+     corrupt or stale entries are evicted and recaptured.  Results are \
+     bit-identical with or without the store."
+  in
+  Arg.(value & opt (some string) None & info [ "tape-store" ] ~docv:"DIR" ~doc)
+
+(* Open the store (if requested) against the run's telemetry collector,
+   so store/hits, store/misses and load/save byte counters land in the
+   same --metrics document as everything else. *)
+let open_tape_store ~telemetry = function
+  | None -> None
+  | Some dir -> Some (Memtrace.Tape_store.create ~telemetry ~dir ())
+
 (* --- injection campaign knobs --- *)
 
 let seed =

@@ -10,9 +10,12 @@
      components  memory-DVF vs cache-DVF per structure
      protect     selective-protection coverage curves
      inject      parallel fault-injection campaigns vs the analytical DVF
+     serve       long-lived line-JSON query daemon over warm trace tapes
+     query       one-shot client for serve's protocol (or in-process)
 
-   Shared arguments (-j/--jobs, --seed, --csv, -m/--machine, --metrics)
-   are declared once in Cli_common and composed per subcommand. *)
+   Shared arguments (-j/--jobs, --seed, --csv, -m/--machine, --metrics,
+   --tape-store) are declared once in Cli_common and composed per
+   subcommand. *)
 
 open Cmdliner
 
@@ -89,14 +92,22 @@ let verify_cmd =
       & opt (enum Core.Verify.strategies) Core.Verify.Replay
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
   in
-  let run jobs metrics strategy levels shards workloads =
+  let run jobs metrics strategy levels shards tape_store workloads =
     let jobs = Cli_common.check_jobs jobs in
     let levels = Cli_common.check_levels levels in
     let shards = Cli_common.check_shards shards in
+    if tape_store <> None && strategy = Core.Verify.Retrace then begin
+      Printf.eprintf
+        "error: --tape-store cannot help --strategy retrace (it never \
+         captures a tape); use replay, fused or sharded\n";
+      exit 1
+    end;
     Cli_common.with_metrics metrics (fun telemetry ->
+        let store = Cli_common.open_tape_store ~telemetry tape_store in
         if levels = 1 then
           let rows =
-            Core.Verify.run_all ~jobs ~telemetry ~strategy ?shards ~workloads ()
+            Core.Verify.run_all ~jobs ~telemetry ~strategy ?shards ?store
+              ~workloads ()
           in
           Dvf_util.Table.print (Core.Verify.to_table rows)
         else begin
@@ -108,7 +119,7 @@ let verify_cmd =
           end;
           let rows =
             Core.Verify.run_all_levels ~jobs ~telemetry ~strategy ?shards
-              ~workloads ~levels ()
+              ?store ~workloads ~levels ()
           in
           Dvf_util.Table.print (Core.Verify.to_level_table rows)
         end)
@@ -120,7 +131,8 @@ let verify_cmd =
           (per-level traffic with --levels > 1)")
     Term.(
       const run $ Cli_common.jobs $ Cli_common.metrics $ strategy
-      $ Cli_common.levels $ Cli_common.shards $ Cli_common.workload_pos_args)
+      $ Cli_common.levels $ Cli_common.shards $ Cli_common.tape_store
+      $ Cli_common.workload_pos_args)
 
 (* --- figure/table reproductions --- *)
 
@@ -315,6 +327,338 @@ let inject_cmd =
       const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.csv
       $ Cli_common.metrics $ Cli_common.workload_pos_args)
 
+(* --- serve / query: long-lived query daemon over line JSON ---
+
+   [Core.Serve] is computation only; this section owns the transport:
+   a line-framed reader over a raw fd with select-based batching (all
+   request lines already buffered are dispatched to the pool as one
+   batch), writing one compact JSON response line per request. *)
+
+module Json = Dvf_util.Json
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+type line_reader = {
+  fd : Unix.file_descr;
+  rbuf : Bytes.t;
+  partial : Buffer.t; (* current unterminated line *)
+  queue : string Queue.t; (* complete lines, oldest first *)
+  mutable eof : bool;
+}
+
+let make_reader fd =
+  {
+    fd;
+    rbuf = Bytes.create 65536;
+    partial = Buffer.create 4096;
+    queue = Queue.create ();
+    eof = false;
+  }
+
+let reader_readable r =
+  match Unix.select [ r.fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+
+(* One read(2); splits complete lines into the queue.  At EOF a
+   non-empty unterminated tail still counts as a final line. *)
+let refill r =
+  if not r.eof then begin
+    let n = Unix.read r.fd r.rbuf 0 (Bytes.length r.rbuf) in
+    if n = 0 then begin
+      r.eof <- true;
+      if Buffer.length r.partial > 0 then begin
+        Queue.add (Buffer.contents r.partial) r.queue;
+        Buffer.clear r.partial
+      end
+    end
+    else
+      for i = 0 to n - 1 do
+        match Bytes.get r.rbuf i with
+        | '\n' ->
+            Queue.add (Buffer.contents r.partial) r.queue;
+            Buffer.clear r.partial
+        | c -> Buffer.add_char r.partial c
+      done
+  end
+
+(* Block for at least one line, then opportunistically drain whatever
+   else has already arrived (up to [max] lines) so concurrent clients'
+   requests dispatch to the pool as one batch. *)
+let next_batch r ~max =
+  while Queue.is_empty r.queue && not r.eof do
+    refill r
+  done;
+  while Queue.length r.queue < max && (not r.eof) && reader_readable r do
+    refill r
+  done;
+  let batch = ref [] in
+  while List.length !batch < max && not (Queue.is_empty r.queue) do
+    batch := Queue.pop r.queue :: !batch
+  done;
+  List.rev !batch
+
+let serve_connection srv ~in_fd ~out_fd =
+  let r = make_reader in_fd in
+  let rec loop () =
+    match next_batch r ~max:64 with
+    | [] -> () (* EOF *)
+    | lines ->
+        List.iter
+          (fun resp -> write_all out_fd (resp ^ "\n"))
+          (Core.Serve.handle_batch srv lines);
+        loop ()
+  in
+  loop ()
+
+let serve_socket srv path =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Printf.eprintf "dvf serve: listening on %s\n%!" path;
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    (try serve_connection srv ~in_fd:conn ~out_fd:conn
+     with Unix.Unix_error _ -> ());
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()
+
+let serve_cmd =
+  let socket =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) (clients connect one at \
+       a time) instead of answering requests on stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let run jobs metrics tape_store socket workloads =
+    let jobs = Cli_common.check_jobs jobs in
+    (* A signal flips the loop into a normal return so the pool shuts
+       down and --metrics still gets written. *)
+    let on_signal = Sys.Signal_handle (fun _ -> raise Exit) in
+    Sys.set_signal Sys.sigint on_signal;
+    Sys.set_signal Sys.sigterm on_signal;
+    Cli_common.with_metrics metrics (fun telemetry ->
+        let store = Cli_common.open_tape_store ~telemetry tape_store in
+        let srv = Core.Serve.create ~telemetry ?store ~jobs ~workloads () in
+        Fun.protect ~finally:(fun () -> Core.Serve.shutdown srv) @@ fun () ->
+        Core.Serve.warm srv;
+        Printf.eprintf "dvf serve: %d workloads warm, ready\n%!"
+          (Core.Serve.warm_count srv);
+        try
+          match socket with
+          | None -> serve_connection srv ~in_fd:Unix.stdin ~out_fd:Unix.stdout
+          | Some path -> serve_socket srv path
+        with Exit -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived query daemon: warm every workload's trace tape once \
+          (optionally from a persistent --tape-store), then answer \
+          verify/levels/dvf/sweep requests as line JSON on stdin/stdout \
+          or a Unix socket, batching concurrent requests onto the domain \
+          pool")
+    Term.(
+      const run $ Cli_common.jobs $ Cli_common.metrics $ Cli_common.tape_store
+      $ socket $ Cli_common.workload_pos_args)
+
+(* --- query: one-shot client --- *)
+
+let query_cmd =
+  let socket =
+    let doc =
+      "Send the request to a running $(b,dvf serve --socket) daemon at \
+       $(docv) instead of answering in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let op =
+    let doc =
+      "Operation: verify, levels, dvf, sweep, workloads, stats or ping."
+    in
+    Arg.(value & opt string "verify" & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let workload =
+    let doc = "Restrict to one workload (required for $(b,--op sweep))." in
+    Arg.(
+      value
+      & pos 0 (some Cli_common.workload_conv) None
+      & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let levels =
+    let doc = "Hierarchy depth for $(b,--op levels) (default 2)." in
+    Arg.(value & opt int 2 & info [ "levels" ] ~docv:"N" ~doc)
+  in
+  let capacities =
+    let doc = "Comma-separated capacities in bytes for $(b,--op sweep)." in
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "capacities" ] ~docv:"BYTES,.." ~doc)
+  in
+  let no_simulate =
+    let doc = "Skip the trace-driven totals in $(b,--op sweep)." in
+    Arg.(value & flag & info [ "no-simulate" ] ~doc)
+  in
+  let raw =
+    let doc = "Print the raw JSON response line instead of a table." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let request =
+    let doc =
+      "Send this literal JSON request (one line) instead of building one \
+       from the other options."
+    in
+    Arg.(value & opt (some string) None & info [ "request" ] ~docv:"JSON" ~doc)
+  in
+  let build_request ~op ~workload ~levels ~capacities ~no_simulate =
+    Json.to_string ~indent:false
+      (Json.Obj
+         ([ ("id", Json.Int 1); ("op", Json.Str op) ]
+         @ (match workload with
+           | Some (w : Core.Workload.t) ->
+               [ ("workload", Json.Str w.Core.Workload.name) ]
+           | None -> [])
+         @ (if op = "levels" then [ ("levels", Json.Int levels) ] else [])
+         @ (match capacities with
+           | Some caps when op = "sweep" ->
+               [ ("capacities", Json.List (List.map (fun c -> Json.Int c) caps)) ]
+           | _ -> [])
+         @
+         if no_simulate && op = "sweep" then
+           [ ("simulate", Json.Bool false) ]
+         else []))
+  in
+  let query_socket path line =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () ->
+        try Unix.close sock with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    (try Unix.connect sock (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "error: cannot connect to %s: %s\n" path
+         (Unix.error_message e);
+       exit 1);
+    write_all sock (line ^ "\n");
+    let ic = Unix.in_channel_of_descr sock in
+    match input_line ic with
+    | resp -> resp
+    | exception End_of_file ->
+        Printf.eprintf "error: server closed the connection\n";
+        exit 1
+  in
+  let render ~raw ~op ~label response =
+    if raw then print_endline response
+    else
+      match Json.of_string response with
+      | Error msg ->
+          Printf.eprintf "error: bad response: %s\n" msg;
+          exit 1
+      | Ok resp -> (
+          match (Json.member "ok" resp, Json.member "result" resp) with
+          | Some (Json.Bool true), Some result -> (
+              try
+                match op with
+                | "verify" ->
+                    Dvf_util.Table.print
+                      (Core.Verify.to_table
+                         (Core.Serve.verify_rows_of_result result))
+                | "levels" ->
+                    Dvf_util.Table.print
+                      (Core.Verify.to_level_table
+                         (Core.Serve.level_rows_of_result result))
+                | "dvf" ->
+                    Dvf_util.Table.print
+                      (Core.Profile.to_table
+                         (Core.Serve.profile_rows_of_result result))
+                | "sweep" ->
+                    Dvf_util.Table.print
+                      (Core.Experiments.cache_sweep_table ~label
+                         (Core.Serve.sweep_rows_of_result result))
+                | _ -> print_endline (Json.to_string result)
+              with Failure msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1)
+          | Some (Json.Bool false), _ ->
+              let msg =
+                match Json.member "error" resp with
+                | Some (Json.Str m) -> m
+                | _ -> "unknown server error"
+              in
+              Printf.eprintf "error: %s\n" msg;
+              exit 1
+          | _ ->
+              Printf.eprintf "error: malformed response envelope\n";
+              exit 1)
+  in
+  let run jobs tape_store socket op workload levels capacities no_simulate raw
+      request =
+    let jobs = Cli_common.check_jobs jobs in
+    let line =
+      match request with
+      | Some r -> r
+      | None -> build_request ~op ~workload ~levels ~capacities ~no_simulate
+    in
+    (* Render according to the op actually sent, so --request still gets
+       a table when it names a tabular op. *)
+    let op =
+      match request with
+      | None -> op
+      | Some r -> (
+          match Result.map (Json.member "op") (Json.of_string r) with
+          | Ok (Some (Json.Str o)) -> o
+          | _ -> op)
+    in
+    let label =
+      match workload with
+      | Some (w : Core.Workload.t) -> w.Core.Workload.name
+      | None -> "sweep"
+    in
+    let response =
+      match socket with
+      | Some path -> query_socket path line
+      | None -> (
+          (* In-process: spin up a serving context, answer the one
+             request (capturing only what it needs — no full warm-up),
+             and shut down. *)
+          let store =
+            Cli_common.open_tape_store ~telemetry:Dvf_util.Telemetry.null
+              tape_store
+          in
+          let srv = Core.Serve.create ?store ~jobs () in
+          Fun.protect ~finally:(fun () -> Core.Serve.shutdown srv)
+          @@ fun () ->
+          match Core.Serve.handle_line srv line with
+          | Some resp -> resp
+          | None ->
+              Printf.eprintf "error: blank request\n";
+              exit 1)
+    in
+    render ~raw ~op ~label response
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "One-shot client for the dvf-query protocol: send one request to \
+          a running serve daemon (--socket) or answer it in-process, and \
+          render the rows as the matching CLI table (or --raw JSON)")
+    Term.(
+      const run $ Cli_common.jobs $ Cli_common.tape_store $ socket $ op
+      $ workload $ levels $ capacities $ no_simulate $ raw $ request)
+
 (* --- --model: any Aspen file through the full pipeline --- *)
 
 let run_model path overrides jobs telemetry =
@@ -413,6 +757,7 @@ let main_cmd =
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
       parse_cmd; models_cmd; components_cmd; protect_cmd; inject_cmd;
+      serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -178,8 +178,8 @@ let pow2_floor n =
    (8 sets up to 32K sets) all partition correctly; totals are
    bit-identical at any [jobs].  Returns each cache's simulated total
    main-memory accesses (misses + writebacks), in [caches] order. *)
-let simulate_totals ~jobs ~telemetry ~caches (instance : Workload.instance) =
-  let cap = Verify.capture ~telemetry instance in
+let simulate_totals ~jobs ~telemetry ~caches cap =
+  let instance = cap.Verify.instance in
   let shards = pow2_floor (max 1 jobs) in
   Telemetry.span telemetry
     (Printf.sprintf "cache_sweep/%s/replay" instance.Workload.workload)
@@ -222,7 +222,7 @@ let simulate_totals ~jobs ~telemetry ~caches (instance : Workload.instance) =
 
 let cache_sweep ?jobs ?(telemetry = Telemetry.null)
     ?(machine = Perf.default_machine) ?(fit = Ecc.fit Ecc.No_ecc) ?(line = 64)
-    ?(associativity = 8) ?capacities ?(simulate = false)
+    ?(associativity = 8) ?capacities ?(simulate = false) ?store ?capture
     (instance : Workload.instance) =
   let capacities =
     match capacities with
@@ -252,9 +252,14 @@ let cache_sweep ?jobs ?(telemetry = Telemetry.null)
   let sim_totals =
     if not simulate then List.map (fun _ -> None) caches
     else
+      let cap =
+        match capture with
+        | Some c -> c
+        | None -> Verify.capture ~telemetry ?store instance
+      in
       List.map
         (fun v -> Some v)
-        (simulate_totals ~jobs:effective_jobs ~telemetry ~caches instance)
+        (simulate_totals ~jobs:effective_jobs ~telemetry ~caches cap)
   in
   let points = List.combine (List.combine capacities caches) sim_totals in
   sweep_map ?jobs ~telemetry ~label:"cache_sweep"

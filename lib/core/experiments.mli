@@ -67,6 +67,8 @@ val cache_sweep :
   ?jobs:int -> ?telemetry:Dvf_util.Telemetry.t -> ?machine:Perf.machine ->
   ?fit:float -> ?line:int ->
   ?associativity:int -> ?capacities:int list -> ?simulate:bool ->
+  ?store:Memtrace.Tape_store.t ->
+  ?capture:Verify.capture ->
   Workload.instance ->
   sweep_row list
 (** Generalization of Fig. 5's x-axis: DVF_a of one application over a
@@ -85,7 +87,14 @@ val cache_sweep :
     main-memory accesses next to the analytic [n_ha].  Telemetry adds
     ["cache_sweep/<workload>/replay"] spans plus the shared
     ["tape/*"]/["cache/accesses"] counters and
-    ["verify/capture_total"]/["verify/replay_total"] accumulators. *)
+    ["verify/capture_total"]/["verify/replay_total"] accumulators.
+
+    [store] (only meaningful with [simulate]) routes the capture through
+    a persistent tape store — a warm store skips kernel tracing
+    entirely; see {!Verify.capture}.  [capture] supplies an already-made
+    capture of {e this} [instance] instead (the [dvf serve] path, which
+    holds every workload's capture in memory); it must belong to the
+    same instance, and when given, [store] is not consulted. *)
 
 val cache_sweep_table : label:string -> sweep_row list -> Dvf_util.Table.t
 

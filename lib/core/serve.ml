@@ -1,0 +1,408 @@
+(* The query engine behind [dvf serve] and [dvf query]: hold every
+   workload's capture in memory (warmed once, optionally through a
+   persistent tape store) and answer line-JSON requests against it.
+   This module is protocol and computation only — no sockets, no
+   stdin/stdout; the transport loop lives in the CLI, which feeds
+   [handle_line]/[handle_batch] raw request lines and writes back the
+   raw response lines they return. *)
+
+module Telemetry = Dvf_util.Telemetry
+module Json = Dvf_util.Json
+
+let schema = "dvf-query"
+let schema_version = 1
+
+type t = {
+  telemetry : Telemetry.t;
+  store : Memtrace.Tape_store.t option;
+  pool : Dvf_util.Parallel.Pool.t;
+  workloads : Workload.t list;
+  (* Both caches are keyed by lowercase registry name and guarded by
+     [mutex]; request handlers run on pool domains. *)
+  captures : (string, Verify.capture) Hashtbl.t;
+  profiling : (string, Workload.instance) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable requests : int;
+}
+
+let create ?(telemetry = Telemetry.null) ?store ?jobs ?workloads () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> Workloads.all ()
+  in
+  {
+    telemetry;
+    store;
+    pool = Dvf_util.Parallel.Pool.create ~telemetry ?jobs ();
+    workloads;
+    captures = Hashtbl.create 16;
+    profiling = Hashtbl.create 16;
+    mutex = Mutex.create ();
+    requests = 0;
+  }
+
+let shutdown t = Dvf_util.Parallel.Pool.shutdown t.pool
+let workload_names t = List.map (fun w -> w.Workload.name) t.workloads
+
+let find_workload t name =
+  let key = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun w -> String.lowercase_ascii w.Workload.name = key)
+      t.workloads
+  with
+  | Some w -> w
+  | None ->
+      failwith
+        (Printf.sprintf "unknown workload %S (serving: %s)" name
+           (String.concat ", " (workload_names t)))
+
+(* Request handlers run with [jobs = 1] — a handler must never fan work
+   back onto [t.pool] (the pool's own domains would deadlock waiting on
+   themselves); concurrency comes from [handle_batch] spreading whole
+   requests across the pool instead. *)
+let capture_for t (w : Workload.t) =
+  let key = String.lowercase_ascii w.Workload.name in
+  match
+    Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.captures key)
+  with
+  | Some cap -> cap
+  | None ->
+      let cap =
+        Verify.capture ~telemetry:t.telemetry ?store:t.store
+          (Workloads.verification_instance w)
+      in
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.captures key with
+          | Some cap -> cap (* a concurrent request won the race *)
+          | None ->
+              Hashtbl.replace t.captures key cap;
+              cap)
+
+let profiling_instance_for t (w : Workload.t) =
+  let key = String.lowercase_ascii w.Workload.name in
+  match
+    Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.profiling key)
+  with
+  | Some inst -> inst
+  | None ->
+      let inst = Workloads.profiling_instance w in
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.profiling key with
+          | Some inst -> inst
+          | None ->
+              Hashtbl.replace t.profiling key inst;
+              inst)
+
+let warm t =
+  Telemetry.span t.telemetry "serve/warm" @@ fun () ->
+  ignore (Dvf_util.Parallel.Pool.map_list t.pool (capture_for t) t.workloads)
+
+let warm_count t =
+  Mutex.protect t.mutex (fun () -> Hashtbl.length t.captures)
+
+(* {2 Row codecs}
+
+   Floats are emitted by [Json.to_string] as [%.17g], which round-trips
+   exactly; so a client that decodes these rows and renders them through
+   [Verify.to_table] (etc.) reproduces the one-shot CLI output byte for
+   byte. *)
+
+let config_to_json (c : Cachesim.Config.t) =
+  Json.Obj
+    [
+      ("name", Json.Str c.Cachesim.Config.name);
+      ("associativity", Json.Int c.Cachesim.Config.associativity);
+      ("sets", Json.Int c.Cachesim.Config.sets);
+      ("line", Json.Int c.Cachesim.Config.line);
+    ]
+
+let get ~what k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing field %S" what k)
+
+let as_str ~what = function
+  | Json.Str s -> s
+  | _ -> failwith (what ^ ": expected a string")
+
+let as_int ~what = function
+  | Json.Int i -> i
+  | _ -> failwith (what ^ ": expected an integer")
+
+let as_float ~what = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> failwith (what ^ ": expected a number")
+
+let str_field ~what k j = as_str ~what (get ~what k j)
+let int_field ~what k j = as_int ~what (get ~what k j)
+let float_field ~what k j = as_float ~what (get ~what k j)
+
+let config_of_json j =
+  let what = "cache config" in
+  Cachesim.Config.make
+    ~name:(str_field ~what "name" j)
+    ~associativity:(int_field ~what "associativity" j)
+    ~sets:(int_field ~what "sets" j)
+    ~line:(int_field ~what "line" j)
+
+let verify_row_to_json (r : Verify.row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Verify.workload);
+      ("cache", config_to_json r.Verify.cache);
+      ("structure", Json.Str r.Verify.structure);
+      ("simulated", Json.Float r.Verify.simulated);
+      ("modeled", Json.Float r.Verify.modeled);
+    ]
+
+let verify_row_of_json j =
+  let what = "verify row" in
+  {
+    Verify.workload = str_field ~what "workload" j;
+    cache = config_of_json (get ~what "cache" j);
+    structure = str_field ~what "structure" j;
+    simulated = float_field ~what "simulated" j;
+    modeled = float_field ~what "modeled" j;
+  }
+
+let level_row_to_json (r : Verify.level_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Verify.l_workload);
+      ("base_cache", config_to_json r.Verify.base_cache);
+      ("level", Json.Int r.Verify.level);
+      ("level_cache", config_to_json r.Verify.level_cache);
+      ("structure", Json.Str r.Verify.l_structure);
+      ("accesses", Json.Float r.Verify.accesses);
+      ("misses", Json.Float r.Verify.misses);
+      ("writebacks", Json.Float r.Verify.l_writebacks);
+    ]
+
+let level_row_of_json j =
+  let what = "level row" in
+  {
+    Verify.l_workload = str_field ~what "workload" j;
+    base_cache = config_of_json (get ~what "base_cache" j);
+    level = int_field ~what "level" j;
+    level_cache = config_of_json (get ~what "level_cache" j);
+    l_structure = str_field ~what "structure" j;
+    accesses = float_field ~what "accesses" j;
+    misses = float_field ~what "misses" j;
+    l_writebacks = float_field ~what "writebacks" j;
+  }
+
+let profile_row_to_json (r : Profile.row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Profile.workload);
+      ("cache", config_to_json r.Profile.cache);
+      ("structure", Json.Str r.Profile.structure);
+      ("dvf", Json.Float r.Profile.dvf);
+      ("n_ha", Json.Float r.Profile.n_ha);
+      ("bytes", Json.Int r.Profile.bytes);
+      ("time", Json.Float r.Profile.time);
+    ]
+
+let profile_row_of_json j =
+  let what = "profile row" in
+  {
+    Profile.workload = str_field ~what "workload" j;
+    cache = config_of_json (get ~what "cache" j);
+    structure = str_field ~what "structure" j;
+    dvf = float_field ~what "dvf" j;
+    n_ha = float_field ~what "n_ha" j;
+    bytes = int_field ~what "bytes" j;
+    time = float_field ~what "time" j;
+  }
+
+let sweep_row_to_json (r : Experiments.sweep_row) =
+  Json.Obj
+    [
+      ("capacity", Json.Int r.Experiments.capacity);
+      ("cache", config_to_json r.Experiments.sweep_cache);
+      ("dvf_a", Json.Float r.Experiments.dvf_a);
+      ("n_ha", Json.Float r.Experiments.n_ha);
+      ( "sim_n_ha",
+        match r.Experiments.sim_n_ha with
+        | Some v -> Json.Float v
+        | None -> Json.Null );
+    ]
+
+let sweep_row_of_json j =
+  let what = "sweep row" in
+  {
+    Experiments.capacity = int_field ~what "capacity" j;
+    sweep_cache = config_of_json (get ~what "cache" j);
+    dvf_a = float_field ~what "dvf_a" j;
+    n_ha = float_field ~what "n_ha" j;
+    sim_n_ha =
+      (match get ~what "sim_n_ha" j with
+      | Json.Null -> None
+      | v -> Some (as_float ~what v));
+  }
+
+let rows_field result = get ~what:"response result" "rows" result
+
+let json_rows ~what of_row result =
+  match rows_field result with
+  | Json.List rows -> List.map of_row rows
+  | _ -> failwith (what ^ ": \"rows\" is not a list")
+
+let verify_rows_of_result = json_rows ~what:"verify result" verify_row_of_json
+let level_rows_of_result = json_rows ~what:"levels result" level_row_of_json
+
+let profile_rows_of_result =
+  json_rows ~what:"dvf result" profile_row_of_json
+
+let sweep_rows_of_result = json_rows ~what:"sweep result" sweep_row_of_json
+
+(* {2 Request dispatch} *)
+
+let requested_workloads t req =
+  match Json.member "workload" req with
+  | None | Some Json.Null -> t.workloads
+  | Some (Json.Str name) -> [ find_workload t name ]
+  | Some _ -> failwith "\"workload\" must be a string"
+
+let required_workload t req =
+  match Json.member "workload" req with
+  | Some (Json.Str name) -> find_workload t name
+  | Some _ -> failwith "\"workload\" must be a string"
+  | None -> failwith "this op requires a \"workload\" field"
+
+let rows_result to_row rows =
+  Json.Obj [ ("rows", Json.List (List.map to_row rows)) ]
+
+let op_verify t req =
+  let caches = Cachesim.Config.verification_set in
+  rows_result verify_row_to_json
+    (List.concat_map
+       (fun w ->
+         Verify.replay_capture_fused ~telemetry:t.telemetry ~caches
+           (capture_for t w))
+       (requested_workloads t req))
+
+let op_levels t req =
+  let levels =
+    match Json.member "levels" req with
+    | Some (Json.Int l) -> l
+    | Some _ -> failwith "\"levels\" must be an integer"
+    | None -> 2
+  in
+  rows_result level_row_to_json
+    (List.concat_map
+       (fun w ->
+         Verify.capture_level_rows ~telemetry:t.telemetry ~levels
+           (capture_for t w))
+       (requested_workloads t req))
+
+let op_dvf t req =
+  let caches = Cachesim.Config.profiling_set in
+  rows_result profile_row_to_json
+    (List.concat_map
+       (fun w ->
+         let instance = profiling_instance_for t w in
+         List.concat_map
+           (fun cache -> Profile.profile_instance ~cache instance)
+           caches)
+       (requested_workloads t req))
+
+let op_sweep t req =
+  let w = required_workload t req in
+  let capacities =
+    match Json.member "capacities" req with
+    | None | Some Json.Null -> None
+    | Some (Json.List vs) ->
+        Some (List.map (as_int ~what:"\"capacities\" entry") vs)
+    | Some _ -> failwith "\"capacities\" must be a list of integers"
+  in
+  let simulate =
+    match Json.member "simulate" req with
+    | None -> true
+    | Some (Json.Bool b) -> b
+    | Some _ -> failwith "\"simulate\" must be a boolean"
+  in
+  let capture = capture_for t w in
+  rows_result sweep_row_to_json
+    (Experiments.cache_sweep ~jobs:1 ~telemetry:t.telemetry ?capacities
+       ~simulate ~capture capture.Verify.instance)
+
+let op_stats t =
+  Json.Obj
+    [
+      ("requests", Json.Int (Mutex.protect t.mutex (fun () -> t.requests)));
+      ("workloads", Json.Int (List.length t.workloads));
+      ("warm_captures", Json.Int (warm_count t));
+      ( "store",
+        match t.store with
+        | Some s -> Json.Str (Memtrace.Tape_store.dir s)
+        | None -> Json.Null );
+    ]
+
+let ops = [ "ping"; "workloads"; "verify"; "levels"; "dvf"; "sweep"; "stats" ]
+
+let dispatch t ~op req =
+  match op with
+  | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
+  | "workloads" ->
+      Json.Obj
+        [
+          ( "workloads",
+            Json.List (List.map (fun n -> Json.Str n) (workload_names t)) );
+        ]
+  | "verify" -> op_verify t req
+  | "levels" -> op_levels t req
+  | "dvf" -> op_dvf t req
+  | "sweep" -> op_sweep t req
+  | "stats" -> op_stats t
+  | other ->
+      failwith
+        (Printf.sprintf "unknown op %S (supported: %s)" other
+           (String.concat ", " ops))
+
+let envelope ~id fields =
+  Json.to_string ~indent:false
+    (Json.Obj
+       ([
+          ("schema", Json.Str schema);
+          ("schema_version", Json.Int schema_version);
+          ("id", id);
+        ]
+       @ fields))
+
+let ok_response ~id result =
+  envelope ~id [ ("ok", Json.Bool true); ("result", result) ]
+
+let error_response ~id msg =
+  envelope ~id [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let handle_request t req =
+  let id = Option.value (Json.member "id" req) ~default:Json.Null in
+  match Json.member "op" req with
+  | Some (Json.Str op) -> (
+      Mutex.protect t.mutex (fun () -> t.requests <- t.requests + 1);
+      Telemetry.add t.telemetry "serve/requests";
+      match
+        Telemetry.span t.telemetry ("serve/op/" ^ op) (fun () ->
+            dispatch t ~op req)
+      with
+      | result -> ok_response ~id result
+      | exception Failure msg -> error_response ~id msg
+      | exception Invalid_argument msg -> error_response ~id msg
+      | exception Not_found -> error_response ~id "not found")
+  | Some _ -> error_response ~id "\"op\" must be a string"
+  | None -> error_response ~id "request has no \"op\" field"
+
+let handle_line t line =
+  match Json.parse_line line with
+  | Ok None -> None (* blank keep-alive line: no response *)
+  | Ok (Some req) -> Some (handle_request t req)
+  | Error msg -> Some (error_response ~id:Json.Null msg)
+
+(* Order-preserving: response [i] answers request line [i] (blank lines
+   produce no response).  Requests run concurrently on the pool — each
+   handler is internally serial, so no handler re-enters the pool. *)
+let handle_batch t lines =
+  List.filter_map Fun.id
+    (Dvf_util.Parallel.Pool.map_list t.pool (handle_line t) lines)

@@ -1,0 +1,109 @@
+(** The query engine behind [dvf serve] / [dvf query].
+
+    The paper's methodology captures one trace per application and
+    reuses it for every experiment; a {!t} takes that to serving scale:
+    it warms every workload's capture once (optionally through a
+    persistent {!Memtrace.Tape_store}, so even the first warm-up of a
+    process can skip kernel execution) and then answers any number of
+    verify / levels / dvf / sweep queries from memory.
+
+    This module is protocol and computation only.  The transport —
+    stdin/stdout or a Unix socket — lives in the CLI, which reads raw
+    request lines and writes back exactly the response lines
+    {!handle_line}/{!handle_batch} return.
+
+    {2 Protocol}
+
+    One JSON document per line ({!Dvf_util.Json.parse_line}).  Request:
+    [{"id": <any>, "op": "<name>", ...params}].  Response (compact, one
+    line): [{"schema": "dvf-query", "schema_version": 1, "id": <echoed>,
+    "ok": true, "result": {...}}], or [{..., "ok": false, "error":
+    "<message>"}].  Ops:
+
+    - [ping] — liveness; result [{"pong": true}].
+    - [workloads] — names being served.
+    - [verify] — Fig. 4 rows over the verification cache set; optional
+      ["workload"] restricts to one workload (default: all).  Rows are
+      bit-identical to [dvf verify].
+    - [levels] — per-level hierarchy traffic rows; optional ["workload"],
+      optional ["levels"] (default 2).
+    - [dvf] — DVF profile rows over the profiling cache set (analytic,
+      like [dvf profile]); optional ["workload"].
+    - [sweep] — capacity sweep for one required ["workload"]; optional
+      ["capacities"] (byte sizes) and ["simulate"] (default [true],
+      trace-driven totals from the warm capture).
+    - [stats] — request count, workload count, warm capture count, store
+      directory.
+
+    Malformed requests and handler failures produce [ok: false]
+    responses, never a crash of the serving process. *)
+
+type t
+
+val schema : string
+val schema_version : int
+
+val create :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?store:Memtrace.Tape_store.t ->
+  ?jobs:int ->
+  ?workloads:Workload.t list ->
+  unit ->
+  t
+(** A serving context over [workloads] (default: all registered).  Owns
+    a domain pool of [jobs] workers (default
+    {!Dvf_util.Parallel.recommended_jobs}) used to warm captures and to
+    run concurrent requests; individual request handlers are internally
+    serial.  [store] routes capture through a persistent tape store. *)
+
+val warm : t -> unit
+(** Capture (or load from the store) every served workload's
+    verification tape, in parallel over the pool.  Optional — a request
+    for a workload not yet warm captures it on demand — but a warmed
+    server answers its first real query at replay speed.  Telemetry:
+    span ["serve/warm"]. *)
+
+val shutdown : t -> unit
+(** Shut the domain pool down.  The context must not be used after. *)
+
+val workload_names : t -> string list
+val warm_count : t -> int
+
+val handle_line : t -> string -> string option
+(** Process one raw request line; the result is the raw response line
+    (no trailing newline), or [None] for a blank keep-alive line.
+    Telemetry per request: ["serve/requests"] counter and a
+    ["serve/op/<op>"] span. *)
+
+val handle_batch : t -> string list -> string list
+(** Process a batch of request lines concurrently on the pool,
+    preserving order: response [i] answers the [i]-th non-blank line.
+    Results are identical to mapping {!handle_line} serially. *)
+
+(** {2 Row codecs}
+
+    JSON encodings of the row types served in results.  Floats are
+    emitted as [%.17g] (exact round-trip), so decoding rows and
+    rendering them through [Verify.to_table] / [Verify.to_level_table] /
+    [Profile.to_table] / [Experiments.cache_sweep_table] reproduces the
+    one-shot CLI tables byte for byte — [dvf query]'s default output
+    mode, and what the end-to-end tests assert.  The [*_of_json] and
+    [*_of_result] decoders raise [Failure] on malformed input. *)
+
+val config_to_json : Cachesim.Config.t -> Dvf_util.Json.t
+val config_of_json : Dvf_util.Json.t -> Cachesim.Config.t
+val verify_row_to_json : Verify.row -> Dvf_util.Json.t
+val verify_row_of_json : Dvf_util.Json.t -> Verify.row
+val level_row_to_json : Verify.level_row -> Dvf_util.Json.t
+val level_row_of_json : Dvf_util.Json.t -> Verify.level_row
+val profile_row_to_json : Profile.row -> Dvf_util.Json.t
+val profile_row_of_json : Dvf_util.Json.t -> Profile.row
+val sweep_row_to_json : Experiments.sweep_row -> Dvf_util.Json.t
+val sweep_row_of_json : Dvf_util.Json.t -> Experiments.sweep_row
+
+val verify_rows_of_result : Dvf_util.Json.t -> Verify.row list
+(** Decode the ["rows"] of a [verify] response's [result]. *)
+
+val level_rows_of_result : Dvf_util.Json.t -> Verify.level_row list
+val profile_rows_of_result : Dvf_util.Json.t -> Profile.row list
+val sweep_rows_of_result : Dvf_util.Json.t -> Experiments.sweep_row list

@@ -107,7 +107,7 @@ type capture = {
   tape : Memtrace.Tape.t;
 }
 
-let capture ?(telemetry = Telemetry.null) (instance : Workload.instance) =
+let capture_fresh ~telemetry (instance : Workload.instance) =
   Telemetry.span telemetry
     (Printf.sprintf "verify/%s/capture" instance.Workload.workload)
   @@ fun () ->
@@ -132,6 +132,33 @@ let capture ?(telemetry = Telemetry.null) (instance : Workload.instance) =
       "tape/allocated_bytes";
     Telemetry.time_ns telemetry "verify/capture_total" capture_ns
   end;
+  (registry, tape)
+
+(* The workloads take no per-run seed (instances are deterministic given
+   their size label), so the store key's seed slot is fixed at 0 until a
+   seeded workload family needs it. *)
+let store_key (instance : Workload.instance) =
+  {
+    Memtrace.Tape_store.workload = instance.Workload.workload;
+    size = instance.Workload.label;
+    seed = 0;
+  }
+
+let capture ?(telemetry = Telemetry.null) ?store
+    (instance : Workload.instance) =
+  let registry, tape =
+    match store with
+    | None -> capture_fresh ~telemetry instance
+    | Some st ->
+        (* On a store hit the kernel never runs and no tape events are
+           captured: [tape/capture_events] stays 0 while [store/hits]
+           advances — the pair CI asserts on a warm store. *)
+        let registry, tape, _hit =
+          Memtrace.Tape_store.find_or_capture st (store_key instance)
+            ~capture:(fun () -> capture_fresh ~telemetry instance)
+        in
+        (registry, tape)
+  in
   { instance; registry; tape }
 
 let replay_capture ?(telemetry = Telemetry.null) ~cache cap =
@@ -305,7 +332,12 @@ let finalize_metrics telemetry =
   end
 
 let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
-    ?workloads () =
+    ?store ?workloads () =
+  if strategy = Retrace && store <> None then
+    invalid_arg
+      "Verify.run_all: the retrace strategy re-executes the kernel per cache \
+       and never captures a tape, so a tape store cannot help it; use \
+       replay, fused or sharded";
   let workloads =
     match workloads with Some ws -> ws | None -> Workloads.all ()
   in
@@ -338,16 +370,16 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
                 (fun cache -> verify_instance ~telemetry ~cache instance)
                 caches
           | Replay ->
-              let cap = capture ~telemetry instance in
+              let cap = capture ~telemetry ?store instance in
               List.concat_map
                 (fun cache -> replay_capture ~telemetry ~cache cap)
                 caches
           | Fused ->
               replay_capture_fused ~telemetry ~caches
-                (capture ~telemetry instance)
+                (capture ~telemetry ?store instance)
           | Sharded ->
               replay_capture_sharded ~telemetry ~caches ~shards
-                (capture ~telemetry instance))
+                (capture ~telemetry ?store instance))
         workloads
     else
       Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
@@ -378,7 +410,7 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
                  capture, so concurrent replays of one tape are safe. *)
               let captures =
                 Dvf_util.Parallel.Pool.map_list pool
-                  (fun instance -> capture ~telemetry instance)
+                  (fun instance -> capture ~telemetry ?store instance)
                   instances
               in
               let pairs =
@@ -395,7 +427,7 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
                 (Dvf_util.Parallel.Pool.map_list pool
                    (fun instance ->
                      replay_capture_fused ~telemetry ~caches
-                       (capture ~telemetry instance))
+                       (capture ~telemetry ?store instance))
                    instances)
           | Sharded ->
               (* Captures fan out over the pool first; then each capture's
@@ -403,7 +435,7 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
                  fan-out runs from this orchestrating domain). *)
               let captures =
                 Dvf_util.Parallel.Pool.map_list pool
-                  (fun instance -> capture ~telemetry instance)
+                  (fun instance -> capture ~telemetry ?store instance)
                   instances
               in
               List.concat_map
@@ -480,8 +512,24 @@ let record_level_counters telemetry ~configs stats_list =
           (name "hierarchy/l%d/writebacks"))
       (List.combine configs stats_list)
 
+(* One capture's per-level rows over every verification base geometry,
+   serially — the [Replay]/[Fused] unit of work in [run_all_levels] and
+   the whole job for a [Serve] levels request. *)
+let capture_level_rows ?(telemetry = Telemetry.null) ~levels cap =
+  List.concat_map
+    (fun base ->
+      let configs = Cachesim.Config.hierarchy_of ~levels base in
+      let h = Cachesim.Hierarchy.create configs in
+      Memtrace.Tape.replay_hierarchies cap.tape [| h |];
+      Cachesim.Hierarchy.flush h;
+      let stats_list = hierarchy_level_stats h in
+      record_level_counters telemetry ~configs stats_list;
+      level_rows_of_stats ~registry:cap.registry cap.instance ~base ~configs
+        stats_list)
+    Cachesim.Config.verification_set
+
 let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
-    ?shards ?workloads ~levels () =
+    ?shards ?store ?workloads ~levels () =
   if strategy = Retrace then
     invalid_arg
       "Verify.run_all_levels: the retrace strategy re-executes the kernel \
@@ -504,54 +552,50 @@ let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
   in
   let bases = Cachesim.Config.verification_set in
   let process ?pool cap =
-    List.concat_map
-      (fun base ->
-        let configs = Cachesim.Config.hierarchy_of ~levels base in
-        let stats_list =
-          match strategy with
-          | Retrace -> assert false (* rejected above *)
-          | Replay | Fused ->
+    match strategy with
+    | Retrace -> assert false (* rejected above *)
+    | Replay | Fused -> capture_level_rows ~telemetry ~levels cap
+    | Sharded ->
+        List.concat_map
+          (fun base ->
+            let configs = Cachesim.Config.hierarchy_of ~levels base in
+            let run_shard shard =
               let h = Cachesim.Hierarchy.create configs in
-              Memtrace.Tape.replay_hierarchies cap.tape [| h |];
+              Memtrace.Tape.replay_hierarchies_sharded cap.tape [| h |]
+                ~shards ~shard;
               Cachesim.Hierarchy.flush h;
               hierarchy_level_stats h
-          | Sharded ->
-              let run_shard shard =
-                let h = Cachesim.Hierarchy.create configs in
-                Memtrace.Tape.replay_hierarchies_sharded cap.tape [| h |]
-                  ~shards ~shard;
-                Cachesim.Hierarchy.flush h;
-                hierarchy_level_stats h
-              in
-              let shard_ids = List.init shards (fun s -> s) in
-              let per_shard =
-                match pool with
-                | Some pool ->
-                    Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
-                | None -> List.map run_shard shard_ids
-              in
+            in
+            let shard_ids = List.init shards (fun s -> s) in
+            let per_shard =
+              match pool with
+              | Some pool ->
+                  Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
+              | None -> List.map run_shard shard_ids
+            in
+            let stats_list =
               List.init levels (fun li ->
                   Cachesim.Stats.sum
                     (List.map (fun stats -> List.nth stats li) per_shard))
-        in
-        record_level_counters telemetry ~configs stats_list;
-        level_rows_of_stats ~registry:cap.registry cap.instance ~base ~configs
-          stats_list)
-      bases
+            in
+            record_level_counters telemetry ~configs stats_list;
+            level_rows_of_stats ~registry:cap.registry cap.instance ~base
+              ~configs stats_list)
+          bases
   in
   let t0 = Telemetry.now_ns telemetry in
   let rows =
     if jobs <= 1 then
       List.concat_map
         (fun workload ->
-          process (capture ~telemetry (Workloads.verification_instance workload)))
+          process (capture ~telemetry ?store (Workloads.verification_instance workload)))
         workloads
     else
       Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
           let captures =
             Dvf_util.Parallel.Pool.map_list pool
               (fun workload ->
-                capture ~telemetry (Workloads.verification_instance workload))
+                capture ~telemetry ?store (Workloads.verification_instance workload))
               workloads
           in
           match strategy with

@@ -62,14 +62,27 @@ type capture = {
     {!capture} returns, the tape is never mutated again, so one capture
     may be replayed from several domains concurrently. *)
 
+val store_key : Workload.instance -> Memtrace.Tape_store.key
+(** The tape-store key for an instance: its registry name and size
+    label, seed 0 (the workloads take no per-run seed). *)
+
 val capture :
-  ?telemetry:Dvf_util.Telemetry.t -> Workload.instance -> capture
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?store:Memtrace.Tape_store.t ->
+  Workload.instance -> capture
 (** Execute the workload kernel once, recording its reference stream into
     a fresh tape.  Telemetry: span ["verify/<workload>/capture"], the
     ["recorder/*"] counters, ["tape/capture_events"] and
     ["tape/allocated_bytes"] counters, and the ["verify/capture_total"]
     accumulator — kernel execution time is now separable from simulation
-    time, which the old ["verify/trace_total"] lumped together. *)
+    time, which the old ["verify/trace_total"] lumped together.
+
+    With [store], the capture goes through
+    {!Memtrace.Tape_store.find_or_capture} under {!store_key}: a warm
+    store skips kernel execution and tracing entirely (the capture
+    telemetry above stays silent — ["tape/capture_events"] does not
+    advance — while the ["store/*"] counters do), a cold store captures
+    as usual and persists the tape for the next process. *)
 
 val replay_capture :
   ?telemetry:Dvf_util.Telemetry.t ->
@@ -115,12 +128,16 @@ val run_all :
   ?telemetry:Dvf_util.Telemetry.t ->
   ?strategy:strategy ->
   ?shards:int ->
+  ?store:Memtrace.Tape_store.t ->
   ?workloads:Workload.t list -> unit -> row list
 (** Fig. 4: every workload (Table V sizes) against both verification cache
     configurations.  [workloads] defaults to everything registered;
     [strategy] defaults to {!Replay}.  [shards] (used by {!Sharded} only;
     default: largest power of two <= [jobs]) is the set-partition width;
-    rows do not depend on it.
+    rows do not depend on it.  [store] routes every capture through a
+    persistent tape store (see {!capture}); rows are bit-identical with
+    or without it.  Raises [Invalid_argument] when [store] is combined
+    with {!Retrace}, which never captures.
 
     [jobs] (default [Domain.recommended_domain_count ()]) spreads the
     independent jobs over that many domains; each job owns its private
@@ -158,11 +175,19 @@ type level_row = {
   l_writebacks : float;
 }
 
+val capture_level_rows :
+  ?telemetry:Dvf_util.Telemetry.t -> levels:int -> capture -> level_row list
+(** One capture's per-level rows over every verification base geometry,
+    serially (the {!Replay} unit of work in {!run_all_levels}, and what a
+    [dvf serve] levels request runs against its warm capture).  Rows are
+    bit-identical to the corresponding slice of {!run_all_levels}. *)
+
 val run_all_levels :
   ?jobs:int ->
   ?telemetry:Dvf_util.Telemetry.t ->
   ?strategy:strategy ->
   ?shards:int ->
+  ?store:Memtrace.Tape_store.t ->
   ?workloads:Workload.t list ->
   levels:int -> unit -> level_row list
 (** Every workload against both verification geometries extended to

@@ -64,3 +64,45 @@ let owner_name t id =
   match find_id t id with
   | Some r -> r.name
   | None -> Printf.sprintf "<anon:%d>" id
+
+(* Persistence hooks for [Tape_io]: a registry is fully determined by its
+   layout parameters plus the ordered region list, so exporting those and
+   replaying them through [restore] reproduces an indistinguishable
+   registry — including [next_base]/[next_id], so further registrations
+   land exactly where they would have on the original. *)
+
+let export t =
+  ( t.page,
+    t.stagger,
+    List.rev_map
+      (fun r -> (r.id, r.name, r.base, r.bytes, r.elem_size))
+      t.ordered )
+
+let restore ~page ~stagger entries =
+  let t = create ~page ~stagger () in
+  List.iter
+    (fun (id, name, base, bytes, elem_size) ->
+      if id <> t.next_id then
+        invalid_arg
+          (Printf.sprintf "Region.restore: region %s has id %d, expected %d"
+             name id t.next_id);
+      if elem_size <= 0 then
+        invalid_arg ("Region.restore: non-positive element size for " ^ name);
+      if bytes < 0 then
+        invalid_arg ("Region.restore: negative extent for " ^ name);
+      if base <> t.next_base + (t.next_id * t.stagger) then
+        invalid_arg
+          (Printf.sprintf
+             "Region.restore: region %s base %d does not match layout \
+              (expected %d)"
+             name base
+             (t.next_base + (t.next_id * t.stagger)));
+      if Hashtbl.mem t.by_name name then
+        invalid_arg ("Region.restore: duplicate region name " ^ name);
+      let r = { id; name; base; bytes; elem_size } in
+      t.next_id <- t.next_id + 1;
+      t.next_base <- round_up (base + max bytes 1) t.page + t.page;
+      t.ordered <- r :: t.ordered;
+      Hashtbl.add t.by_name name r)
+    entries;
+  t

@@ -45,3 +45,24 @@ val elem_addr : region -> int -> int
 
 val owner_name : t -> int -> string
 (** Name for an owner id, or ["<anon:ID>"] if unknown. *)
+
+(** {2 Persistence}
+
+    Hooks for {!Tape_io}: a registry is fully determined by its layout
+    parameters plus the ordered region list. *)
+
+val export : t -> int * int * (int * string * int * int * int) list
+(** [export t] is [(page, stagger, entries)] with one
+    [(id, name, base, bytes, elem_size)] entry per region in
+    registration order. *)
+
+val restore :
+  page:int -> stagger:int -> (int * string * int * int * int) list -> t
+(** Rebuild a registry from {!export}ed data.  The result is
+    indistinguishable from the original — ids, bases and the internal
+    allocation cursor all match, so further {!register} calls land
+    exactly where they would have.  Raises [Invalid_argument] when an
+    entry is inconsistent with the deterministic layout (wrong id
+    sequence, base not matching the page/stagger rule, duplicate name),
+    so a corrupt or hand-edited tape file cannot smuggle in an
+    impossible layout. *)

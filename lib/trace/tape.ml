@@ -121,22 +121,57 @@ let batch_sink t : Recorder.batch_sink = fun events n -> append_batch t events n
 
 (* Chunks in capture order: [filled] is most-recent-first, then the
    partial head (skipped when empty, so replay never dispatches an empty
-   batch). *)
-let iter_chunks t f =
-  List.iter f (List.rev t.filled);
-  if t.head.len > 0 then f t.head
+   batch).  Every walk over the tape — replay in all its variants, raw
+   iteration, decoding, and [Tape_io.save] — goes through this one fold,
+   handing out the chunk arrays themselves (no copying, no decoding). *)
+let fold_chunks t ~init ~f =
+  let acc =
+    List.fold_left
+      (fun acc c -> f acc ~addrs:c.addrs ~metas:c.metas ~len:c.len)
+      init (List.rev t.filled)
+  in
+  if t.head.len > 0 then
+    f acc ~addrs:t.head.addrs ~metas:t.head.metas ~len:t.head.len
+  else acc
+
+let iter_raw t f =
+  fold_chunks t ~init:() ~f:(fun () ~addrs ~metas ~len -> f ~addrs ~metas ~len)
+
+(* Adopt a whole pre-built chunk (the [Tape_io.load] path: words straight
+   off disk, no per-event re-validation — the file's checksum already
+   vouches for them). *)
+let append_raw_chunk t ~addrs ~metas ~len =
+  if Array.length addrs <> t.chunk_capacity
+     || Array.length metas <> t.chunk_capacity then
+    invalid_arg
+      (Printf.sprintf
+         "Tape.append_raw_chunk: arrays must hold chunk_events=%d words \
+          (got %d/%d)"
+         t.chunk_capacity (Array.length addrs) (Array.length metas));
+  if len < 0 || len > t.chunk_capacity then
+    invalid_arg
+      (Printf.sprintf "Tape.append_raw_chunk: bad length %d (capacity %d)"
+         len t.chunk_capacity);
+  if t.head.len > 0 then
+    invalid_arg
+      "Tape.append_raw_chunk: tape ends in a partial chunk; raw chunks can \
+       only follow full ones";
+  if len = t.chunk_capacity then begin
+    t.filled <- { addrs; metas; len } :: t.filled;
+    t.filled_count <- t.filled_count + 1
+  end
+  else if len > 0 then t.head <- { addrs; metas; len };
+  t.total <- t.total + len
 
 let replay t cache =
-  iter_chunks t (fun c ->
-      Cachesim.Cache.access_batch cache ~addrs:c.addrs ~metas:c.metas ~pos:0
-        ~len:c.len)
+  iter_raw t (fun ~addrs ~metas ~len ->
+      Cachesim.Cache.access_batch cache ~addrs ~metas ~pos:0 ~len)
 
 let replay_fused t caches =
-  iter_chunks t (fun c ->
+  iter_raw t (fun ~addrs ~metas ~len ->
       Array.iter
         (fun cache ->
-          Cachesim.Cache.access_batch cache ~addrs:c.addrs ~metas:c.metas
-            ~pos:0 ~len:c.len)
+          Cachesim.Cache.access_batch cache ~addrs ~metas ~pos:0 ~len)
         caches)
 
 (* Set-sharded fused walk: one pass over the tape, each cache touched
@@ -147,37 +182,33 @@ let replay_fused t caches =
    separate domains over per-shard cache replicas — reproduces
    [replay_fused]'s statistics bit for bit. *)
 let replay_fused_sharded t caches ~shards ~shard =
-  iter_chunks t (fun c ->
+  iter_raw t (fun ~addrs ~metas ~len ->
       Array.iter
         (fun cache ->
-          Cachesim.Cache.access_batch_sharded cache ~addrs:c.addrs
-            ~metas:c.metas ~pos:0 ~len:c.len ~shards ~shard)
+          Cachesim.Cache.access_batch_sharded cache ~addrs ~metas ~pos:0 ~len
+            ~shards ~shard)
         caches)
 
 let replay_hierarchies t hierarchies =
-  iter_chunks t (fun c ->
+  iter_raw t (fun ~addrs ~metas ~len ->
       Array.iter
         (fun h ->
-          Cachesim.Hierarchy.access_batch h ~addrs:c.addrs ~metas:c.metas
-            ~pos:0 ~len:c.len)
+          Cachesim.Hierarchy.access_batch h ~addrs ~metas ~pos:0 ~len)
         hierarchies)
 
 let replay_hierarchies_sharded t hierarchies ~shards ~shard =
-  iter_chunks t (fun c ->
+  iter_raw t (fun ~addrs ~metas ~len ->
       Array.iter
         (fun h ->
-          Cachesim.Hierarchy.access_batch_sharded h ~addrs:c.addrs
-            ~metas:c.metas ~pos:0 ~len:c.len ~shards ~shard)
+          Cachesim.Hierarchy.access_batch_sharded h ~addrs ~metas ~pos:0 ~len
+            ~shards ~shard)
         hierarchies)
 
-let iter_raw t f =
-  iter_chunks t (fun c -> f ~addrs:c.addrs ~metas:c.metas ~len:c.len)
-
 let iter t f =
-  iter_chunks t (fun c ->
-      for i = 0 to c.len - 1 do
-        let owner, write, size = Cachesim.Cache.unpack_access c.metas.(i) in
-        f { Event.owner; write; addr = c.addrs.(i); size }
+  iter_raw t (fun ~addrs ~metas ~len ->
+      for i = 0 to len - 1 do
+        let owner, write, size = Cachesim.Cache.unpack_access metas.(i) in
+        f { Event.owner; write; addr = addrs.(i); size }
       done)
 
 let to_list t =

@@ -102,6 +102,17 @@ val allocated_bytes : t -> int
     chunk at full capacity — [allocated_bytes t / max 1 (length t)]
     is the real amortized footprint per event). *)
 
+val fold_chunks :
+  t ->
+  init:'a ->
+  f:('a -> addrs:int array -> metas:int array -> len:int -> 'a) ->
+  'a
+(** Fold over the raw columnar chunks in capture order, without decoding
+    or copying — indices [0 .. len-1] of [addrs]/[metas] are live.  The
+    arrays are the tape's own storage: callers must not mutate them.
+    Every tape walk (all the [replay*] variants, {!iter_raw}, {!iter},
+    and {!Tape_io.save}) is built on this single fold. *)
+
 val iter_raw :
   t -> (addrs:int array -> metas:int array -> len:int -> unit) -> unit
 (** Visit the raw columnar chunks in capture order, without decoding —
@@ -109,6 +120,18 @@ val iter_raw :
     the tape's own storage: callers must not mutate them.  This is the
     hook for custom replay kernels (the bench harness' sharded scaling
     measurements). *)
+
+val append_raw_chunk : t -> addrs:int array -> metas:int array -> len:int -> unit
+(** Adopt a whole pre-built chunk without per-event validation — the
+    {!Tape_io} load path, where the file checksum already vouches for
+    the words.  [addrs] and [metas] must both be exactly
+    [chunk_events t] long (the tape takes ownership of the arrays; the
+    caller must not reuse them) and the tape must currently end on a
+    chunk boundary, i.e. only full chunks may have been appended before
+    — a full chunk ([len = chunk_events t]) is retired into the filled
+    list, a partial one becomes the head.  Raises [Invalid_argument] on
+    wrong array lengths, a length outside [0 .. chunk_events t], or a
+    tape whose head is already partially filled. *)
 
 val iter : t -> (Event.t -> unit) -> unit
 (** Decode and visit every event in capture order. *)

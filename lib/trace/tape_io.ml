@@ -1,0 +1,249 @@
+(* Binary on-disk tape format, version 1.  All multi-byte fields are
+   little-endian and fixed-width:
+
+     offset  size  field
+     0       8     magic "dvftape\n"
+     8       4     u32 format version (= 1)
+     12      4     u32 chunk capacity in events
+     16      8     i64 total event count
+     24      8     i64 payload checksum (see below)
+     32      ...   provenance: str workload, str size, i64 seed
+     ...     ...   region table: u32 page, u32 stagger, u32 count,
+                   then per region: u32 id, str name, i64 base,
+                   i64 bytes, u32 elem_size
+     ...     ...   chunks, in capture order: u32 len,
+                   len x i64 addrs, len x i64 metas
+
+   where [str] is a u32 byte length followed by the raw bytes.  Every
+   chunk is full except possibly the last (the tape invariant), and the
+   loader enforces exactly that, so the chunk count is implied by the
+   event count.  The checksum is an FNV-1a-shaped mix over the event
+   words in capture order (addr then meta per event), computed with
+   native 63-bit integer arithmetic — deterministic on any 64-bit
+   platform, which the 16 B/event format already assumes.  Because the
+   checksum vouches for the payload, [load] rebuilds chunks with
+   [Tape.append_raw_chunk] and performs no per-event validation. *)
+
+let magic = "dvftape\n"
+let format_version = 1
+
+type meta = { workload : string; size : string; seed : int }
+
+type error =
+  | Bad_magic
+  | Version_mismatch of int
+  | Corrupt of string
+  | Io_error of string
+
+let error_to_string = function
+  | Bad_magic -> "not a dvf tape file (bad magic)"
+  | Version_mismatch v ->
+      Printf.sprintf "tape format version %d (this build reads version %d)" v
+        format_version
+  | Corrupt msg -> "corrupt tape file: " ^ msg
+  | Io_error msg -> "tape i/o error: " ^ msg
+
+(* FNV-1a shape over native words; multiplication wraps mod 2^63.  Also
+   the hash behind [Tape_store] content addressing. *)
+let hash_init = 0x3243f6a8885a308
+let hash_prime = 0x100000001b3
+let hash_mix h w = (h lxor w) * hash_prime
+
+let hash_string s =
+  String.fold_left (fun h c -> hash_mix h (Char.code c)) hash_init s
+
+let checksum tape =
+  Tape.fold_chunks tape ~init:hash_init ~f:(fun h ~addrs ~metas ~len ->
+      let h = ref h in
+      for i = 0 to len - 1 do
+        h := hash_mix (hash_mix !h addrs.(i)) metas.(i)
+      done;
+      !h)
+
+(* Sanity bounds: a header field past these is corruption, not a big
+   tape.  (A chunk capacity of 2^30 events would be a 16 GiB chunk.) *)
+let max_chunk_events = 1 lsl 30
+let max_string_len = 1 lsl 20
+let max_regions = 1 lsl 20
+
+(* {2 Writing} *)
+
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let write_tape oc ~meta ~registry ~tape =
+  let header = Buffer.create 512 in
+  Buffer.add_string header magic;
+  add_u32 header format_version;
+  add_u32 header (Tape.chunk_events tape);
+  add_i64 header (Tape.length tape);
+  add_i64 header (checksum tape);
+  add_str header meta.workload;
+  add_str header meta.size;
+  add_i64 header meta.seed;
+  let page, stagger, entries = Region.export registry in
+  add_u32 header page;
+  add_u32 header stagger;
+  add_u32 header (List.length entries);
+  List.iter
+    (fun (id, name, base, bytes, elem_size) ->
+      add_u32 header id;
+      add_str header name;
+      add_i64 header base;
+      add_i64 header bytes;
+      add_u32 header elem_size)
+    entries;
+  Buffer.output_buffer oc header;
+  let scratch = Bytes.create (8 * Tape.chunk_events tape) in
+  let lenbuf = Bytes.create 4 in
+  Tape.fold_chunks tape ~init:() ~f:(fun () ~addrs ~metas ~len ->
+      Bytes.set_int32_le lenbuf 0 (Int32.of_int len);
+      output_bytes oc lenbuf;
+      for i = 0 to len - 1 do
+        Bytes.set_int64_le scratch (8 * i) (Int64.of_int addrs.(i))
+      done;
+      output oc scratch 0 (8 * len);
+      for i = 0 to len - 1 do
+        Bytes.set_int64_le scratch (8 * i) (Int64.of_int metas.(i))
+      done;
+      output oc scratch 0 (8 * len))
+
+let save ~path ~meta ~registry ~tape =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     write_tape oc ~meta ~registry ~tape;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* {2 Reading} *)
+
+exception Bad_file of error
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bad_file (Corrupt m))) fmt
+
+let read_exact ic b pos len =
+  try really_input ic b pos len
+  with End_of_file -> corrupt "truncated file"
+
+type reader = { ic : in_channel; word : Bytes.t }
+
+let make_reader ic = { ic; word = Bytes.create 8 }
+
+let read_u32 r =
+  read_exact r.ic r.word 0 4;
+  Int32.to_int (Bytes.get_int32_le r.word 0) land 0xFFFFFFFF
+
+let read_i64 r =
+  read_exact r.ic r.word 0 8;
+  let v = Bytes.get_int64_le r.word 0 in
+  if v < Int64.of_int min_int || v > Int64.of_int max_int then
+    corrupt "64-bit field out of native int range";
+  Int64.to_int v
+
+let read_str r =
+  let len = read_u32 r in
+  if len > max_string_len then corrupt "string length %d out of range" len;
+  let b = Bytes.create len in
+  read_exact r.ic b 0 len;
+  Bytes.unsafe_to_string b
+
+let read_magic_version r =
+  let m = Bytes.create (String.length magic) in
+  (try really_input r.ic m 0 (String.length magic)
+   with End_of_file -> raise (Bad_file Bad_magic));
+  if Bytes.to_string m <> magic then raise (Bad_file Bad_magic);
+  let v = read_u32 r in
+  if v <> format_version then raise (Bad_file (Version_mismatch v))
+
+let read_header r =
+  read_magic_version r;
+  let chunk_events = read_u32 r in
+  if chunk_events <= 0 || chunk_events > max_chunk_events then
+    corrupt "chunk capacity %d out of range" chunk_events;
+  let total = read_i64 r in
+  if total < 0 then corrupt "negative event count";
+  let stored_checksum = read_i64 r in
+  let workload = read_str r in
+  let size = read_str r in
+  let seed = read_i64 r in
+  (chunk_events, total, stored_checksum, { workload; size; seed })
+
+let read_regions r =
+  let page = read_u32 r in
+  let stagger = read_u32 r in
+  let count = read_u32 r in
+  if count > max_regions then corrupt "region count %d out of range" count;
+  let entries =
+    List.init count (fun _ ->
+        let id = read_u32 r in
+        let name = read_str r in
+        let base = read_i64 r in
+        let bytes = read_i64 r in
+        let elem_size = read_u32 r in
+        (id, name, base, bytes, elem_size))
+  in
+  try Region.restore ~page ~stagger entries
+  with Invalid_argument msg -> corrupt "%s" msg
+
+let read_chunks r ~chunk_events ~total ~stored_checksum =
+  let tape = Tape.create ~chunk_events () in
+  let scratch = Bytes.create (8 * chunk_events) in
+  let hash = ref hash_init in
+  let remaining = ref total in
+  while !remaining > 0 do
+    let expected = min !remaining chunk_events in
+    let len = read_u32 r in
+    if len <> expected then
+      corrupt "chunk length %d, expected %d" len expected;
+    let read_words () =
+      let a = Array.make chunk_events 0 in
+      read_exact r.ic scratch 0 (8 * len);
+      for i = 0 to len - 1 do
+        a.(i) <- Int64.to_int (Bytes.get_int64_le scratch (8 * i))
+      done;
+      a
+    in
+    let addrs = read_words () in
+    let metas = read_words () in
+    for i = 0 to len - 1 do
+      hash := hash_mix (hash_mix !hash addrs.(i)) metas.(i)
+    done;
+    Tape.append_raw_chunk tape ~addrs ~metas ~len;
+    remaining := !remaining - len
+  done;
+  if !hash <> stored_checksum then corrupt "checksum mismatch";
+  (match input_char r.ic with
+  | _ -> corrupt "trailing garbage after last chunk"
+  | exception End_of_file -> ());
+  tape
+
+let with_file path f =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | ic -> (
+      let finally () = close_in_noerr ic in
+      match Fun.protect ~finally (fun () -> f (make_reader ic)) with
+      | v -> Ok v
+      | exception Bad_file e -> Error e
+      | exception Sys_error msg -> Error (Io_error msg))
+
+let load path =
+  with_file path (fun r ->
+      let chunk_events, total, stored_checksum, meta = read_header r in
+      let registry = read_regions r in
+      let tape = read_chunks r ~chunk_events ~total ~stored_checksum in
+      (meta, registry, tape))
+
+let read_meta path =
+  with_file path (fun r ->
+      let _, _, _, meta = read_header r in
+      meta)

@@ -1,0 +1,57 @@
+(** Persistent on-disk tape files.
+
+    A saved tape is the whole capture artifact: provenance (workload,
+    size label, seed), the simulated address-space layout
+    ({!Region.export}), and the raw 16 B/event columnar chunks, behind a
+    magic/versioned header with a payload checksum.  {!save} then
+    {!load} round-trips bit-identically — the loaded tape replays (fused
+    and sharded, at any job count) to exactly the statistics of the
+    in-memory original — and the load path adopts whole chunks via
+    {!Tape.append_raw_chunk} without per-event re-validation: the
+    checksum vouches for the words.
+
+    All multi-byte fields are little-endian and fixed-width; the format
+    assumes a 64-bit platform (as does the in-memory layout).  The
+    layout is documented at the top of [tape_io.ml] and in DESIGN.md.
+    Any layout change bumps {!format_version}; readers reject other
+    versions with {!Version_mismatch} rather than guessing ([Tape_store]
+    turns that into eviction and recapture). *)
+
+val format_version : int
+(** Version written by {!save} and required by {!load}. *)
+
+type meta = {
+  workload : string;  (** registry name of the traced workload *)
+  size : string;  (** instance size label, e.g. ["n=64 (verification)"] *)
+  seed : int;  (** capture seed (0 when the workload takes none) *)
+}
+
+type error =
+  | Bad_magic  (** not a tape file at all *)
+  | Version_mismatch of int  (** a tape, but written by another version *)
+  | Corrupt of string  (** truncated, checksum mismatch, bad field... *)
+  | Io_error of string  (** could not open/read the file *)
+
+val error_to_string : error -> string
+
+val save :
+  path:string -> meta:meta -> registry:Region.t -> tape:Tape.t -> unit
+(** Write [tape] (with its provenance and registry) to [path]
+    atomically: the bytes go to [path ^ ".tmp"] which is renamed into
+    place, so a crash mid-save never leaves a half-written tape at
+    [path].  Raises [Sys_error] on I/O failure. *)
+
+val load : string -> (meta * Region.t * Tape.t, error) result
+(** Read a tape file back.  Verifies magic, version, structural
+    invariants (chunk lengths, region layout) and the payload checksum;
+    any failure is a structured [Error], never a partial tape. *)
+
+val read_meta : string -> (meta, error) result
+(** Provenance only — reads just the fixed header, not the region table
+    or chunks, so it is cheap enough to call on every store entry. *)
+
+val hash_string : string -> int
+(** Deterministic FNV-1a-shaped 63-bit hash (native-int arithmetic,
+    stable across runs and processes on 64-bit platforms).  Used by
+    {!Tape_store} for content-addressed file names; exposed so tests
+    and external tooling can predict store paths. *)

@@ -1,0 +1,130 @@
+(* Content-addressed on-disk tape cache.  An entry's file name is
+   derived deterministically from its key — sanitized workload name plus
+   a 16-hex-digit hash of (format version, workload, size, seed) — so a
+   lookup is a single path probe, and bumping [Tape_io.format_version]
+   retires every old entry by construction (their names no longer match
+   any key this build computes; [gc] reaps them).  Entries that do exist
+   but fail to load — corrupt, stale version, or provenance that does
+   not match the key (a hash collision or a renamed file) — are evicted,
+   never trusted: the store recaptures instead. *)
+
+module Telemetry = Dvf_util.Telemetry
+
+type t = { dir : string; telemetry : Telemetry.t }
+
+type key = { workload : string; size : string; seed : int }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let create ?(telemetry = Telemetry.null) ~dir () =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Tape_store.create: not a directory: " ^ dir);
+  { dir; telemetry }
+
+let dir t = t.dir
+let suffix = ".dvftape"
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    name
+
+let key_hash key =
+  Tape_io.hash_string
+    (Printf.sprintf "v%d|%s|%s|%d" Tape_io.format_version key.workload
+       key.size key.seed)
+
+let filename key =
+  Printf.sprintf "%s-%016Lx%s" (sanitize key.workload)
+    (Int64.of_int (key_hash key))
+    suffix
+
+let path t key = Filename.concat t.dir (filename key)
+
+let file_bytes path =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let n = in_channel_length ic in
+      close_in_noerr ic;
+      n
+
+let count t name n = Telemetry.add t.telemetry ~n name
+
+let evict t path =
+  (try Sys.remove path with Sys_error _ -> ());
+  count t "store/evictions" 1
+
+let meta_matches (m : Tape_io.meta) key =
+  m.workload = key.workload && m.size = key.size && m.seed = key.seed
+
+(* A missing file is a plain miss; anything else untrustworthy about an
+   existing file gets it evicted so the caller recaptures over it. *)
+let find t key =
+  let p = path t key in
+  if not (Sys.file_exists p) then None
+  else
+    let bytes = file_bytes p in
+    match Tape_io.load p with
+    | Ok (meta, registry, tape) when meta_matches meta key ->
+        count t "store/load_bytes" bytes;
+        Some (registry, tape)
+    | Ok _ | Error (Tape_io.Bad_magic | Version_mismatch _ | Corrupt _) ->
+        evict t p;
+        None
+    | Error (Io_error _) -> None
+
+let save t key ~registry ~tape =
+  let p = path t key in
+  Tape_io.save ~path:p
+    ~meta:{ workload = key.workload; size = key.size; seed = key.seed }
+    ~registry ~tape;
+  count t "store/save_bytes" (file_bytes p)
+
+let find_or_capture t key ~capture =
+  match find t key with
+  | Some (registry, tape) ->
+      count t "store/hits" 1;
+      (registry, tape, true)
+  | None ->
+      count t "store/misses" 1;
+      let registry, tape = capture () in
+      save t key ~registry ~tape;
+      (registry, tape, false)
+
+type entry = {
+  file : string;
+  status :
+    [ `Ok of Tape_io.meta | `Stale of int | `Corrupt of string ];
+}
+
+let list t =
+  Sys.readdir t.dir |> Array.to_list |> List.sort String.compare
+  |> List.filter_map (fun file ->
+         if not (Filename.check_suffix file suffix) then None
+         else
+           let status =
+             match Tape_io.read_meta (Filename.concat t.dir file) with
+             | Ok meta -> `Ok meta
+             | Error (Tape_io.Version_mismatch v) -> `Stale v
+             | Error e -> `Corrupt (Tape_io.error_to_string e)
+           in
+           Some { file; status })
+
+let gc t =
+  List.filter_map
+    (fun e ->
+      match e.status with
+      | `Ok _ -> None
+      | `Stale _ | `Corrupt _ ->
+          evict t (Filename.concat t.dir e.file);
+          Some e.file)
+    (list t)

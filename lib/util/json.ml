@@ -257,6 +257,18 @@ let of_string s =
   | exception Parse_error (at, msg) ->
       Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
 
+(* Line-JSON: one toplevel value per line.  Strips an optional trailing
+   CR (so piping through tools that emit CRLF still parses) and maps a
+   blank line to [None] rather than a parse error, which lets protocol
+   loops skip keep-alive newlines without special-casing. *)
+let parse_line line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.for_all (fun c -> c = ' ' || c = '\t') line then Ok None
+  else Result.map Option.some (of_string line)
+
 let member k = function
   | Obj members -> List.assoc_opt k members
   | _ -> None

@@ -28,7 +28,14 @@ val to_string : ?indent:bool -> t -> string
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document.  Numbers without [.]/[e] that fit in
     an OCaml [int] parse as [Int], everything else as [Float].  The error
-    string names the offending byte offset. *)
+    string names the offending byte offset.  Trailing garbage after the
+    toplevel value is rejected. *)
+
+val parse_line : string -> (t option, string) result
+(** One line of a line-JSON protocol ([dvf serve]/[dvf query]).  Strips
+    an optional trailing ['\r'], maps a blank line to [Ok None], and
+    otherwise parses the line as one complete document ([Ok (Some v)]).
+    Garbage after the value is an error, same as {!of_string}. *)
 
 val member : string -> t -> t option
 (** [member k (Obj kvs)] is the value bound to the first [k]; [None] for

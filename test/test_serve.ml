@@ -1,0 +1,304 @@
+(* Core.Serve and the dvf-query protocol.
+
+   In-process tests drive handle_line/handle_batch directly and check
+   the responses against the one-shot APIs they wrap (bit-identity of
+   decoded rows).  The end-to-end test spawns the real `dvf serve`
+   binary over pipes and asserts the daemon's verify rows equal the
+   library's — the same comparison the CI smoke makes against `dvf
+   verify` output. *)
+
+module J = Dvf_util.Json
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let with_server ?(workloads = [ Core.Workloads.vm; Core.Workloads.mc ]) f =
+  let srv = Core.Serve.create ~jobs:2 ~workloads () in
+  Fun.protect ~finally:(fun () -> Core.Serve.shutdown srv) (fun () -> f srv)
+
+let parse_exn line =
+  match J.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "bad response %S: %s" line e
+
+let field name = function
+  | J.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> Alcotest.failf "response missing %S" name)
+  | _ -> Alcotest.fail "response is not an object"
+
+let respond srv request =
+  match Core.Serve.handle_line srv request with
+  | Some line -> parse_exn line
+  | None -> Alcotest.failf "no response to %S" request
+
+let check_envelope response =
+  Alcotest.(check string) "schema" Core.Serve.schema
+    (match field "schema" response with J.Str s -> s | _ -> "?");
+  Alcotest.(check int) "schema_version" Core.Serve.schema_version
+    (match field "schema_version" response with J.Int i -> i | _ -> -1)
+
+let expect_ok response =
+  check_envelope response;
+  (match field "ok" response with
+  | J.Bool true -> ()
+  | _ -> Alcotest.failf "expected ok response, got %s" (J.to_string response));
+  field "result" response
+
+let expect_error response =
+  check_envelope response;
+  (match field "ok" response with
+  | J.Bool false -> ()
+  | _ -> Alcotest.failf "expected error response, got %s" (J.to_string response));
+  match field "error" response with
+  | J.Str msg -> msg
+  | _ -> Alcotest.fail "error response without message"
+
+(* --- basic protocol --- *)
+
+let test_ping () =
+  with_server (fun srv ->
+      let response = respond srv {|{"id":42,"op":"ping"}|} in
+      Alcotest.(check bool) "id echoed" true (field "id" response = J.Int 42);
+      Alcotest.(check bool) "pong" true
+        (field "pong" (expect_ok response) = J.Bool true))
+
+let test_workloads () =
+  with_server (fun srv ->
+      let result = expect_ok (respond srv {|{"id":1,"op":"workloads"}|}) in
+      match field "workloads" result with
+      | J.List names ->
+          Alcotest.(check (list string))
+            "served names" [ "VM"; "MC" ]
+            (List.map (function J.Str s -> s | _ -> "?") names)
+      | _ -> Alcotest.fail "workloads is not a list")
+
+let test_malformed_line () =
+  with_server (fun srv ->
+      let response = respond srv "this is not json" in
+      let msg = expect_error response in
+      Alcotest.(check bool) "id is null" true (field "id" response = J.Null);
+      Alcotest.(check bool) "message mentions the parse" true
+        (String.length msg > 0))
+
+let test_unknown_op () =
+  with_server (fun srv ->
+      let msg = expect_error (respond srv {|{"id":1,"op":"bogus"}|}) in
+      Alcotest.(check bool) "names the op" true (contains_substring msg "bogus"))
+
+let test_unknown_workload () =
+  with_server (fun srv ->
+      let msg =
+        expect_error (respond srv {|{"id":1,"op":"verify","workload":"nope"}|})
+      in
+      Alcotest.(check bool) "lists served workloads" true
+        (contains_substring msg "VM"))
+
+let test_blank_line_keepalive () =
+  with_server (fun srv ->
+      Alcotest.(check bool) "blank" true (Core.Serve.handle_line srv "" = None);
+      Alcotest.(check bool) "whitespace" true
+        (Core.Serve.handle_line srv "   \r" = None))
+
+(* --- op results equal the one-shot APIs --- *)
+
+let test_verify_rows_bit_identical () =
+  with_server (fun srv ->
+      let result =
+        expect_ok (respond srv {|{"id":1,"op":"verify","workload":"VM"}|})
+      in
+      let served = Core.Serve.verify_rows_of_result result in
+      let direct =
+        Core.Verify.run_all ~jobs:1 ~workloads:[ Core.Workloads.vm ] ()
+      in
+      Alcotest.(check bool) "rows = run_all" true (served = direct))
+
+let test_levels_rows_bit_identical () =
+  with_server (fun srv ->
+      let result =
+        expect_ok
+          (respond srv {|{"id":1,"op":"levels","workload":"VM","levels":2}|})
+      in
+      let served = Core.Serve.level_rows_of_result result in
+      let direct =
+        Core.Verify.run_all_levels ~jobs:1 ~levels:2
+          ~workloads:[ Core.Workloads.vm ] ()
+      in
+      Alcotest.(check bool) "rows = run_all_levels" true (served = direct))
+
+let test_dvf_rows_bit_identical () =
+  with_server (fun srv ->
+      let result =
+        expect_ok (respond srv {|{"id":1,"op":"dvf","workload":"VM"}|})
+      in
+      let served = Core.Serve.profile_rows_of_result result in
+      let direct =
+        Core.Profile.run_all ~workloads:[ Core.Workloads.vm ] ()
+      in
+      Alcotest.(check bool) "rows = Profile.run_all" true (served = direct))
+
+let test_sweep_rows_bit_identical () =
+  with_server (fun srv ->
+      let result =
+        expect_ok
+          (respond srv
+             {|{"id":1,"op":"sweep","workload":"VM","capacities":[8192,65536]}|})
+      in
+      let served = Core.Serve.sweep_rows_of_result result in
+      (* The daemon sweeps its warm verification capture (see the mli),
+         so the reference sweep must run over the same instance. *)
+      let instance = Core.Workloads.verification_instance Core.Workloads.vm in
+      let capture = Core.Verify.capture instance in
+      let direct =
+        Core.Experiments.cache_sweep ~jobs:1 ~capacities:[ 8192; 65536 ]
+          ~simulate:true ~capture instance
+      in
+      Alcotest.(check bool) "rows = cache_sweep" true (served = direct))
+
+let test_sweep_requires_workload () =
+  with_server (fun srv ->
+      let msg = expect_error (respond srv {|{"id":1,"op":"sweep"}|}) in
+      Alcotest.(check bool) "asks for a workload" true
+        (contains_substring msg "workload"))
+
+(* --- batches --- *)
+
+let test_batch_order_and_equivalence () =
+  with_server (fun srv ->
+      let requests =
+        [
+          {|{"id":0,"op":"ping"}|};
+          {|{"id":1,"op":"verify","workload":"VM"}|};
+          {|{"id":2,"op":"workloads"}|};
+          {|{"id":3,"op":"bogus"}|};
+          {|{"id":4,"op":"dvf","workload":"MC"}|};
+        ]
+      in
+      let batched = Core.Serve.handle_batch srv requests in
+      Alcotest.(check int) "five responses" 5 (List.length batched);
+      List.iteri
+        (fun i line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "id %d in order" i)
+            true
+            (field "id" (parse_exn line) = J.Int i))
+        batched;
+      (* A batch is just the serial map, faster. *)
+      let serial = List.filter_map (Core.Serve.handle_line srv) requests in
+      Alcotest.(check (list string)) "batch = serial" serial batched)
+
+(* --- row codecs round-trip --- *)
+
+let test_row_codecs_roundtrip () =
+  let rows = Core.Verify.run_all ~jobs:1 ~workloads:[ Core.Workloads.vm ] () in
+  List.iter
+    (fun row ->
+      let back =
+        Core.Serve.verify_row_of_json (Core.Serve.verify_row_to_json row)
+      in
+      Alcotest.(check bool) "verify row" true (row = back))
+    rows;
+  let profile = Core.Profile.run_all ~workloads:[ Core.Workloads.vm ] () in
+  List.iter
+    (fun row ->
+      let back =
+        Core.Serve.profile_row_of_json (Core.Serve.profile_row_to_json row)
+      in
+      Alcotest.(check bool) "profile row (exact floats)" true (row = back))
+    profile
+
+(* --- Json.parse_line (the protocol's framing helper) --- *)
+
+let test_json_parse_line () =
+  let ok = function Ok v -> v | Error e -> Alcotest.failf "parse_line: %s" e in
+  Alcotest.(check bool) "blank is None" true (ok (J.parse_line "") = None);
+  Alcotest.(check bool) "whitespace is None" true
+    (ok (J.parse_line " \t ") = None);
+  Alcotest.(check bool) "CR stripped" true
+    (ok (J.parse_line "{\"a\":1}\r") = Some (J.Obj [ ("a", J.Int 1) ]));
+  Alcotest.(check bool) "document parsed" true
+    (ok (J.parse_line "[1,2]") = Some (J.List [ J.Int 1; J.Int 2 ]));
+  (match J.parse_line "{\"a\":1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match J.parse_line "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* --- end to end: the real binary over pipes --- *)
+
+let test_end_to_end_binary () =
+  let exe = "../bin/dvf_cli.exe" in
+  if not (Sys.file_exists exe) then
+    Alcotest.skip ()
+  else begin
+    let req_read, req_write = Unix.pipe ~cloexec:false () in
+    let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+    let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "-j"; "1"; "VM" |]
+        req_read resp_write dev_null
+    in
+    Unix.close req_read;
+    Unix.close resp_write;
+    Unix.close dev_null;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close req_write with Unix.Unix_error _ -> ());
+        (try Unix.close resp_read with Unix.Unix_error _ -> ());
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        let requests =
+          {|{"id":1,"op":"ping"}
+{"id":2,"op":"verify","workload":"VM"}
+|}
+        in
+        let len = String.length requests in
+        Alcotest.(check int) "request written" len
+          (Unix.write_substring req_write requests 0 len);
+        (* Closing stdin after the requests lets the daemon exit cleanly
+           once it has answered. *)
+        Unix.close req_write;
+        let ic = Unix.in_channel_of_descr resp_read in
+        let ping = parse_exn (input_line ic) in
+        Alcotest.(check bool) "daemon pong" true
+          (field "pong" (expect_ok ping) = J.Bool true);
+        let verify = parse_exn (input_line ic) in
+        let served = Core.Serve.verify_rows_of_result (expect_ok verify) in
+        let direct =
+          Core.Verify.run_all ~jobs:1 ~workloads:[ Core.Workloads.vm ] ()
+        in
+        Alcotest.(check bool) "daemon rows = library rows" true
+          (served = direct))
+  end
+
+let suite =
+  [
+    Alcotest.test_case "ping" `Quick test_ping;
+    Alcotest.test_case "workloads" `Quick test_workloads;
+    Alcotest.test_case "malformed line" `Quick test_malformed_line;
+    Alcotest.test_case "unknown op" `Quick test_unknown_op;
+    Alcotest.test_case "unknown workload" `Quick test_unknown_workload;
+    Alcotest.test_case "blank line keep-alive" `Quick test_blank_line_keepalive;
+    Alcotest.test_case "verify rows bit-identical" `Quick
+      test_verify_rows_bit_identical;
+    Alcotest.test_case "levels rows bit-identical" `Quick
+      test_levels_rows_bit_identical;
+    Alcotest.test_case "dvf rows bit-identical" `Quick
+      test_dvf_rows_bit_identical;
+    Alcotest.test_case "sweep rows bit-identical" `Quick
+      test_sweep_rows_bit_identical;
+    Alcotest.test_case "sweep requires a workload" `Quick
+      test_sweep_requires_workload;
+    Alcotest.test_case "batch order and equivalence" `Quick
+      test_batch_order_and_equivalence;
+    Alcotest.test_case "row codecs round-trip" `Quick test_row_codecs_roundtrip;
+    Alcotest.test_case "Json.parse_line" `Quick test_json_parse_line;
+    Alcotest.test_case "end-to-end: dvf serve over pipes" `Quick
+      test_end_to_end_binary;
+  ]
