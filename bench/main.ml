@@ -493,7 +493,31 @@ let run_tape ~jobs ~telemetry () =
     (if level_counter "hierarchy/l%d/accesses" 2 = l1_out then "yes" else "NO");
   T.merge ~into:telemetry fork;
   if T.enabled telemetry then
-    T.set_gauge telemetry "bench/hierarchy_levels" (float_of_int levels)
+    T.set_gauge telemetry "bench/hierarchy_levels" (float_of_int levels);
+  (* Timed replay: residency tracking swaps the specialized unsafe loops
+     for a per-event logical clock; measure what that costs against the
+     untimed replay rate above. *)
+  let fork = T.fork telemetry in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Core.Verify.time_row list) =
+    Core.Verify.run_all_timed ~jobs ~telemetry:fork ()
+  in
+  let timed_s = Unix.gettimeofday () -. t0 in
+  let timed_rate =
+    let ns = T.span_ns fork "verify/timed_total" in
+    if Int64.compare ns 0L > 0 then
+      float_of_int (T.counter_value fork "tape/timed_replay_events")
+      /. (Int64.to_float ns /. 1e9)
+    else 0.0
+  in
+  T.merge ~into:telemetry fork;
+  Printf.printf
+    "timed replay (per-line residency): %.3f s wall, %.3g events/sec \
+     (%.2fx of untimed replay)\n"
+    timed_s timed_rate
+    (if replay_rate > 0.0 then timed_rate /. replay_rate else 0.0);
+  if T.enabled telemetry then
+    T.set_gauge telemetry "bench/timed_replay_events_per_sec" timed_rate
 
 (* --- Extensions: sparse CG and cache-component DVF --- *)
 
@@ -926,6 +950,10 @@ let write_bench_snapshot ~command ~jobs ~tape ~store_dir ~wall_clock_sec
         ("levels", gauge_int "bench/hierarchy_levels");
         ("level1_accesses_per_sec", gauge "bench/level1_accesses_per_sec");
         ("level2_accesses_per_sec", gauge "bench/level2_accesses_per_sec");
+        (* Residency-tracking replay (the timed walk behind `dvf verify
+           --time-weighted` and `dvf windows`). *)
+        ( "timed_replay_events_per_sec",
+          gauge "bench/timed_replay_events_per_sec" );
         (* Persistent tape store traffic (zero when --tape-store is off)
            and the serve section's request throughput (Null when that
            section did not run). *)

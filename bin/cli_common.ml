@@ -117,6 +117,25 @@ let check_shards shards =
         "error: --shards expects a positive power of two (got %d)\n" s;
       exit 1
 
+(* --- time windows --- *)
+
+let bins =
+  let doc =
+    "Time windows per run for time-resolved reports: the logical clock \
+     (one tick per trace event) is split into $(docv) equal windows."
+  in
+  Arg.(
+    value
+    & opt int Cachesim.Residency.default_bins
+    & info [ "bins" ] ~docv:"N" ~doc)
+
+let check_bins bins =
+  if bins < 1 then begin
+    Printf.eprintf "error: --bins expects a positive integer (got %d)\n" bins;
+    exit 1
+  end;
+  bins
+
 (* --- persistent tape store --- *)
 
 let tape_store =

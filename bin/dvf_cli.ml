@@ -10,6 +10,7 @@
      components  memory-DVF vs cache-DVF per structure
      protect     selective-protection coverage curves
      inject      parallel fault-injection campaigns vs the analytical DVF
+     windows     vulnerability-vs-time: windowed residency vs flip-time SDC
      serve       long-lived line-JSON query daemon over warm trace tapes
      query       one-shot client for serve's protocol (or in-process)
 
@@ -92,10 +93,22 @@ let verify_cmd =
       & opt (enum Core.Verify.strategies) Core.Verify.Replay
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
   in
-  let run jobs metrics strategy levels shards tape_store workloads =
+  let time_weighted =
+    let doc =
+      "Report time-weighted residency per structure instead of the \
+       Fig. 4 traffic comparison: clean/dirty line-time integrals over \
+       the tape's logical clock, windowed into $(b,--bins) slices, and \
+       the time-weighted DVF.  Requires a tape (any strategy but \
+       retrace); honours $(b,--levels)."
+    in
+    Arg.(value & flag & info [ "time-weighted" ] ~doc)
+  in
+  let run jobs metrics strategy levels shards tape_store time_weighted bins
+      workloads =
     let jobs = Cli_common.check_jobs jobs in
     let levels = Cli_common.check_levels levels in
     let shards = Cli_common.check_shards shards in
+    let bins = Cli_common.check_bins bins in
     if tape_store <> None && strategy = Core.Verify.Retrace then begin
       Printf.eprintf
         "error: --tape-store cannot help --strategy retrace (it never \
@@ -104,7 +117,21 @@ let verify_cmd =
     end;
     Cli_common.with_metrics metrics (fun telemetry ->
         let store = Cli_common.open_tape_store ~telemetry tape_store in
-        if levels = 1 then
+        if time_weighted then begin
+          if strategy = Core.Verify.Retrace then begin
+            Printf.eprintf
+              "error: --strategy retrace has no tape and therefore no \
+               logical clock; --time-weighted needs replay, fused or \
+               sharded\n";
+            exit 1
+          end;
+          let rows =
+            Core.Verify.run_all_timed ~jobs ~telemetry ~strategy ?shards
+              ?store ~workloads ~levels ~bins ()
+          in
+          Dvf_util.Table.print (Core.Verify.to_time_table rows)
+        end
+        else if levels = 1 then
           let rows =
             Core.Verify.run_all ~jobs ~telemetry ~strategy ?shards ?store
               ~workloads ()
@@ -132,7 +159,7 @@ let verify_cmd =
     Term.(
       const run $ Cli_common.jobs $ Cli_common.metrics $ strategy
       $ Cli_common.levels $ Cli_common.shards $ Cli_common.tape_store
-      $ Cli_common.workload_pos_args)
+      $ time_weighted $ Cli_common.bins $ Cli_common.workload_pos_args)
 
 (* --- figure/table reproductions --- *)
 
@@ -327,6 +354,81 @@ let inject_cmd =
       const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.csv
       $ Cli_common.metrics $ Cli_common.workload_pos_args)
 
+(* --- windows: vulnerability vs. time --- *)
+
+let windows_cmd =
+  let trials =
+    let doc = "Trials per structure (default: each injector's own)." in
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let strategy =
+    let doc =
+      "Timed-replay strategy for the residency side: $(b,replay) \
+       (default), $(b,fused) or $(b,sharded).  $(b,retrace) is rejected \
+       — it has no tape, hence no logical clock.  All strategies print \
+       identical rows."
+    in
+    Arg.(
+      value
+      & opt (enum Core.Verify.strategies) Core.Verify.Replay
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let run jobs trials seed bins strategy shards tape_store csv metrics
+      workloads =
+    let jobs = Cli_common.check_jobs jobs in
+    let bins = Cli_common.check_bins bins in
+    let shards = Cli_common.check_shards shards in
+    (match trials with
+    | Some t when t < 1 ->
+        Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
+        exit 1
+    | _ -> ());
+    if strategy = Core.Verify.Retrace then begin
+      Printf.eprintf
+        "error: --strategy retrace has no tape and therefore no logical \
+         clock; use replay, fused or sharded\n";
+      exit 1
+    end;
+    List.iter
+      (fun (w : Core.Workload.t) ->
+        if Option.is_none w.Core.Workload.injector then
+          Printf.eprintf "note: %s has no fault injector; skipping\n"
+            w.Core.Workload.name)
+      workloads;
+    Cli_common.with_metrics metrics (fun telemetry ->
+        let store = Cli_common.open_tape_store ~telemetry tape_store in
+        let report =
+          Core.Windows.run ~jobs ~telemetry ~strategy ?shards ?store ~seed
+            ?trials ~bins ~workloads ()
+        in
+        if report.Core.Windows.curves = [] then begin
+          Printf.eprintf
+            "error: none of the selected workloads has an injector\n";
+          exit 1
+        end;
+        Dvf_util.Table.print (Core.Windows.to_table report);
+        Dvf_util.Table.print (Core.Windows.curve_table report);
+        Format.printf "%a" Core.Windows.pp_correlations report;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Core.Windows.to_csv report);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          csv)
+  in
+  Cmd.v
+    (Cmd.info "windows"
+       ~doc:
+         "Vulnerability vs. time: windowed residency from a timed replay \
+          against flip-time-binned SDC rates from fault injection, with \
+          Spearman rank correlations per structure and between the \
+          time-weighted DVF and the overall SDC rate")
+    Term.(
+      const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.bins
+      $ strategy $ Cli_common.shards $ Cli_common.tape_store $ Cli_common.csv
+      $ Cli_common.metrics $ Cli_common.workload_pos_args)
+
 (* --- serve / query: long-lived query daemon over line JSON ---
 
    [Core.Serve] is computation only; this section owns the transport:
@@ -468,9 +570,9 @@ let serve_cmd =
        ~doc:
          "Long-lived query daemon: warm every workload's trace tape once \
           (optionally from a persistent --tape-store), then answer \
-          verify/levels/dvf/sweep requests as line JSON on stdin/stdout \
-          or a Unix socket, batching concurrent requests onto the domain \
-          pool")
+          verify/levels/timed/dvf/sweep requests as line JSON on \
+          stdin/stdout or a Unix socket, batching concurrent requests \
+          onto the domain pool")
     Term.(
       const run $ Cli_common.jobs $ Cli_common.metrics $ Cli_common.tape_store
       $ socket $ Cli_common.workload_pos_args)
@@ -487,7 +589,8 @@ let query_cmd =
   in
   let op =
     let doc =
-      "Operation: verify, levels, dvf, sweep, workloads, stats or ping."
+      "Operation: verify, levels, timed, dvf, sweep, workloads, stats or \
+       ping."
     in
     Arg.(value & opt string "verify" & info [ "op" ] ~docv:"OP" ~doc)
   in
@@ -499,8 +602,15 @@ let query_cmd =
       & info [] ~docv:"WORKLOAD" ~doc)
   in
   let levels =
-    let doc = "Hierarchy depth for $(b,--op levels) (default 2)." in
-    Arg.(value & opt int 2 & info [ "levels" ] ~docv:"N" ~doc)
+    let doc =
+      "Hierarchy depth for $(b,--op levels) (server default 2) or \
+       $(b,--op timed) (server default 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "levels" ] ~docv:"N" ~doc)
+  in
+  let bins =
+    let doc = "Time windows for $(b,--op timed) (server default)." in
+    Arg.(value & opt (some int) None & info [ "bins" ] ~docv:"N" ~doc)
   in
   let capacities =
     let doc = "Comma-separated capacities in bytes for $(b,--op sweep)." in
@@ -524,7 +634,7 @@ let query_cmd =
     in
     Arg.(value & opt (some string) None & info [ "request" ] ~docv:"JSON" ~doc)
   in
-  let build_request ~op ~workload ~levels ~capacities ~no_simulate =
+  let build_request ~op ~workload ~levels ~bins ~capacities ~no_simulate =
     Json.to_string ~indent:false
       (Json.Obj
          ([ ("id", Json.Int 1); ("op", Json.Str op) ]
@@ -532,7 +642,13 @@ let query_cmd =
            | Some (w : Core.Workload.t) ->
                [ ("workload", Json.Str w.Core.Workload.name) ]
            | None -> [])
-         @ (if op = "levels" then [ ("levels", Json.Int levels) ] else [])
+         @ (match levels with
+           | Some l when op = "levels" || op = "timed" ->
+               [ ("levels", Json.Int l) ]
+           | _ -> [])
+         @ (match bins with
+           | Some b when op = "timed" -> [ ("bins", Json.Int b) ]
+           | _ -> [])
          @ (match capacities with
            | Some caps when op = "sweep" ->
                [ ("capacities", Json.List (List.map (fun c -> Json.Int c) caps)) ]
@@ -580,6 +696,10 @@ let query_cmd =
                     Dvf_util.Table.print
                       (Core.Verify.to_level_table
                          (Core.Serve.level_rows_of_result result))
+                | "timed" ->
+                    Dvf_util.Table.print
+                      (Core.Verify.to_time_table
+                         (Core.Serve.timed_rows_of_result result))
                 | "dvf" ->
                     Dvf_util.Table.print
                       (Core.Profile.to_table
@@ -604,13 +724,14 @@ let query_cmd =
               Printf.eprintf "error: malformed response envelope\n";
               exit 1)
   in
-  let run jobs tape_store socket op workload levels capacities no_simulate raw
-      request =
+  let run jobs tape_store socket op workload levels bins capacities
+      no_simulate raw request =
     let jobs = Cli_common.check_jobs jobs in
     let line =
       match request with
       | Some r -> r
-      | None -> build_request ~op ~workload ~levels ~capacities ~no_simulate
+      | None ->
+          build_request ~op ~workload ~levels ~bins ~capacities ~no_simulate
     in
     (* Render according to the op actually sent, so --request still gets
        a table when it names a tabular op. *)
@@ -657,7 +778,7 @@ let query_cmd =
           render the rows as the matching CLI table (or --raw JSON)")
     Term.(
       const run $ Cli_common.jobs $ Cli_common.tape_store $ socket $ op
-      $ workload $ levels $ capacities $ no_simulate $ raw $ request)
+      $ workload $ levels $ bins $ capacities $ no_simulate $ raw $ request)
 
 (* --- --model: any Aspen file through the full pipeline --- *)
 
@@ -757,7 +878,7 @@ let main_cmd =
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
       parse_cmd; models_cmd; components_cmd; protect_cmd; inject_cmd;
-      serve_cmd; query_cmd;
+      windows_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

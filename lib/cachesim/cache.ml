@@ -1,7 +1,17 @@
 (* Slot state is stored structure-of-arrays per cache: for slot [s*CA+w]:
    tag (line number, -1 when invalid), owner, dirty flag and last-use stamp.
    LRU uses a monotonically increasing clock; 63-bit ints cannot wrap in
-   any realistic simulation. *)
+   any realistic simulation.
+
+   Alongside the LRU clock the cache keeps a *logical event clock*
+   [now]: the ordinal of the reference event being processed (batch
+   entry points advance it by the batch length; the residency-enabled
+   walks set it per event).  With a [Residency.t] attached, every
+   line additionally carries the start time of its current clean or
+   dirty phase in [res_start], and phase transitions — fill, first
+   dirtying write, eviction, flush — close the open phase into the
+   accumulator.  With no residency attached the specialized walks are
+   untouched and [now] costs one addition per batch. *)
 
 type t = {
   config : Config.t;
@@ -13,6 +23,9 @@ type t = {
   mutable clock : int;
   line_shift : int;
   set_mask : int;
+  mutable now : int;
+  mutable res : Residency.t option;
+  mutable res_start : int array;
 }
 
 let log2 n =
@@ -44,16 +57,36 @@ let create config =
     clock = 0;
     line_shift = log2 config.line;
     set_mask = config.sets - 1;
+    now = 0;
+    res = None;
+    res_start = [||];
   }
 
 let config t = t.config
 let stats t = t.stats
+let now t = t.now
+let set_now t time =
+  if time < 0 then invalid_arg "Cache.set_now: negative time";
+  t.now <- time
+
+let residency t = t.res
+
+let attach_residency t res =
+  if Array.length t.res_start = 0 then
+    t.res_start <- Array.make (Array.length t.tags) 0
+  else Array.fill t.res_start 0 (Array.length t.res_start) 0;
+  t.res <- Some res
 
 (* Core lookup on a line *number* (byte address already shifted).  Every
    entry point funnels here, so [access]/[access_batch] split a request
    with one shift per boundary instead of the two integer divisions the
-   byte-address API used to pay per line. *)
-let touch t ~owner ~write ~line =
+   byte-address API used to pay per line.  [fill]/[spill] report the
+   next-level traffic of a miss ([nofeed] for callers that don't care);
+   the hit/miss/writeback decisions are the contract every specialized
+   walk below must reproduce exactly. *)
+let nofeed ~owner:_ ~line:_ = ()
+
+let touch_feed t ~owner ~write ~line ~fill ~spill =
   let set = line land t.set_mask in
   let ca = t.config.Config.associativity in
   let base = set * ca in
@@ -74,22 +107,52 @@ let touch t ~owner ~write ~line =
   if hit then begin
     let w = !hit_way in
     t.stamps.(w) <- t.clock;
-    if write then t.dirty.(w) <- true
+    if write then begin
+      (match t.res with
+      | Some res when not t.dirty.(w) ->
+          (* first dirtying write: the clean phase ends here *)
+          Residency.record_interval res ~owner:t.owners.(w) ~dirty:false
+            ~t0:t.res_start.(w) ~t1:t.now;
+          t.res_start.(w) <- t.now
+      | _ -> ());
+      t.dirty.(w) <- true
+    end
   end
   else begin
     let w = !victim in
-    if t.tags.(w) >= 0 && t.dirty.(w) then
-      Stats.record_writeback t.stats ~owner:t.owners.(w);
+    if t.tags.(w) >= 0 then begin
+      if t.dirty.(w) then begin
+        Stats.record_writeback t.stats ~owner:t.owners.(w);
+        spill ~owner:t.owners.(w) ~line:t.tags.(w)
+      end;
+      match t.res with
+      | Some res ->
+          Residency.record_interval res ~owner:t.owners.(w) ~dirty:t.dirty.(w)
+            ~t0:t.res_start.(w) ~t1:t.now;
+          Residency.record_eviction res ~owner:t.owners.(w)
+      | None -> ()
+    end;
     t.tags.(w) <- line;
     t.owners.(w) <- owner;
     t.dirty.(w) <- write;
-    t.stamps.(w) <- t.clock
+    t.stamps.(w) <- t.clock;
+    (match t.res with
+    | Some res ->
+        t.res_start.(w) <- t.now;
+        Residency.record_fill res ~owner
+    | None -> ());
+    fill ~owner ~line
   end;
   hit
 
+let touch t ~owner ~write ~line =
+  touch_feed t ~owner ~write ~line ~fill:nofeed ~spill:nofeed
+
 let touch_line t ~owner ~write ~line_addr =
   if line_addr < 0 then invalid_arg "Cache.touch_line: negative address";
-  touch t ~owner ~write ~line:(line_addr lsr t.line_shift)
+  let hit = touch t ~owner ~write ~line:(line_addr lsr t.line_shift) in
+  t.now <- t.now + 1;
+  hit
 
 let access t ~owner ~write ~addr ~size =
   if size <= 0 then invalid_arg "Cache.access: non-positive size";
@@ -98,7 +161,8 @@ let access t ~owner ~write ~addr ~size =
   let last = (addr + size - 1) lsr t.line_shift in
   for line = first to last do
     ignore (touch t ~owner ~write ~line)
-  done
+  done;
+  t.now <- t.now + 1
 
 (* --- packed bulk interface ---
 
@@ -152,10 +216,19 @@ let validate_batch ~addrs ~metas ~pos ~len =
         (Printf.sprintf "Cache.access_batch: negative address at index %d" i)
   done
 
+let validate_times ~times ~pos ~len =
+  if pos + len > Array.length times then
+    invalid_arg
+      (Printf.sprintf "Cache: bad times range pos=%d len=%d (times %d)" pos len
+         (Array.length times))
+
 let access_batch t ~addrs ~metas ~pos ~len =
   validate_batch ~addrs ~metas ~pos ~len;
   let shift = t.line_shift in
+  let timed = t.res <> None in
+  let now0 = t.now in
   for i = pos to pos + len - 1 do
+    if timed then t.now <- now0 + (i - pos);
     let addr = addrs.(i) in
     let meta = metas.(i) in
     let owner = meta lsr meta_owner_shift in
@@ -166,7 +239,8 @@ let access_batch t ~addrs ~metas ~pos ~len =
     for line = first to last do
       ignore (touch t ~owner ~write ~line)
     done
-  done
+  done;
+  t.now <- now0 + len
 
 (* --- set-sharded walks ---
 
@@ -184,7 +258,12 @@ let access_batch t ~addrs ~metas ~pos ~len =
    target), so the walk is specialized: addresses were validated up
    front (unsafe indexing is safe), and the way scan exits on the first
    tag match instead of tracking the LRU victim on hits — the victim
-   scan runs only on a miss.  Decisions are identical to [touch]'s. *)
+   scan runs only on a miss.  Decisions are identical to [touch]'s.
+
+   With a residency accumulator attached the walk drops to the generic
+   [touch] path with the event clock set per event — every shard sees
+   every event ordinal, so per-line phase timestamps are identical to
+   the serial walk's and the merged accumulators are bit-identical. *)
 
 let check_shards ~shards ~shard =
   if shards <= 0 || shards land (shards - 1) <> 0 then
@@ -202,138 +281,230 @@ let effective_shards t ~shards =
          "Cache: shards must be a positive power of two (got %d)" shards);
   min shards t.config.Config.sets
 
+(* The shared residency-enabled walk: [touch_feed] per line of the
+   shard, event clock set per event.  [fill]/[spill] are [nofeed] for
+   the plain sharded walk. *)
+let res_walk t ~addrs ~metas ~pos ~len ~mask ~shard ~fill ~spill =
+  let shift = t.line_shift in
+  let now0 = t.now in
+  for i = pos to pos + len - 1 do
+    t.now <- now0 + (i - pos);
+    let addr = Array.unsafe_get addrs i in
+    let meta = Array.unsafe_get metas i in
+    let owner = meta lsr meta_owner_shift in
+    let write = meta land 1 = 1 in
+    let first = addr lsr shift in
+    let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+    for line = first to last do
+      if line land mask = shard then
+        ignore (touch_feed t ~owner ~write ~line ~fill ~spill)
+    done
+  done
+
 let access_batch_sharded t ~addrs ~metas ~pos ~len ~shards ~shard =
   check_shards ~shards ~shard;
   validate_batch ~addrs ~metas ~pos ~len;
   let eff = min shards t.config.Config.sets in
+  let now0 = t.now in
   (* With fewer usable shards than requested (tiny cache), shards
      [eff..shards-1] own no sets of this cache: lines are partitioned by
      [line land (eff - 1)], which only shards [0..eff-1] can match. *)
-  if shard < eff then begin
-    let mask = eff - 1 in
-    let shift = t.line_shift in
-    let set_mask = t.set_mask in
-    let ca = t.config.Config.associativity in
-    let tags = t.tags
-    and owners = t.owners
-    and dirty = t.dirty
-    and stamps = t.stamps in
-    for i = pos to pos + len - 1 do
-      let addr = Array.unsafe_get addrs i in
-      let meta = Array.unsafe_get metas i in
-      let owner = meta lsr meta_owner_shift in
-      let write = meta land 1 = 1 in
-      let first = addr lsr shift in
-      let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
-      for line = first to last do
-        if line land mask = shard then begin
-          let base = (line land set_mask) * ca in
-          let limit = base + ca in
-          t.clock <- t.clock + 1;
-          let w = ref base in
-          while !w < limit && Array.unsafe_get tags !w <> line do incr w done;
-          if !w < limit then begin
-            let w = !w in
-            Stats.record_access t.stats ~owner ~write ~hit:true;
-            Array.unsafe_set stamps w t.clock;
-            if write then Array.unsafe_set dirty w true
-          end
-          else begin
-            Stats.record_access t.stats ~owner ~write ~hit:false;
-            let victim = ref base and victim_stamp = ref max_int in
-            for w = base to limit - 1 do
-              if Array.unsafe_get stamps w < !victim_stamp then begin
-                victim_stamp := Array.unsafe_get stamps w;
-                victim := w
-              end
-            done;
-            let w = !victim in
-            if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w then
-              Stats.record_writeback t.stats ~owner:(Array.unsafe_get owners w);
-            Array.unsafe_set tags w line;
-            Array.unsafe_set owners w owner;
-            Array.unsafe_set dirty w write;
-            Array.unsafe_set stamps w t.clock
-          end
-        end
-      done
-    done
-  end
+  (if shard < eff then
+     match t.res with
+     | Some _ ->
+         res_walk t ~addrs ~metas ~pos ~len ~mask:(eff - 1) ~shard
+           ~fill:nofeed ~spill:nofeed
+     | None ->
+         let mask = eff - 1 in
+         let shift = t.line_shift in
+         let set_mask = t.set_mask in
+         let ca = t.config.Config.associativity in
+         let tags = t.tags
+         and owners = t.owners
+         and dirty = t.dirty
+         and stamps = t.stamps in
+         for i = pos to pos + len - 1 do
+           let addr = Array.unsafe_get addrs i in
+           let meta = Array.unsafe_get metas i in
+           let owner = meta lsr meta_owner_shift in
+           let write = meta land 1 = 1 in
+           let first = addr lsr shift in
+           let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+           for line = first to last do
+             if line land mask = shard then begin
+               let base = (line land set_mask) * ca in
+               let limit = base + ca in
+               t.clock <- t.clock + 1;
+               let w = ref base in
+               while !w < limit && Array.unsafe_get tags !w <> line do
+                 incr w
+               done;
+               if !w < limit then begin
+                 let w = !w in
+                 Stats.record_access t.stats ~owner ~write ~hit:true;
+                 Array.unsafe_set stamps w t.clock;
+                 if write then Array.unsafe_set dirty w true
+               end
+               else begin
+                 Stats.record_access t.stats ~owner ~write ~hit:false;
+                 let victim = ref base and victim_stamp = ref max_int in
+                 for w = base to limit - 1 do
+                   if Array.unsafe_get stamps w < !victim_stamp then begin
+                     victim_stamp := Array.unsafe_get stamps w;
+                     victim := w
+                   end
+                 done;
+                 let w = !victim in
+                 if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w
+                 then
+                   Stats.record_writeback t.stats
+                     ~owner:(Array.unsafe_get owners w);
+                 Array.unsafe_set tags w line;
+                 Array.unsafe_set owners w owner;
+                 Array.unsafe_set dirty w write;
+                 Array.unsafe_set stamps w t.clock
+               end
+             end
+           done
+         done);
+  t.now <- now0 + len
 
 (* Same walk, but reporting the traffic a next cache level would see:
    [fill] for every line miss (the demand fetch) and [spill] for every
    dirty eviction (the write-back), both with the line *number*.  The
    victim's spill fires before the missing line's fill, matching the
-   order [touch] records statistics in. *)
+   order [touch_feed] records statistics in. *)
 let access_batch_feed t ~addrs ~metas ~pos ~len ~shards ~shard ~fill ~spill =
   check_shards ~shards ~shard;
   validate_batch ~addrs ~metas ~pos ~len;
   let eff = min shards t.config.Config.sets in
-  if shard < eff then begin
-    let mask = eff - 1 in
-    let shift = t.line_shift in
-    let set_mask = t.set_mask in
-    let ca = t.config.Config.associativity in
-    let tags = t.tags
-    and owners = t.owners
-    and dirty = t.dirty
-    and stamps = t.stamps in
-    for i = pos to pos + len - 1 do
-      let addr = Array.unsafe_get addrs i in
-      let meta = Array.unsafe_get metas i in
-      let owner = meta lsr meta_owner_shift in
-      let write = meta land 1 = 1 in
-      let first = addr lsr shift in
-      let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
-      for line = first to last do
-        if line land mask = shard then begin
-          let base = (line land set_mask) * ca in
-          let limit = base + ca in
-          t.clock <- t.clock + 1;
-          let w = ref base in
-          while !w < limit && Array.unsafe_get tags !w <> line do incr w done;
-          if !w < limit then begin
-            let w = !w in
-            Stats.record_access t.stats ~owner ~write ~hit:true;
-            Array.unsafe_set stamps w t.clock;
-            if write then Array.unsafe_set dirty w true
-          end
-          else begin
-            Stats.record_access t.stats ~owner ~write ~hit:false;
-            let victim = ref base and victim_stamp = ref max_int in
-            for w = base to limit - 1 do
-              if Array.unsafe_get stamps w < !victim_stamp then begin
-                victim_stamp := Array.unsafe_get stamps w;
-                victim := w
-              end
-            done;
-            let w = !victim in
-            if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w then begin
-              Stats.record_writeback t.stats ~owner:(Array.unsafe_get owners w);
-              spill
-                ~owner:(Array.unsafe_get owners w)
-                ~line:(Array.unsafe_get tags w)
-            end;
-            Array.unsafe_set tags w line;
-            Array.unsafe_set owners w owner;
-            Array.unsafe_set dirty w write;
-            Array.unsafe_set stamps w t.clock;
-            fill ~owner ~line
-          end
-        end
-      done
+  let now0 = t.now in
+  (if shard < eff then
+     match t.res with
+     | Some _ ->
+         res_walk t ~addrs ~metas ~pos ~len ~mask:(eff - 1) ~shard ~fill ~spill
+     | None ->
+         let mask = eff - 1 in
+         let shift = t.line_shift in
+         let set_mask = t.set_mask in
+         let ca = t.config.Config.associativity in
+         let tags = t.tags
+         and owners = t.owners
+         and dirty = t.dirty
+         and stamps = t.stamps in
+         for i = pos to pos + len - 1 do
+           let addr = Array.unsafe_get addrs i in
+           let meta = Array.unsafe_get metas i in
+           let owner = meta lsr meta_owner_shift in
+           let write = meta land 1 = 1 in
+           let first = addr lsr shift in
+           let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+           for line = first to last do
+             if line land mask = shard then begin
+               let base = (line land set_mask) * ca in
+               let limit = base + ca in
+               t.clock <- t.clock + 1;
+               let w = ref base in
+               while !w < limit && Array.unsafe_get tags !w <> line do
+                 incr w
+               done;
+               if !w < limit then begin
+                 let w = !w in
+                 Stats.record_access t.stats ~owner ~write ~hit:true;
+                 Array.unsafe_set stamps w t.clock;
+                 if write then Array.unsafe_set dirty w true
+               end
+               else begin
+                 Stats.record_access t.stats ~owner ~write ~hit:false;
+                 let victim = ref base and victim_stamp = ref max_int in
+                 for w = base to limit - 1 do
+                   if Array.unsafe_get stamps w < !victim_stamp then begin
+                     victim_stamp := Array.unsafe_get stamps w;
+                     victim := w
+                   end
+                 done;
+                 let w = !victim in
+                 if Array.unsafe_get tags w >= 0 && Array.unsafe_get dirty w
+                 then begin
+                   Stats.record_writeback t.stats
+                     ~owner:(Array.unsafe_get owners w);
+                   spill
+                     ~owner:(Array.unsafe_get owners w)
+                     ~line:(Array.unsafe_get tags w)
+                 end;
+                 Array.unsafe_set tags w line;
+                 Array.unsafe_set owners w owner;
+                 Array.unsafe_set dirty w write;
+                 Array.unsafe_set stamps w t.clock;
+                 fill ~owner ~line
+               end
+             end
+           done
+         done);
+  t.now <- now0 + len
+
+(* --- explicitly timed walks ---
+
+   A deeper hierarchy level's input events are fills and spills, whose
+   logical times are the *originating* program-event ordinals, not this
+   cache's own event count — so the caller supplies a parallel [times]
+   array (non-decreasing) instead of the implicit [now0 + i] clock.
+   Used only by [Hierarchy] in timed mode; the final [now] is the last
+   event's time. *)
+let access_batch_timed t ~addrs ~metas ~times ~pos ~len =
+  validate_batch ~addrs ~metas ~pos ~len;
+  validate_times ~times ~pos ~len;
+  let shift = t.line_shift in
+  for i = pos to pos + len - 1 do
+    t.now <- times.(i);
+    let addr = Array.unsafe_get addrs i in
+    let meta = Array.unsafe_get metas i in
+    let owner = meta lsr meta_owner_shift in
+    let write = meta land 1 = 1 in
+    let first = addr lsr shift in
+    let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+    for line = first to last do
+      ignore (touch t ~owner ~write ~line)
     done
-  end
+  done
+
+let access_batch_feed_timed t ~addrs ~metas ~times ~pos ~len ~fill ~spill =
+  validate_batch ~addrs ~metas ~pos ~len;
+  validate_times ~times ~pos ~len;
+  let shift = t.line_shift in
+  for i = pos to pos + len - 1 do
+    t.now <- times.(i);
+    let addr = Array.unsafe_get addrs i in
+    let meta = Array.unsafe_get metas i in
+    let owner = meta lsr meta_owner_shift in
+    let write = meta land 1 = 1 in
+    let first = addr lsr shift in
+    let last = (addr + ((meta lsr 1) land max_size) - 1) lsr shift in
+    for line = first to last do
+      ignore (touch_feed t ~owner ~write ~line ~fill ~spill)
+    done
+  done
 
 let set_of_addr t addr =
   if addr < 0 then invalid_arg "Cache.set_of_addr: negative address";
   (addr lsr t.line_shift) land t.set_mask
 
+(* End-of-run eviction of everything resident.  With residency
+   attached, every surviving line's open phase is closed at the current
+   event clock — the driver sets [now] to the run horizon first
+   ([set_now]) so end-of-run exposure is counted up to the horizon and
+   no further. *)
 let flush t =
   Array.iteri
     (fun w tag ->
       if tag >= 0 then begin
         if t.dirty.(w) then Stats.record_writeback t.stats ~owner:t.owners.(w);
+        (match t.res with
+        | Some res ->
+            Residency.record_interval res ~owner:t.owners.(w)
+              ~dirty:t.dirty.(w) ~t0:t.res_start.(w) ~t1:t.now;
+            Residency.record_flush res ~owner:t.owners.(w)
+        | None -> ());
         t.tags.(w) <- -1;
         t.dirty.(w) <- false;
         t.stamps.(w) <- 0
@@ -350,6 +521,12 @@ let flush_feed t ~spill =
           Stats.record_writeback t.stats ~owner:t.owners.(w);
           spill ~owner:t.owners.(w) ~line:tag
         end;
+        (match t.res with
+        | Some res ->
+            Residency.record_interval res ~owner:t.owners.(w)
+              ~dirty:t.dirty.(w) ~t0:t.res_start.(w) ~t1:t.now;
+            Residency.record_flush res ~owner:t.owners.(w)
+        | None -> ());
         t.tags.(w) <- -1;
         t.dirty.(w) <- false;
         t.stamps.(w) <- 0

@@ -18,6 +18,33 @@ val create : Config.t -> t
 val config : t -> Config.t
 val stats : t -> Stats.t
 
+(** {2 Logical event clock and residency tracking}
+
+    The cache keeps a logical clock [now]: the ordinal of the reference
+    event being processed (batch walks advance it by the batch length,
+    {!access}/{!touch_line} by one per call).  Attaching a
+    {!Residency.t} turns on per-line phase accounting on that clock:
+    every resident line carries the start time of its current clean or
+    dirty phase, and fills, first dirtying writes, evictions and
+    flushes close the open phase into the accumulator.  With no
+    residency attached the specialized sharded walks are byte-for-byte
+    the ones the throughput benchmarks measure; with one attached they
+    fall back to the generic per-line path (slower, still exact). *)
+
+val now : t -> int
+
+val set_now : t -> int -> unit
+(** Pin the clock — the replay driver sets it to the tape length (the
+    run horizon) before {!flush} so end-of-run phase closures count
+    exposure up to the horizon and no further.  Raises
+    [Invalid_argument] on a negative time. *)
+
+val attach_residency : t -> Residency.t -> unit
+(** Start recording residency phases into the accumulator.  Attach
+    before the first access (phase-start stamps are reset to 0). *)
+
+val residency : t -> Residency.t option
+
 val access : t -> owner:int -> write:bool -> addr:int -> size:int -> unit
 (** Simulate one program reference of [size] bytes at byte address [addr]
     by owner (data structure) [owner].  The reference is split at cache-line
@@ -109,13 +136,48 @@ val access_batch_feed :
     write-back), with [line] the line {e number}.  A victim's spill is
     reported before the missing line's fill. *)
 
+(** {2 Explicitly timed walks}
+
+    A deeper hierarchy level's input events (fills and spills) carry the
+    {e originating} program-event times, not this cache's own traffic
+    count, so the caller supplies a parallel [times] array
+    (non-decreasing event ordinals) instead of the implicit clock.  Used
+    by {!Hierarchy} in timed mode; after the walk [now] is the last
+    event's time. *)
+
+val access_batch_timed :
+  t ->
+  addrs:int array ->
+  metas:int array ->
+  times:int array ->
+  pos:int ->
+  len:int ->
+  unit
+(** {!access_batch} with the clock set to [times.(i)] before event [i].
+    Raises [Invalid_argument] on a bad range in any of the three
+    arrays. *)
+
+val access_batch_feed_timed :
+  t ->
+  addrs:int array ->
+  metas:int array ->
+  times:int array ->
+  pos:int ->
+  len:int ->
+  fill:(owner:int -> line:int -> unit) ->
+  spill:(owner:int -> line:int -> unit) ->
+  unit
+(** Timed unsharded {!access_batch_feed}. *)
+
 val set_of_addr : t -> int -> int
 (** Set index of a byte address — the sharding key.  Raises
     [Invalid_argument] on a negative address. *)
 
 val flush : t -> unit
 (** Evict everything, recording writebacks for dirty lines.  Called at the
-    end of a simulation when the experiment counts end-of-run evictions. *)
+    end of a simulation when the experiment counts end-of-run evictions.
+    With residency attached, every surviving line's open phase is closed
+    at the current clock (set {!set_now} to the run horizon first). *)
 
 val flush_feed : t -> spill:(owner:int -> line:int -> unit) -> unit
 (** {!flush} that also hands every dirty line's write-back to [spill]

@@ -8,11 +8,21 @@
    level keeps its own [Stats].
 
    Invariant (checked by the tests): after [flush], a level's accesses
-   equal the previous level's misses plus its writebacks. *)
+   equal the previous level's misses plus its writebacks.
+
+   With residency accumulators attached ([attach_residency]) the funnel
+   also carries logical time: each queued fill/spill is stamped with the
+   emitting cache's event clock ([q_times]), and deeper levels replay
+   their input through the explicitly-timed walks so a line's clean and
+   dirty phases at L2 are measured on the *program's* event axis, not
+   L2's own (much sparser) traffic count. *)
 
 type queue = {
   q_addrs : int array;
   q_metas : int array;
+  (* Event-time stamps of the queued fills/spills (the emitting cache's
+     clock at push time); only consulted when [timed]. *)
+  q_times : int array;
   mutable q_len : int;
 }
 
@@ -27,6 +37,7 @@ type t = {
   (* 1-element scratch for the single-event entry point. *)
   scratch_addr : int array;
   scratch_meta : int array;
+  mutable timed : bool;
 }
 
 let log2 n =
@@ -57,6 +68,7 @@ let create ?(funnel_events = 4096) configs =
         {
           q_addrs = Array.make funnel_events 0;
           q_metas = Array.make funnel_events 0;
+          q_times = Array.make funnel_events 0;
           q_len = 0;
         })
   in
@@ -68,6 +80,7 @@ let create ?(funnel_events = 4096) configs =
     funnel_events;
     scratch_addr = [| 0 |];
     scratch_meta = [| 0 |];
+    timed = false;
   }
 
 let depth t = Array.length t.caches
@@ -80,6 +93,19 @@ let level_cache t i =
 
 let configs t = Array.to_list (Array.map Cache.config t.caches)
 
+let attach_residency t residencies =
+  if Array.length residencies <> depth t then
+    invalid_arg
+      (Printf.sprintf
+         "Hierarchy.attach_residency: %d accumulators for %d levels"
+         (Array.length residencies) (depth t));
+  Array.iteri
+    (fun i res -> Cache.attach_residency t.caches.(i) res)
+    residencies;
+  t.timed <- true
+
+let set_now t time = Array.iter (fun c -> Cache.set_now c time) t.caches
+
 (* The shard partition key is the line number, shared by every level
    (one line size); for the per-set independence argument to hold at
    every level, the effective shard count must divide the set count of
@@ -89,23 +115,45 @@ let max_shards t =
     (fun acc c -> min acc (Cache.config c).Config.sets)
     max_int t.caches
 
-(* [feed] drives [level]'s cache over a packed batch; misses and dirty
-   evictions are pushed (as full-line read fills / write spills) into
-   the queue toward [level + 1], which is drained whenever it fills and
-   recursively fed onward.  Inner levels always run unsharded
-   ([~shards:1 ~shard:0]): the entry-level filter already restricted the
-   stream to one shard's lines, and fills/spills stay on those same
-   lines, so re-filtering would be redundant — and wrong if a deeper
-   level had fewer sets than the effective shard count. *)
-let rec feed t ~level ~addrs ~metas ~pos ~len ~shards ~shard =
-  let cache = t.caches.(level) in
-  if level = Array.length t.caches - 1 then
+(* [feed_entry] drives level 1 over a packed program batch; misses and
+   dirty evictions are pushed (as full-line read fills / write spills)
+   into the queue toward level 2, which is drained whenever it fills and
+   recursively fed onward through [feed_inner].  Inner levels always run
+   unsharded: the entry-level filter already restricted the stream to
+   one shard's lines, and fills/spills stay on those same lines, so
+   re-filtering would be redundant — and wrong if a deeper level had
+   fewer sets than the effective shard count.  In timed mode the inner
+   walks take the queue's stamp column so deeper levels advance on the
+   program's event axis. *)
+let rec feed_entry t ~addrs ~metas ~pos ~len ~shards ~shard =
+  let cache = t.caches.(0) in
+  if Array.length t.caches = 1 then
     Cache.access_batch_sharded cache ~addrs ~metas ~pos ~len ~shards ~shard
+  else begin
+    let fill ~owner ~line = push t ~level:0 ~owner ~line ~write:false in
+    let spill ~owner ~line = push t ~level:0 ~owner ~line ~write:true in
+    Cache.access_batch_feed cache ~addrs ~metas ~pos ~len ~shards ~shard ~fill
+      ~spill;
+    flush_queue t ~level:0
+  end
+
+and feed_inner t ~level ~addrs ~metas ~times ~pos ~len =
+  let cache = t.caches.(level) in
+  if level = Array.length t.caches - 1 then begin
+    if t.timed then Cache.access_batch_timed cache ~addrs ~metas ~times ~pos ~len
+    else
+      Cache.access_batch_sharded cache ~addrs ~metas ~pos ~len ~shards:1
+        ~shard:0
+  end
   else begin
     let fill ~owner ~line = push t ~level ~owner ~line ~write:false in
     let spill ~owner ~line = push t ~level ~owner ~line ~write:true in
-    Cache.access_batch_feed cache ~addrs ~metas ~pos ~len ~shards ~shard ~fill
-      ~spill;
+    if t.timed then
+      Cache.access_batch_feed_timed cache ~addrs ~metas ~times ~pos ~len ~fill
+        ~spill
+    else
+      Cache.access_batch_feed cache ~addrs ~metas ~pos ~len ~shards:1 ~shard:0
+        ~fill ~spill;
     flush_queue t ~level
   end
 
@@ -114,6 +162,7 @@ and push t ~level ~owner ~line ~write =
   if q.q_len = t.funnel_events then flush_queue t ~level;
   q.q_addrs.(q.q_len) <- line lsl t.line_shift;
   q.q_metas.(q.q_len) <- Cache.pack_access ~owner ~write ~size:t.line;
+  q.q_times.(q.q_len) <- Cache.now t.caches.(level);
   q.q_len <- q.q_len + 1
 
 and flush_queue t ~level =
@@ -123,8 +172,8 @@ and flush_queue t ~level =
     (* Reset before feeding: the next level's own spills may re-enter
        [push] for this queue while we are still walking it. *)
     q.q_len <- 0;
-    feed t ~level:(level + 1) ~addrs:q.q_addrs ~metas:q.q_metas ~pos:0 ~len
-      ~shards:1 ~shard:0
+    feed_inner t ~level:(level + 1) ~addrs:q.q_addrs ~metas:q.q_metas
+      ~times:q.q_times ~pos:0 ~len
   end
 
 let access_batch_sharded t ~addrs ~metas ~pos ~len ~shards ~shard =
@@ -138,8 +187,7 @@ let access_batch_sharded t ~addrs ~metas ~pos ~len ~shards ~shard =
          (shards - 1));
   let eff = min shards (max_shards t) in
   (* Shards beyond the effective count own no sets at any level. *)
-  if shard < eff then
-    feed t ~level:0 ~addrs ~metas ~pos ~len ~shards:eff ~shard
+  if shard < eff then feed_entry t ~addrs ~metas ~pos ~len ~shards:eff ~shard
 
 let access_batch t ~addrs ~metas ~pos ~len =
   access_batch_sharded t ~addrs ~metas ~pos ~len ~shards:1 ~shard:0
@@ -151,15 +199,26 @@ let access t ~owner ~write ~addr ~size =
 
 (* Drain level by level: level i's flush spills feed level i+1 before
    level i+1 itself flushes, so end-of-run dirty lines cascade down the
-   hierarchy exactly like mid-run evictions do. *)
+   hierarchy exactly like mid-run evictions do.
+
+   In timed mode the driver pins the clock to the run horizon first
+   ([set_now]); draining a queue replays *mid-run* stamps into the next
+   level and leaves that level's clock at the last stamp, so each
+   level's clock is re-pinned to the horizon immediately before its own
+   flush — otherwise a level whose last input predates the horizon
+   would close its surviving lines' phases early and undercount
+   end-of-run exposure. *)
 let flush t =
   let last = Array.length t.caches - 1 in
+  let horizon_now = Cache.now t.caches.(0) in
   for level = 0 to last - 1 do
     flush_queue t ~level;
+    if t.timed then Cache.set_now t.caches.(level) horizon_now;
     Cache.flush_feed t.caches.(level) ~spill:(fun ~owner ~line ->
         push t ~level ~owner ~line ~write:true);
     flush_queue t ~level
   done;
+  if t.timed then Cache.set_now t.caches.(last) horizon_now;
   Cache.flush t.caches.(last)
 
 let invalidate t =

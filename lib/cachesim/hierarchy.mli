@@ -35,6 +35,19 @@ val level_cache : t -> int -> Cache.t
 
 val configs : t -> Config.t list
 
+val attach_residency : t -> Residency.t array -> unit
+(** Attach one {!Residency.t} per level (array length must equal
+    {!depth}) and switch the funnel to timed mode: every queued fill or
+    spill is stamped with the emitting cache's event clock, and deeper
+    levels replay their input through the explicitly timed walks — so a
+    line's clean/dirty phases at every level are measured on the
+    program's event axis.  Attach before the first access.  Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val set_now : t -> int -> unit
+(** Pin every level's event clock (see {!Cache.set_now}) — the replay
+    driver sets the run horizon before {!flush}. *)
+
 val max_shards : t -> int
 (** Largest usable shard count: the minimum set count over all levels.
     {!access_batch_sharded} clamps its [shards] argument to this. *)

@@ -16,8 +16,10 @@ let default_seed = 1234
 (* Fan the full (structure, trial) grid of one injector over the pool.
    Each trial's RNG comes from [Fi.trial_rng], the same derivation the
    serial [Fi.run_campaigns] uses, and [Pool.map] preserves input order,
-   so the tallies are bit-identical to the serial run at any job count. *)
-let run_in_pool ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
+   so the tallies are bit-identical to the serial run at any job count.
+   Returns the raw per-trial (outcome, flip-time fraction) grid
+   alongside the tallied result so [run_timed] can re-bin it. *)
+let run_raw ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
   let trials = Option.value trials ~default:inj.Fi.default_trials in
   if trials < 1 then invalid_arg "Injection.run: trials < 1";
   let structures = Array.of_list inj.Fi.structures in
@@ -46,17 +48,25 @@ let run_in_pool ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
     List.mapi
       (fun si structure ->
         Fi.tally structure
-          (Array.to_list (Array.sub outcomes (si * trials) trials)))
+          (List.map fst
+             (Array.to_list (Array.sub outcomes (si * trials) trials))))
       inj.Fi.structures
   in
-  {
-    workload;
-    label = inj.Fi.label;
-    spec = inj.Fi.spec;
-    flops = inj.Fi.flops;
-    seed;
-    campaigns;
-  }
+  let result =
+    {
+      workload;
+      label = inj.Fi.label;
+      spec = inj.Fi.spec;
+      flops = inj.Fi.flops;
+      seed;
+      campaigns;
+    }
+  in
+  (result, outcomes, trials)
+
+let run_in_pool ~telemetry ~seed ~trials pool ~workload inj =
+  let result, _, _ = run_raw ~telemetry ~seed ~trials pool ~workload inj in
+  result
 
 (* Building an injector runs each kernel once uninjected (the clean
    reference output trials compare against).  Time it separately so the
@@ -117,6 +127,56 @@ let run_all ?(seed = default_seed) ?trials ?(jobs = 1)
 
 let to_table r = Fi.to_table ~title:("Fault injection: " ^ r.label) r.campaigns
 
+(* --- flip-time-binned campaigns (`dvf windows` ground truth) --- *)
+
+type timed = {
+  base : result;
+  time_bins : int;
+  (* per structure: how many trials' flips landed in each flip-time bin
+     of [0, 1], and how many of those were SDC *)
+  windows : (string * (int array * int array)) list;
+}
+
+let default_bins = 20
+
+let bin_of ~bins frac =
+  let b = int_of_float (frac *. float_of_int bins) in
+  if b < 0 then 0 else if b >= bins then bins - 1 else b
+
+let run_timed ?(seed = default_seed) ?trials ?(jobs = 1)
+    ?(telemetry = Telemetry.null) ?(bins = default_bins) (w : Workload.t) =
+  if bins <= 0 then invalid_arg "Injection.run_timed: bins <= 0";
+  let result =
+    Option.map
+      (fun make ->
+        Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+            let inj =
+              make_injector ~telemetry ~workload:w.Workload.name make
+            in
+            let base, outcomes, trials =
+              run_raw ~telemetry ~seed ~trials pool ~workload:w.Workload.name
+                inj
+            in
+            let windows =
+              List.mapi
+                (fun si structure ->
+                  let per_bin = Array.make bins 0
+                  and sdc_bin = Array.make bins 0 in
+                  for t = 0 to trials - 1 do
+                    let o, frac = outcomes.((si * trials) + t) in
+                    let b = bin_of ~bins frac in
+                    per_bin.(b) <- per_bin.(b) + 1;
+                    if o = Fi.Sdc then sdc_bin.(b) <- sdc_bin.(b) + 1
+                  done;
+                  (structure, (per_bin, sdc_bin)))
+                inj.Fi.structures
+            in
+            { base; time_bins = bins; windows }))
+      w.Workload.injector
+  in
+  finalize_metrics telemetry;
+  result
+
 (* --- correlation against the analytical DVF --- *)
 
 type row = {
@@ -139,8 +199,11 @@ type correlation = {
 
 let default_fit = 5_000.0
 
+(* [None] when rho is undefined (single structure, or zero rank
+   variance) — those workloads are dropped from the per-workload report
+   and the pooled line prints "n/a". *)
 let spearman_of rows =
-  Dvf_util.Maths.spearman
+  Dvf_util.Maths.spearman_opt
     (Array.of_list (List.map (fun r -> r.rate) rows))
     (Array.of_list (List.map (fun r -> r.dvf) rows))
 
@@ -186,11 +249,13 @@ let correlate ?(cache = Cachesim.Config.profiling_4mb) ?(fit = default_fit)
         let mine =
           List.filter (fun row -> String.equal row.row_workload r.workload) rows
         in
-        let rho = spearman_of mine in
-        if Float.is_nan rho then None else Some (r.workload, rho))
+        Option.map (fun rho -> (r.workload, rho)) (spearman_of mine))
       results
   in
-  { cache; fit; rows; per_workload; overall = spearman_of rows }
+  let overall =
+    match spearman_of rows with Some rho -> rho | None -> Float.nan
+  in
+  { cache; fit; rows; per_workload; overall }
 
 let correlation_table c =
   let t =

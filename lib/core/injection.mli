@@ -48,6 +48,29 @@ val run_all :
 val to_table : result -> Dvf_util.Table.t
 (** Per-structure outcome counts, SDC rates and Wilson intervals. *)
 
+(** A campaign re-binned by {e when} each trial's flip landed (the
+    fraction of the run completed at injection time), the ground truth
+    `dvf windows` correlates the time-weighted DVF against. *)
+type timed = {
+  base : result;
+  time_bins : int;
+  windows : (string * (int array * int array)) list;
+      (** per structure: trials whose flip landed in each bin of [0,1],
+          and how many of those were SDC *)
+}
+
+val default_bins : int
+(** 20. *)
+
+val run_timed :
+  ?seed:int -> ?trials:int -> ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t -> ?bins:int -> Workload.t -> timed option
+(** {!run}, also binning each trial by its flip-time fraction into
+    [bins] (default {!default_bins}) windows.  The flip-time stamp is
+    derived from the flip slot the trial already draws, so [base] is
+    bit-identical to {!run} with the same seed/trials at any job count.
+    Raises [Invalid_argument] on [bins <= 0]. *)
+
 (** One (workload, structure) point of the comparison. *)
 type row = {
   row_workload : string;

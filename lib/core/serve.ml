@@ -192,6 +192,51 @@ let level_row_of_json j =
     l_writebacks = float_field ~what "writebacks" j;
   }
 
+let floats_to_json a =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a))
+
+let floats_of_json ~what = function
+  | Json.List vs -> Array.of_list (List.map (as_float ~what) vs)
+  | _ -> failwith (what ^ ": expected a list of numbers")
+
+let time_row_to_json (r : Verify.time_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Verify.t_workload);
+      ("base_cache", config_to_json r.Verify.t_base);
+      ("level", Json.Int r.Verify.t_level);
+      ("level_cache", config_to_json r.Verify.t_cache);
+      ("structure", Json.Str r.Verify.t_structure);
+      ("horizon", Json.Int r.Verify.t_horizon);
+      ("bins", Json.Int r.Verify.t_bins);
+      ("clean_time", Json.Float r.Verify.clean_time);
+      ("dirty_time", Json.Float r.Verify.dirty_time);
+      ("fills", Json.Float r.Verify.t_fills);
+      ("evictions", Json.Float r.Verify.t_evictions);
+      ("flushes", Json.Float r.Verify.t_flushes);
+      ("window", floats_to_json r.Verify.window);
+      ("window_dirty", floats_to_json r.Verify.window_dirty);
+    ]
+
+let time_row_of_json j =
+  let what = "time row" in
+  {
+    Verify.t_workload = str_field ~what "workload" j;
+    t_base = config_of_json (get ~what "base_cache" j);
+    t_level = int_field ~what "level" j;
+    t_cache = config_of_json (get ~what "level_cache" j);
+    t_structure = str_field ~what "structure" j;
+    t_horizon = int_field ~what "horizon" j;
+    t_bins = int_field ~what "bins" j;
+    clean_time = float_field ~what "clean_time" j;
+    dirty_time = float_field ~what "dirty_time" j;
+    t_fills = float_field ~what "fills" j;
+    t_evictions = float_field ~what "evictions" j;
+    t_flushes = float_field ~what "flushes" j;
+    window = floats_of_json ~what (get ~what "window" j);
+    window_dirty = floats_of_json ~what (get ~what "window_dirty" j);
+  }
+
 let profile_row_to_json (r : Profile.row) =
   Json.Obj
     [
@@ -251,6 +296,7 @@ let json_rows ~what of_row result =
 
 let verify_rows_of_result = json_rows ~what:"verify result" verify_row_of_json
 let level_rows_of_result = json_rows ~what:"levels result" level_row_of_json
+let timed_rows_of_result = json_rows ~what:"timed result" time_row_of_json
 
 let profile_rows_of_result =
   json_rows ~what:"dvf result" profile_row_of_json
@@ -297,6 +343,26 @@ let op_levels t req =
            (capture_for t w))
        (requested_workloads t req))
 
+let op_timed t req =
+  let levels =
+    match Json.member "levels" req with
+    | Some (Json.Int l) -> l
+    | Some _ -> failwith "\"levels\" must be an integer"
+    | None -> 1
+  in
+  let bins =
+    match Json.member "bins" req with
+    | Some (Json.Int b) -> b
+    | Some _ -> failwith "\"bins\" must be an integer"
+    | None -> Cachesim.Residency.default_bins
+  in
+  rows_result time_row_to_json
+    (List.concat_map
+       (fun w ->
+         Verify.capture_time_rows ~telemetry:t.telemetry ~levels ~bins
+           (capture_for t w))
+       (requested_workloads t req))
+
 let op_dvf t req =
   let caches = Cachesim.Config.profiling_set in
   rows_result profile_row_to_json
@@ -340,7 +406,8 @@ let op_stats t =
         | None -> Json.Null );
     ]
 
-let ops = [ "ping"; "workloads"; "verify"; "levels"; "dvf"; "sweep"; "stats" ]
+let ops =
+  [ "ping"; "workloads"; "verify"; "levels"; "timed"; "dvf"; "sweep"; "stats" ]
 
 let dispatch t ~op req =
   match op with
@@ -353,6 +420,7 @@ let dispatch t ~op req =
         ]
   | "verify" -> op_verify t req
   | "levels" -> op_levels t req
+  | "timed" -> op_timed t req
   | "dvf" -> op_dvf t req
   | "sweep" -> op_sweep t req
   | "stats" -> op_stats t

@@ -27,6 +27,10 @@
       bit-identical to [dvf verify].
     - [levels] — per-level hierarchy traffic rows; optional ["workload"],
       optional ["levels"] (default 2).
+    - [timed] — time-weighted residency rows over the verification cache
+      set; optional ["workload"], optional ["levels"] (default 1) and
+      ["bins"] (default {!Cachesim.Residency.default_bins}).  Rows are
+      bit-identical to [dvf verify --time-weighted].
     - [dvf] — DVF profile rows over the profiling cache set (analytic,
       like [dvf profile]); optional ["workload"].
     - [sweep] — capacity sweep for one required ["workload"]; optional
@@ -96,6 +100,8 @@ val verify_row_to_json : Verify.row -> Dvf_util.Json.t
 val verify_row_of_json : Dvf_util.Json.t -> Verify.row
 val level_row_to_json : Verify.level_row -> Dvf_util.Json.t
 val level_row_of_json : Dvf_util.Json.t -> Verify.level_row
+val time_row_to_json : Verify.time_row -> Dvf_util.Json.t
+val time_row_of_json : Dvf_util.Json.t -> Verify.time_row
 val profile_row_to_json : Profile.row -> Dvf_util.Json.t
 val profile_row_of_json : Dvf_util.Json.t -> Profile.row
 val sweep_row_to_json : Experiments.sweep_row -> Dvf_util.Json.t
@@ -105,5 +111,6 @@ val verify_rows_of_result : Dvf_util.Json.t -> Verify.row list
 (** Decode the ["rows"] of a [verify] response's [result]. *)
 
 val level_rows_of_result : Dvf_util.Json.t -> Verify.level_row list
+val timed_rows_of_result : Dvf_util.Json.t -> Verify.time_row list
 val profile_rows_of_result : Dvf_util.Json.t -> Profile.row list
 val sweep_rows_of_result : Dvf_util.Json.t -> Experiments.sweep_row list

@@ -317,6 +317,8 @@ let finalize_metrics telemetry =
       ~counter:"tape/capture_events" ~span:"verify/capture_total";
     Telemetry.gauge_rate telemetry ~name:"tape/replay_events_per_sec"
       ~counter:"tape/replay_events" ~span:"verify/replay_total";
+    Telemetry.gauge_rate telemetry ~name:"tape/timed_replay_events_per_sec"
+      ~counter:"tape/timed_replay_events" ~span:"verify/timed_total";
     Telemetry.gauge_rate telemetry ~name:"cache/accesses_per_sec"
       ~counter:"cache/accesses" ~span:"verify/replay_total";
     let captured = Telemetry.counter_value telemetry "tape/capture_events" in
@@ -637,6 +639,279 @@ let to_level_table rows =
           Printf.sprintf "L%d" r.level; r.l_structure;
           Table.cell_float r.accesses; Table.cell_float r.misses;
           Table.cell_float r.l_writebacks;
+        ])
+    rows;
+  t
+
+(* --- time-weighted rows: residency-based vulnerability per level ---
+
+   The classic rows weight vulnerability by access counts (the paper's
+   N_ha); these weight it by *residency time* — how long each
+   structure's lines actually sit in a level, clean or dirty, on the
+   logical event clock (Jaulmes et al.'s delayed-error-reporting
+   argument).  The replay attaches a [Cachesim.Residency.t] to every
+   level, the clock is the tape's event ordinal, and the horizon is the
+   tape length, so every integral is an exact integer and the sharded
+   strategy merges to the serial result bit for bit. *)
+
+type time_row = {
+  t_workload : string;
+  t_base : Cachesim.Config.t;
+  t_level : int; (* 1-based *)
+  t_cache : Cachesim.Config.t;
+  t_structure : string;
+  t_horizon : int;   (* run length in events (tape length) *)
+  t_bins : int;
+  clean_time : float;   (* line-events resident and clean *)
+  dirty_time : float;   (* line-events resident and dirty *)
+  t_fills : float;
+  t_evictions : float;
+  t_flushes : float;
+  window : float array;        (* clean+dirty residency per time bin *)
+  window_dirty : float array;  (* dirty share of each bin *)
+}
+
+(* Exposure in bit-events: every resident bit of the structure's lines,
+   integrated over logical time.  This is the time-weighted analogue of
+   the paper's DVF kernel (bits x main-memory accesses); the FIT-rate
+   and execution-time factors scale every structure alike, so rankings
+   — and the Spearman correlation `dvf windows` reports — are
+   unaffected by omitting them here. *)
+let tw_dvf r =
+  float_of_int (8 * r.t_cache.Cachesim.Config.line)
+  *. (r.clean_time +. r.dirty_time)
+
+let time_rows_of_snaps ~registry (instance : Workload.instance) ~base ~configs
+    snaps =
+  List.concat
+    (List.mapi
+       (fun li (config, snap) ->
+         List.map
+           (fun (r : Memtrace.Region.region) ->
+             let c =
+               Cachesim.Residency.Snapshot.owner snap r.Memtrace.Region.id
+             in
+             {
+               t_workload = instance.Workload.workload;
+               t_base = base;
+               t_level = li + 1;
+               t_cache = config;
+               t_structure = r.Memtrace.Region.name;
+               t_horizon = Cachesim.Residency.Snapshot.horizon snap;
+               t_bins = Cachesim.Residency.Snapshot.bins snap;
+               clean_time =
+                 float_of_int c.Cachesim.Residency.clean_time;
+               dirty_time =
+                 float_of_int c.Cachesim.Residency.dirty_time;
+               t_fills = float_of_int c.Cachesim.Residency.fills;
+               t_evictions = float_of_int c.Cachesim.Residency.evictions;
+               t_flushes = float_of_int c.Cachesim.Residency.flushes;
+               window =
+                 Array.map float_of_int
+                   (Cachesim.Residency.Snapshot.resident_bins c);
+               window_dirty =
+                 Array.map float_of_int c.Cachesim.Residency.dirty_bins;
+             })
+           (Memtrace.Region.regions registry))
+       (List.combine configs snaps))
+
+let record_residency_counters telemetry snaps =
+  if Telemetry.enabled telemetry then
+    List.iter
+      (fun snap ->
+        let tot = Cachesim.Residency.Snapshot.totals snap in
+        Telemetry.add telemetry ~n:tot.Cachesim.Residency.clean_time
+          "residency/clean_line_events";
+        Telemetry.add telemetry ~n:tot.Cachesim.Residency.dirty_time
+          "residency/dirty_line_events";
+        Telemetry.add telemetry ~n:tot.Cachesim.Residency.fills
+          "residency/fills";
+        Telemetry.add telemetry ~n:tot.Cachesim.Residency.evictions
+          "residency/evictions")
+      snaps
+
+(* One timed walk of a capture through one hierarchy geometry: create,
+   attach one accumulator per level, replay, pin the clock to the
+   horizon, flush (closing every surviving line's phase at the horizon),
+   snapshot. *)
+let timed_replay_once ~bins ~configs cap =
+  let horizon = Memtrace.Tape.length cap.tape in
+  let h = Cachesim.Hierarchy.create configs in
+  let res =
+    Array.init (List.length configs) (fun _ ->
+        Cachesim.Residency.create ~bins ~horizon ())
+  in
+  Cachesim.Hierarchy.attach_residency h res;
+  Memtrace.Tape.replay_hierarchies cap.tape [| h |];
+  Cachesim.Hierarchy.set_now h horizon;
+  Cachesim.Hierarchy.flush h;
+  res
+
+let timed_level_snapshots ?(telemetry = Telemetry.null) ?pool
+    ?(strategy = Replay) ?(shards = 1) ?(bins = Cachesim.Residency.default_bins)
+    ~configs cap =
+  if strategy = Retrace then
+    invalid_arg
+      "Verify.timed_level_snapshots: the retrace strategy has no tape and \
+       therefore no logical clock; use replay, fused or sharded";
+  check_shard_count shards;
+  if bins <= 0 then
+    invalid_arg "Verify.timed_level_snapshots: bins must be positive";
+  let t0 = Telemetry.now_ns telemetry in
+  let residencies =
+    match strategy with
+    | Retrace -> assert false (* rejected above *)
+    | Replay | Fused ->
+        (* Fused gains nothing here (residency walks are generic), so
+           both strategies take the same single-walk path — which is
+           what makes cross-strategy bit-identity trivial to assert. *)
+        Array.to_list (timed_replay_once ~bins ~configs cap)
+    | Sharded ->
+        let horizon = Memtrace.Tape.length cap.tape in
+        let run_shard shard =
+          let h = Cachesim.Hierarchy.create configs in
+          let res =
+            Array.init (List.length configs) (fun _ ->
+                Cachesim.Residency.create ~bins ~horizon ())
+          in
+          Cachesim.Hierarchy.attach_residency h res;
+          Memtrace.Tape.replay_hierarchies_sharded cap.tape [| h |] ~shards
+            ~shard;
+          Cachesim.Hierarchy.set_now h horizon;
+          Cachesim.Hierarchy.flush h;
+          res
+        in
+        let shard_ids = List.init shards (fun s -> s) in
+        let per_shard =
+          match pool with
+          | Some pool -> Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
+          | None -> List.map run_shard shard_ids
+        in
+        List.init (List.length configs) (fun li ->
+            Cachesim.Residency.sum
+              (List.map (fun res -> res.(li)) per_shard))
+  in
+  let snaps = List.map Cachesim.Residency.snapshot residencies in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.add telemetry ~n:(Memtrace.Tape.length cap.tape)
+      "tape/timed_replay_events";
+    Telemetry.time_ns telemetry "verify/timed_total"
+      (Int64.sub (Telemetry.now_ns telemetry) t0)
+  end;
+  record_residency_counters telemetry snaps;
+  snaps
+
+(* One capture's time-weighted rows over every verification base
+   geometry — the per-workload unit of work in [run_all_timed] and the
+   whole job for a [Serve] timed request. *)
+let capture_time_rows ?(telemetry = Telemetry.null) ?pool ?strategy ?shards
+    ?bins ~levels cap =
+  List.concat_map
+    (fun base ->
+      let configs = Cachesim.Config.hierarchy_of ~levels base in
+      let snaps =
+        timed_level_snapshots ~telemetry ?pool ?strategy ?shards ?bins ~configs
+          cap
+      in
+      time_rows_of_snaps ~registry:cap.registry cap.instance ~base ~configs
+        snaps)
+    Cachesim.Config.verification_set
+
+let run_all_timed ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
+    ?shards ?store ?workloads ?(levels = 1)
+    ?(bins = Cachesim.Residency.default_bins) () =
+  if strategy = Retrace then
+    invalid_arg
+      "Verify.run_all_timed: the retrace strategy has no tape and therefore \
+       no logical clock; use replay, fused or sharded";
+  let workloads =
+    match workloads with Some ws -> ws | None -> Workloads.all ()
+  in
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Dvf_util.Parallel.recommended_jobs ()
+  in
+  let shards =
+    match shards with
+    | Some s ->
+        check_shard_count s;
+        s
+    | None -> pow2_floor (max 1 jobs)
+  in
+  let shards = match strategy with Sharded -> shards | _ -> 1 in
+  let t0 = Telemetry.now_ns telemetry in
+  let rows =
+    if jobs <= 1 then
+      List.concat_map
+        (fun workload ->
+          capture_time_rows ~telemetry ~strategy ~shards ~bins ~levels
+            (capture ~telemetry ?store (Workloads.verification_instance workload)))
+        workloads
+    else
+      Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+          let captures =
+            Dvf_util.Parallel.Pool.map_list pool
+              (fun workload ->
+                capture ~telemetry ?store
+                  (Workloads.verification_instance workload))
+              workloads
+          in
+          match strategy with
+          | Sharded ->
+              (* Shard tasks are the parallel unit; captures process in
+                 order so telemetry counters accumulate deterministically. *)
+              List.concat_map
+                (fun cap ->
+                  capture_time_rows ~telemetry ~pool ~strategy ~shards ~bins
+                    ~levels cap)
+                captures
+          | _ ->
+              List.concat
+                (Dvf_util.Parallel.Pool.map_list pool
+                   (fun cap ->
+                     capture_time_rows ~telemetry ~strategy ~shards ~bins
+                       ~levels cap)
+                   captures))
+  in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.set_gauge telemetry "residency/bins" (float_of_int bins);
+    Telemetry.time_ns telemetry "verify/total"
+      (Int64.sub (Telemetry.now_ns telemetry) t0)
+  end;
+  finalize_metrics telemetry;
+  rows
+
+let to_time_table rows =
+  let t =
+    Table.create
+      ~title:
+        "Time-weighted vulnerability: per-structure residency (line-events) \
+         by cache level"
+      [
+        ("kernel", Table.Left); ("cache", Table.Left); ("level", Table.Left);
+        ("structure", Table.Left); ("clean", Table.Right);
+        ("dirty", Table.Right); ("avg lines", Table.Right);
+        ("dirty %", Table.Right); ("tw-DVF", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let resident = r.clean_time +. r.dirty_time in
+      let avg =
+        if r.t_horizon = 0 then 0.0 else resident /. float_of_int r.t_horizon
+      in
+      let dirty_pct =
+        if resident = 0.0 then 0.0 else 100.0 *. r.dirty_time /. resident
+      in
+      Table.add_row t
+        [
+          r.t_workload; r.t_base.Cachesim.Config.name;
+          Printf.sprintf "L%d" r.t_level; r.t_structure;
+          Table.cell_float r.clean_time; Table.cell_float r.dirty_time;
+          Printf.sprintf "%.2f" avg;
+          Printf.sprintf "%.1f" dirty_pct;
+          Printf.sprintf "%.4g" (tw_dvf r);
         ])
     rows;
   t

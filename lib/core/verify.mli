@@ -203,6 +203,94 @@ val run_all_levels :
 
 val to_level_table : level_row list -> Dvf_util.Table.t
 
+(** {2 Time-weighted rows}
+
+    The classic rows weight vulnerability by access counts (the paper's
+    N_ha); these weight it by {e residency time}: how long each
+    structure's lines sit in each level, clean or dirty, on the logical
+    event clock (the tape's event ordinal — Jaulmes et al.'s
+    delayed-error-reporting axis).  All integrals are exact integers
+    ({!Cachesim.Residency}), so rows are bit-identical at any job
+    count, with any shard width, across {!Replay}/{!Fused}/{!Sharded}. *)
+
+type time_row = {
+  t_workload : string;
+  t_base : Cachesim.Config.t;   (** the L1/base geometry *)
+  t_level : int;                (** 1-based *)
+  t_cache : Cachesim.Config.t;  (** this level's geometry *)
+  t_structure : string;
+  t_horizon : int;              (** run length in events (tape length) *)
+  t_bins : int;
+  clean_time : float;           (** line-events resident and clean *)
+  dirty_time : float;           (** line-events resident and dirty *)
+  t_fills : float;
+  t_evictions : float;
+  t_flushes : float;
+  window : float array;         (** clean+dirty residency per time bin *)
+  window_dirty : float array;   (** dirty share of each bin *)
+}
+
+val tw_dvf : time_row -> float
+(** Time-weighted DVF kernel: resident bits integrated over logical time
+    ([8 x line x (clean + dirty)] bit-events).  The FIT-rate and
+    execution-time factors of the full DVF scale every structure alike
+    and are omitted; rankings (and Spearman correlations against
+    injection ground truth) are unchanged by that. *)
+
+val timed_level_snapshots :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?pool:Dvf_util.Parallel.Pool.t ->
+  ?strategy:strategy ->
+  ?shards:int ->
+  ?bins:int ->
+  configs:Cachesim.Config.t list ->
+  capture -> Cachesim.Residency.snapshot list
+(** Replay one capture through one hierarchy geometry with a residency
+    accumulator attached per level; returns one snapshot per level.  The
+    horizon is the tape length.  {!Sharded} runs one replica per shard
+    (on [pool] when given) and merges with {!Cachesim.Residency.sum};
+    {!Replay} and {!Fused} take the same single-walk path — all three
+    produce bit-identical snapshots.  Raises [Invalid_argument] for
+    {!Retrace} (no tape, no logical clock), a bad [shards], or
+    [bins <= 0].  Telemetry: ["tape/timed_replay_events"],
+    ["residency/clean_line_events"|"dirty_line_events"|"fills"|
+    "evictions"] counters and the ["verify/timed_total"] accumulator. *)
+
+val capture_time_rows :
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?pool:Dvf_util.Parallel.Pool.t ->
+  ?strategy:strategy ->
+  ?shards:int ->
+  ?bins:int ->
+  levels:int -> capture -> time_row list
+(** One capture's time-weighted rows over every verification base
+    geometry (the per-workload unit of work in {!run_all_timed}, and
+    what a [dvf serve] timed request runs against its warm capture). *)
+
+val run_all_timed :
+  ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t ->
+  ?strategy:strategy ->
+  ?shards:int ->
+  ?store:Memtrace.Tape_store.t ->
+  ?workloads:Workload.t list ->
+  ?levels:int ->
+  ?bins:int -> unit -> time_row list
+(** Every workload against both verification geometries extended to
+    [levels]-deep hierarchies (default 1), with per-level residency
+    tracking ([bins] time windows, default
+    {!Cachesim.Residency.default_bins}).  Rows are ordered
+    workload-major, then base cache, then level, then structure, and
+    are bit-identical at any [jobs], any [shards], across
+    {!Replay}/{!Fused}/{!Sharded}.  Raises [Invalid_argument] for
+    {!Retrace}.  Telemetry: the counters of
+    {!timed_level_snapshots} plus a ["residency/bins"] gauge and the
+    derived ["tape/timed_replay_events_per_sec"]. *)
+
+val to_time_table : time_row list -> Dvf_util.Table.t
+(** Per-structure clean/dirty line-event integrals, average resident
+    lines, dirty share, and the time-weighted DVF. *)
+
 val workload_error : rows:row list -> string -> Cachesim.Config.t -> float
 (** Aggregate (total-traffic) error for one workload/cache pair, by
     registry name. *)

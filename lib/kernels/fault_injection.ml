@@ -16,8 +16,15 @@ type injector = {
   flops : int;
   structures : string list;
   default_trials : int;
-  trial : structure:string -> Dvf_util.Rng.t -> outcome;
+  trial : structure:string -> Dvf_util.Rng.t -> outcome * float;
 }
+
+(* Where in the run the flip landed, as a fraction of the kernel's
+   injection-slot range — the time axis `dvf windows` bins SDC rates
+   over.  The stamp is derived from the already-drawn flip slot, so
+   adding it changes no RNG draw and no outcome. *)
+let frac_of ~at ~max_at =
+  if max_at <= 0 then 0.0 else float_of_int at /. float_of_int max_at
 
 let sdc_rate c =
   if c.trials = 0 then 0.0 else float_of_int c.sdc /. float_of_int c.trials
@@ -66,7 +73,7 @@ let vm_trial (p : Vm.params) ~rng ~structure =
   done;
   if flip_at = n then inject ();
   let checksum = Dvf_util.Maths.sum c in
-  checksum
+  (checksum, frac_of ~at:flip_at ~max_at:n)
 
 let vm_clean_checksum p =
   (* A no-op "injection": flipping bit 0 of an element twice would be
@@ -119,7 +126,9 @@ let run_campaigns ?(seed = 1234) ?trials inj =
     (fun si structure ->
       let outcomes =
         List.init trials (fun t ->
-            inj.trial ~structure (trial_rng ~seed ~structure_index:si ~trial:t))
+            fst
+              (inj.trial ~structure
+                 (trial_rng ~seed ~structure_index:si ~trial:t)))
       in
       tally structure outcomes)
     inj.structures
@@ -134,7 +143,8 @@ let vm_injector ?(trials = 400) p =
     default_trials = trials;
     trial =
       (fun ~structure rng ->
-        classify_value ~clean ~tol:1e-12 (vm_trial p ~rng ~structure));
+        let checksum, frac = vm_trial p ~rng ~structure in
+        (classify_value ~clean ~tol:1e-12 checksum, frac));
   }
 
 let vm_campaign ?(trials = 400) ?(seed = 1234) p =
@@ -189,14 +199,17 @@ let cg_trial (p : Cg.params) ~rng ~structure ~clean_iterations xstar =
       ~max_iterations:(4 * clean_iterations)
       ~tolerance:p.Cg.tolerance
   in
-  if Float.is_nan residual || not (residual <= p.Cg.tolerance) then Detected
-  else begin
-    let err = ref 0.0 in
-    for i = 0 to n - 1 do
-      err := Float.max !err (Float.abs (x.(i) -. xstar.(i)))
-    done;
-    if !err > 1e-5 then Sdc else Benign
-  end
+  let outcome =
+    if Float.is_nan residual || not (residual <= p.Cg.tolerance) then Detected
+    else begin
+      let err = ref 0.0 in
+      for i = 0 to n - 1 do
+        err := Float.max !err (Float.abs (x.(i) -. xstar.(i)))
+      done;
+      if !err > 1e-5 then Sdc else Benign
+    end
+  in
+  (outcome, frac_of ~at:flip_at ~max_at:clean_iterations)
 
 let cg_injector ?(trials = 200) p =
   let clean = Cg.run_untraced p in
@@ -246,10 +259,11 @@ let nb_injector ?(trials = 200) p =
         in
         let flip_at = Dvf_util.Rng.int rng (steps + 1) in
         let bit = Dvf_util.Rng.int rng 64 in
-        classify_array ~clean ~tol:1e-9
-          (flatten_pairs
-             (Barnes_hut.run_injected p ~structure:s ~flip_at
-                ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit))));
+        ( classify_array ~clean ~tol:1e-9
+            (flatten_pairs
+               (Barnes_hut.run_injected p ~structure:s ~flip_at
+                  ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit))),
+          frac_of ~at:flip_at ~max_at:steps ));
   }
 
 let mg_injector ?(trials = 200) p =
@@ -287,16 +301,19 @@ let mg_injector ?(trials = 200) p =
             ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit)
         in
         let final = res.Multigrid.final_residual in
-        if not (Float.is_finite final && Float.is_finite usum) then Detected
-        else if final > 10.0 *. clean_res.Multigrid.initial_residual then
-          (* a solver driver would flag the failure to contract *)
-          Detected
-        else if
-          Float.abs (usum -. clean_sum) /. scale > 1e-9
-          || Float.abs (final -. clean_res.Multigrid.final_residual) /. scale
-             > 1e-9
-        then Sdc
-        else Benign);
+        let outcome =
+          if not (Float.is_finite final && Float.is_finite usum) then Detected
+          else if final > 10.0 *. clean_res.Multigrid.initial_residual then
+            (* a solver driver would flag the failure to contract *)
+            Detected
+          else if
+            Float.abs (usum -. clean_sum) /. scale > 1e-9
+            || Float.abs (final -. clean_res.Multigrid.final_residual) /. scale
+               > 1e-9
+          then Sdc
+          else Benign
+        in
+        (outcome, frac_of ~at:flip_at ~max_at:phases));
   }
 
 let ft_injector ?(trials = 300) p =
@@ -320,12 +337,13 @@ let ft_injector ?(trials = 300) p =
         assert (String.equal structure "X");
         let flip_at = Dvf_util.Rng.int rng (passes + 1) in
         let bit = Dvf_util.Rng.int rng 64 in
-        classify_array ~clean ~tol:1e-12
-          (flatten_pairs
-             (Array.map
-                (fun (c : Complex.t) -> (c.Complex.re, c.Complex.im))
-                (Fft.run_injected p ~flip_at ~pick:(Dvf_util.Rng.int rng)
-                   ~flip:(flip_bit ~bit)))));
+        ( classify_array ~clean ~tol:1e-12
+            (flatten_pairs
+               (Array.map
+                  (fun (c : Complex.t) -> (c.Complex.re, c.Complex.im))
+                  (Fft.run_injected p ~flip_at ~pick:(Dvf_util.Rng.int rng)
+                     ~flip:(flip_bit ~bit)))),
+          frac_of ~at:flip_at ~max_at:passes ));
   }
 
 let mc_injector ?(trials = 200) p =
@@ -350,8 +368,9 @@ let mc_injector ?(trials = 200) p =
           Monte_carlo.run_injected p ~structure:s ~flip_at
             ~pick:(Dvf_util.Rng.int rng) ~flip:(flip_bit ~bit)
         in
-        classify_value ~clean:clean.Monte_carlo.total_xs ~tol:1e-12
-          res.Monte_carlo.total_xs);
+        ( classify_value ~clean:clean.Monte_carlo.total_xs ~tol:1e-12
+            res.Monte_carlo.total_xs,
+          frac_of ~at:flip_at ~max_at:(lookups - 1) ));
   }
 
 let sdc_interval ?z c =

@@ -32,16 +32,20 @@ type campaign = {
     campaign engine needs to bombard one kernel configuration.  [trial]
     runs the kernel once with a single strike on [structure], drawing the
     strike point, element and bit from the supplied RNG, and classifies
-    the outcome.  [spec] and [flops] describe the same configuration
-    analytically, so empirical SDC rates can be correlated against DVF
-    ({!Dvf_core.Injection} builds that report). *)
+    the outcome; it also reports {e when} the flip landed as a fraction
+    of the kernel's injection-slot range (0 = before the first slot,
+    1 = after the last), derived from the already-drawn slot so the RNG
+    stream and outcomes are unchanged by the stamp.  [spec] and [flops]
+    describe the same configuration analytically, so empirical SDC rates
+    can be correlated against DVF ({!Dvf_core.Injection} builds that
+    report, and `dvf windows` bins SDC rate by the flip-time stamp). *)
 type injector = {
   label : string;             (** e.g. ["CG n=60"], for reports *)
   spec : Access_patterns.App_spec.t;
   flops : int;
   structures : string list;   (** names match [spec]'s structures *)
   default_trials : int;
-  trial : structure:string -> Dvf_util.Rng.t -> outcome;
+  trial : structure:string -> Dvf_util.Rng.t -> outcome * float;
 }
 
 val sdc_rate : campaign -> float

@@ -76,6 +76,10 @@ let find t key =
     match Tape_io.load p with
     | Ok (meta, registry, tape) when meta_matches meta key ->
         count t "store/load_bytes" bytes;
+        (* Touch the entry so [gc ~max_bytes] evicts least-recently-used
+           first; a store that cannot be touched (read-only) still
+           serves. *)
+        (try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ());
         Some (registry, tape)
     | Ok _ | Error (Tape_io.Bad_magic | Version_mismatch _ | Corrupt _) ->
         evict t p;
@@ -119,12 +123,67 @@ let list t =
            in
            Some { file; status })
 
-let gc t =
-  List.filter_map
-    (fun e ->
-      match e.status with
-      | `Ok _ -> None
-      | `Stale _ | `Corrupt _ ->
-          evict t (Filename.concat t.dir e.file);
-          Some e.file)
-    (list t)
+(* Orphaned temporaries: [Tape_io.save] writes [<entry>.tmp] and renames
+   it into place, so any [.dvftape.tmp] still on disk is the residue of
+   an interrupted save — never a live entry (a concurrent save would be
+   racing gc either way, and loses nothing but its cache warmth). *)
+let orphaned_temps t =
+  Sys.readdir t.dir |> Array.to_list |> List.sort String.compare
+  |> List.filter (fun file -> Filename.check_suffix file (suffix ^ ".tmp"))
+
+let entry_age_and_size t file =
+  match Unix.stat (Filename.concat t.dir file) with
+  | st -> Some (st.Unix.st_mtime, st.Unix.st_size)
+  | exception Unix.Unix_error _ -> None
+
+let gc ?max_bytes t =
+  let bad =
+    List.filter_map
+      (fun e ->
+        match e.status with
+        | `Ok _ -> None
+        | `Stale _ | `Corrupt _ ->
+            evict t (Filename.concat t.dir e.file);
+            Some e.file)
+      (list t)
+  in
+  let temps =
+    List.map
+      (fun file ->
+        evict t (Filename.concat t.dir file);
+        file)
+      (orphaned_temps t)
+  in
+  let lru =
+    match max_bytes with
+    | None -> []
+    | Some budget ->
+        if budget < 0 then
+          invalid_arg "Tape_store.gc: max_bytes must be non-negative";
+        (* Healthy entries, least-recently-used first (mtime is bumped
+           on every [find] hit), name as the deterministic tie-break. *)
+        let entries =
+          List.filter_map
+            (fun e ->
+              match e.status with
+              | `Ok _ ->
+                  Option.map
+                    (fun (mtime, size) -> (mtime, e.file, size))
+                    (entry_age_and_size t e.file)
+              | `Stale _ | `Corrupt _ -> None)
+            (list t)
+          |> List.sort compare
+        in
+        let total =
+          List.fold_left (fun acc (_, _, size) -> acc + size) 0 entries
+        in
+        let rec drop total = function
+          | _ when total <= budget -> []
+          | [] -> []
+          | (_, file, size) :: rest ->
+              evict t (Filename.concat t.dir file);
+              file :: drop (total - size) rest
+        in
+        drop total entries
+  in
+  bad @ temps @ lru

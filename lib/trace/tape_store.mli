@@ -63,6 +63,11 @@ val list : t -> entry list
 (** All [.dvftape] entries (sorted by file name) with their header
     status.  Cheap: reads headers only, does not checksum payloads. *)
 
-val gc : t -> string list
-(** Remove every [`Stale] and [`Corrupt] entry; returns the removed
-    file names. *)
+val gc : ?max_bytes:int -> t -> string list
+(** Remove every [`Stale] and [`Corrupt] entry, plus any orphaned
+    [.dvftape.tmp] left behind by an interrupted atomic save.  With
+    [max_bytes], additionally evict healthy entries least-recently-used
+    first ({!find} bumps an entry's mtime on every hit; ties break by
+    file name) until the store's total size is within the budget.
+    Returns the removed file names.  Raises [Invalid_argument] on a
+    negative [max_bytes]. *)

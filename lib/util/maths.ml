@@ -149,10 +149,12 @@ let log1p = Float.log1p
 let expm1 = Float.expm1
 
 let wilson_interval ?(z = 1.959963984540054) ~successes ~trials () =
-  if trials <= 0 then invalid_arg "Maths.wilson_interval: trials <= 0";
-  if successes < 0 || successes > trials then
+  if trials < 0 then invalid_arg "Maths.wilson_interval: negative trials";
+  if successes < 0 || successes > max trials 0 then
     invalid_arg "Maths.wilson_interval: successes outside 0..trials";
   if z < 0.0 then invalid_arg "Maths.wilson_interval: negative z";
+  if trials = 0 then (0.0, 1.0)
+  else begin
   let n = float_of_int trials in
   let p = float_of_int successes /. n in
   let z2 = z *. z in
@@ -162,6 +164,7 @@ let wilson_interval ?(z = 1.959963984540054) ~successes ~trials () =
     z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
   in
   (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
 
 (* Average ranks (1-based), ties sharing the mean of the positions they
    occupy — the standard fractional ranking Spearman's rho requires. *)
@@ -185,11 +188,11 @@ let fractional_ranks xs =
   done;
   ranks
 
-let spearman xs ys =
+let spearman_opt xs ys =
   let n = Array.length xs in
   if n <> Array.length ys then
     invalid_arg "Maths.spearman: length mismatch";
-  if n < 2 then Float.nan
+  if n < 2 then None
   else begin
     let rx = fractional_ranks xs and ry = fractional_ranks ys in
     let mean_rank = float_of_int (n + 1) /. 2.0 in
@@ -200,6 +203,10 @@ let spearman xs ys =
       sxx := !sxx +. (dx *. dx);
       syy := !syy +. (dy *. dy)
     done;
-    if !sxx = 0.0 || !syy = 0.0 then Float.nan
-    else !sxy /. sqrt (!sxx *. !syy)
+    if !sxx = 0.0 || !syy = 0.0 then None
+    else
+      (* rounding in the product can push |rho| epsilon past 1 *)
+      Some (clamp ~lo:(-1.0) ~hi:1.0 (!sxy /. sqrt (!sxx *. !syy)))
   end
+
+let spearman xs ys = match spearman_opt xs ys with Some r -> r | None -> 0.0

@@ -68,12 +68,21 @@ val wilson_interval :
 (** Wilson score interval for a binomial proportion, clamped to [\[0;1\]].
     [z] defaults to 1.96 (the two-sided 95% normal quantile).  Unlike the
     Wald interval it stays informative at 0 or [trials] successes — the
-    regime small fault-injection campaigns live in.  Raises
-    [Invalid_argument] on [trials <= 0], successes outside [0..trials],
-    or negative [z]. *)
+    regime small fault-injection campaigns live in — and an empty
+    campaign ([trials = 0]) returns the vacuous [(0, 1)] instead of
+    raising: time-binned campaigns (`dvf windows`) routinely produce
+    empty bins.  Raises [Invalid_argument] on negative [trials],
+    successes outside [0..trials], or negative [z]. *)
+
+val spearman_opt : float array -> float array -> float option
+(** Spearman's rank correlation coefficient, with fractional (average)
+    ranks for ties, clamped to [\[-1;1\]].  [None] when the coefficient
+    is undefined: fewer than two points, or zero rank variance (all
+    values of one input equal).  Raises [Invalid_argument] on length
+    mismatch. *)
 
 val spearman : float array -> float array -> float
-(** Spearman's rank correlation coefficient, with fractional (average)
-    ranks for ties.  [nan] when either input has fewer than two elements
-    or zero rank variance (all values equal); raises [Invalid_argument]
-    on length mismatch. *)
+(** {!spearman_opt}, with the undefined cases collapsed to [0.0] (no
+    rank evidence either way) rather than [nan] — callers that must
+    distinguish "no correlation" from "undefined" use the [_opt]
+    variant. *)

@@ -177,6 +177,57 @@ let test_funnel_invariant () =
       check_funnel_invariant (Printf.sprintf "%d-level" levels) h)
     [ 2; 3 ]
 
+(* Flush-cascade attribution, checked against a four-event mini-trace
+   computed by hand.  Lines A(0x00), B(0x40) and C(0x80) share L1 set 0
+   of [tiny] (2-way), D(0x10) sits alone in set 1; L2 (8x the sets)
+   never evicts.  The regression of interest: a dirty line flushed out
+   of L1 must surface in L2 exactly once — as one write lookup charged
+   to its owner — and each level's flush writebacks must stay with the
+   owner of the dirty line, not the owner that triggered the flush. *)
+let test_flush_attribution_mini_trace () =
+  let h = C.Hierarchy.create (C.Config.hierarchy_of ~levels:2 tiny) in
+  let access ~owner ~write addr =
+    C.Hierarchy.access h ~owner ~write ~addr ~size:4
+  in
+  access ~owner:1 ~write:true 0x00;   (* A: miss, installs dirty *)
+  access ~owner:1 ~write:false 0x40;  (* B: miss *)
+  access ~owner:2 ~write:false 0x80;  (* C: miss, evicts dirty A *)
+  access ~owner:3 ~write:true 0x10;   (* D: miss, installs dirty *)
+  C.Hierarchy.flush h;
+  let l1 = snap (C.Hierarchy.level_cache h 0) in
+  let l2 = snap (C.Hierarchy.level_cache h 1) in
+  let check name (s : C.Stats.snapshot) owner ~accesses ~misses ~writebacks =
+    let c = C.Stats.Snapshot.owner s owner in
+    Alcotest.(check int)
+      (Printf.sprintf "%s owner %d accesses" name owner)
+      accesses
+      (C.Stats.Snapshot.accesses c);
+    Alcotest.(check int)
+      (Printf.sprintf "%s owner %d misses" name owner)
+      misses c.C.Stats.misses;
+    Alcotest.(check int)
+      (Printf.sprintf "%s owner %d writebacks" name owner)
+      writebacks c.C.Stats.writebacks
+  in
+  (* L1: owner 1 wrote A back on C's arrival; owner 3's D went back at
+     flush.  Owner 2 triggered A's eviction but owns no writeback. *)
+  check "L1" l1 1 ~accesses:2 ~misses:2 ~writebacks:1;
+  check "L1" l1 2 ~accesses:1 ~misses:1 ~writebacks:0;
+  check "L1" l1 3 ~accesses:1 ~misses:1 ~writebacks:1;
+  (* L2: four demand fills plus exactly two write-back lookups — A's
+     (mid-run, a hit over its own fill) and D's (from the flush
+     cascade).  A and D are dirty in L2, so its own flush writes both
+     back to memory, again charged to their owners. *)
+  check "L2" l2 1 ~accesses:3 ~misses:2 ~writebacks:1;
+  check "L2" l2 2 ~accesses:1 ~misses:1 ~writebacks:0;
+  check "L2" l2 3 ~accesses:2 ~misses:1 ~writebacks:1;
+  let t1 = C.Stats.Snapshot.totals l1 and t2 = C.Stats.Snapshot.totals l2 in
+  Alcotest.(check int) "L2 accesses = L1 misses + writebacks"
+    (t1.C.Stats.misses + t1.C.Stats.writebacks)
+    (C.Stats.Snapshot.accesses t2);
+  Alcotest.(check int) "L2 hit count: A's writeback found its fill" 2
+    t2.C.Stats.hits
+
 (* A small funnel buffer forces mid-batch drains; the traffic a level
    forwards must not depend on the buffer size. *)
 let test_funnel_capacity_invariance () =
@@ -450,6 +501,8 @@ let suite =
       test_one_level_identity_all_workloads;
     Alcotest.test_case "funnel invariant (2 and 3 levels)" `Quick
       test_funnel_invariant;
+    Alcotest.test_case "flush attribution (hand-computed)" `Quick
+      test_flush_attribution_mini_trace;
     Alcotest.test_case "funnel capacity invariance" `Quick
       test_funnel_capacity_invariance;
     Alcotest.test_case "sharded fused = fused (caches)" `Quick

@@ -190,9 +190,17 @@ let test_wilson_interval () =
   let loz, hiz = M.wilson_interval ~z:0.0 ~successes:3 ~trials:12 () in
   Alcotest.(check (float 1e-12)) "z=0 lo" 0.25 loz;
   Alcotest.(check (float 1e-12)) "z=0 hi" 0.25 hiz;
-  Alcotest.check_raises "trials <= 0"
-    (Invalid_argument "Maths.wilson_interval: trials <= 0") (fun () ->
-      ignore (M.wilson_interval ~successes:0 ~trials:0 ()))
+  (* Empty campaign (a routine case for time-binned injection): the
+     vacuous interval, not an exception. *)
+  let loe, hie = M.wilson_interval ~successes:0 ~trials:0 () in
+  Alcotest.(check (float 1e-12)) "0 trials lo" 0.0 loe;
+  Alcotest.(check (float 1e-12)) "0 trials hi" 1.0 hie;
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Maths.wilson_interval: negative trials") (fun () ->
+      ignore (M.wilson_interval ~successes:0 ~trials:(-1) ()));
+  Alcotest.check_raises "successes without trials"
+    (Invalid_argument "Maths.wilson_interval: successes outside 0..trials")
+    (fun () -> ignore (M.wilson_interval ~successes:1 ~trials:0 ()))
 
 let test_spearman () =
   let check_rho name expected xs ys =
@@ -204,10 +212,21 @@ let test_spearman () =
   let rho = M.spearman [| 1.0; 2.0; 2.0; 3.0 |] [| 1.0; 2.0; 3.0; 4.0 |] in
   Alcotest.(check bool) "ties: strong but imperfect" true
     (rho > 0.9 && rho < 1.0);
-  Alcotest.(check bool) "constant input is nan" true
-    (Float.is_nan (M.spearman [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]));
-  Alcotest.(check bool) "short input is nan" true
-    (Float.is_nan (M.spearman [| 1.0 |] [| 2.0 |]));
+  (* Undefined cases: [spearman_opt] reports them, [spearman] collapses
+     them to 0 — and never NaN or an exception. *)
+  Alcotest.(check bool) "constant input undefined" true
+    (M.spearman_opt [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |] = None);
+  check_rho "constant input collapses to 0" 0.0 [| 1.0; 1.0; 1.0 |]
+    [| 1.0; 2.0; 3.0 |];
+  Alcotest.(check bool) "short input undefined" true
+    (M.spearman_opt [| 1.0 |] [| 2.0 |] = None);
+  check_rho "short input collapses to 0" 0.0 [| 1.0 |] [| 2.0 |];
+  Alcotest.(check bool) "empty input undefined" true
+    (M.spearman_opt [||] [||] = None);
+  (* Defined results are clamped to [-1, 1] even with rounding noise. *)
+  let xs = Array.init 64 (fun i -> float_of_int i *. 0.1)
+  and ys = Array.init 64 (fun i -> float_of_int i *. 0.3) in
+  Alcotest.(check (float 1e-12)) "clamped at 1" 1.0 (M.spearman xs ys);
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Maths.spearman: length mismatch") (fun () ->
       ignore (M.spearman [| 1.0 |] [| 1.0; 2.0 |]))

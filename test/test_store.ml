@@ -197,6 +197,88 @@ let test_list_and_gc () =
       Alcotest.(check bool) "good entry still loads" true
         (Mt.Tape_store.find store key <> None))
 
+let test_gc_orphaned_temps () =
+  with_store (fun store ->
+      let registry, tape = make_capture 64 () in
+      Mt.Tape_store.save store key ~registry ~tape;
+      (* The residue of an interrupted atomic save: [Tape_io.save]
+         writes [<entry>.tmp] and renames, so a lingering .tmp is
+         garbage by construction. *)
+      let orphan =
+        Filename.concat (Mt.Tape_store.dir store) "dead.dvftape.tmp"
+      in
+      let oc = open_out_bin orphan in
+      output_string oc "partial write";
+      close_out oc;
+      let removed = Mt.Tape_store.gc store in
+      Alcotest.(check (list string)) "orphan removed"
+        [ "dead.dvftape.tmp" ] removed;
+      Alcotest.(check bool) "orphan gone from disk" false
+        (Sys.file_exists orphan);
+      Alcotest.(check bool) "live entry untouched" true
+        (Mt.Tape_store.find store key <> None))
+
+let entry_bytes store k =
+  let ic = open_in_bin (Mt.Tape_store.path store k) in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+let set_mtime path mtime = Unix.utimes path mtime mtime
+
+let test_gc_lru_budget () =
+  let telemetry = T.create () in
+  with_store ~telemetry (fun store ->
+      let registry, tape = make_capture 64 () in
+      let keys =
+        List.map
+          (fun w -> { key with Mt.Tape_store.workload = w })
+          [ "VM"; "CG"; "MC" ]
+      in
+      List.iter (fun k -> Mt.Tape_store.save store k ~registry ~tape) keys;
+      let sizes = List.map (entry_bytes store) keys in
+      let total = List.fold_left ( + ) 0 sizes in
+      let size_of k = entry_bytes store k in
+      (* Pin explicit ages: VM oldest, CG middle, MC newest. *)
+      List.iteri
+        (fun i k -> set_mtime (Mt.Tape_store.path store k) (1000.0 +. float_of_int i))
+        keys;
+      (* A budget that already holds: nothing to do. *)
+      Alcotest.(check (list string)) "within budget: no evictions" []
+        (Mt.Tape_store.gc ~max_bytes:total store);
+      (* Shave one byte off: exactly the oldest entry goes. *)
+      let vm = List.nth keys 0 and cg = List.nth keys 1 in
+      let mc = List.nth keys 2 in
+      let removed = Mt.Tape_store.gc ~max_bytes:(total - 1) store in
+      Alcotest.(check int) "one eviction" 1 (List.length removed);
+      Alcotest.(check bool) "oldest (VM) evicted" false
+        (Sys.file_exists (Mt.Tape_store.path store vm));
+      Alcotest.(check bool) "newer entries survive" true
+        (Sys.file_exists (Mt.Tape_store.path store cg)
+        && Sys.file_exists (Mt.Tape_store.path store mc));
+      (* A hit refreshes recency: touch CG older than MC, then read CG —
+         the LRU victim must now be MC. *)
+      set_mtime (Mt.Tape_store.path store cg) 2000.0;
+      set_mtime (Mt.Tape_store.path store mc) 3000.0;
+      Alcotest.(check bool) "hit on CG" true
+        (Mt.Tape_store.find store cg <> None);
+      let removed = Mt.Tape_store.gc ~max_bytes:(size_of cg) store in
+      Alcotest.(check int) "one more eviction" 1 (List.length removed);
+      Alcotest.(check bool) "recently-read CG survives" true
+        (Sys.file_exists (Mt.Tape_store.path store cg));
+      Alcotest.(check bool) "stale MC evicted" false
+        (Sys.file_exists (Mt.Tape_store.path store mc));
+      (* Zero budget empties the store; negative is an error. *)
+      Alcotest.(check int) "zero budget clears the store" 1
+        (List.length (Mt.Tape_store.gc ~max_bytes:0 store));
+      Alcotest.(check int) "store empty" 0
+        (List.length (Mt.Tape_store.list store));
+      (match Mt.Tape_store.gc ~max_bytes:(-1) store with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative max_bytes must be rejected");
+      Alcotest.(check int) "every removal counted as an eviction" 3
+        (T.counter_value telemetry "store/evictions"))
+
 let test_create_on_file_rejected () =
   let path = scratch_dir () in
   Fun.protect
@@ -243,6 +325,10 @@ let suite =
     Alcotest.test_case "stale version evicted" `Quick test_stale_version_evicted;
     Alcotest.test_case "meta mismatch evicted" `Quick test_meta_mismatch_evicted;
     Alcotest.test_case "list and gc" `Quick test_list_and_gc;
+    Alcotest.test_case "gc removes orphaned temporaries" `Quick
+      test_gc_orphaned_temps;
+    Alcotest.test_case "gc enforces an LRU byte budget" `Quick
+      test_gc_lru_budget;
     Alcotest.test_case "create on a file is rejected" `Quick
       test_create_on_file_rejected;
     Alcotest.test_case "Verify.capture through the store" `Quick
