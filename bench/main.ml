@@ -7,10 +7,10 @@
    Usage: dune exec bench/main.exe
      [-- section ... [-j N] [--no-tape] [--tape-store DIR]]
    where section is one of: tables fig4 fig5 fig6 fig7 sweep tape ablation
-   sparse component inject aspen speed serve.
+   sparse component inject chaos aspen speed serve.
    With no sections every section runs.  [-j N] (or [--jobs N]) sets the
-   domain count for the parallel sections (fig4, fig6, sweep, inject); the
-   default
+   domain count for the parallel sections (fig4, fig6, sweep, inject,
+   chaos); the default
    is Domain.recommended_domain_count, and [-j 1] forces the serial
    path.  [--no-tape] disables capture-once/replay-many tape reuse in
    fig4 and sweep (per-geometry retrace, the performance baseline); the
@@ -688,6 +688,58 @@ let run_inject ~jobs ~telemetry () =
     total_trials inject_seconds jobs model_seconds
     (inject_seconds /. model_seconds)
 
+(* --- Chaos: component-kill campaigns over the service graph --- *)
+
+let run_chaos ~jobs ~telemetry () =
+  section_header "Chaos campaigns - component kills over the service graph";
+  let w = Core.Service_workloads.workload () in
+  let trials = 2000 in
+  let start = Unix.gettimeofday () in
+  let report =
+    match Core.Chaos.run ~jobs ~telemetry ~trials w with
+    | Some r -> r
+    | None -> failwith "service_graph workload lost its topology"
+  in
+  let chaos_seconds = Unix.gettimeofday () -. start in
+  Dvf_util.Table.print (Core.Chaos.to_table report);
+  Format.printf "%a" Core.Chaos.pp_summary report;
+  let total_trials =
+    List.fold_left
+      (fun acc (r : Core.Chaos.row) -> acc + r.Core.Chaos.trials)
+      0 report.Core.Chaos.rows
+  in
+  let trial_rate =
+    if chaos_seconds > 0.0 then float_of_int total_trials /. chaos_seconds
+    else 0.0
+  in
+  Printf.printf "%d kill trials in %.3f s = %.0f trials/sec (-j %d)\n"
+    total_trials chaos_seconds trial_rate jobs;
+  (* The synthesized request traffic through the verification cache — the
+     replay feeding the availability-vs-DVF comparison above. *)
+  let inst = w.Core.Workload.instance `Verification in
+  let cache = Cachesim.Cache.create Cachesim.Config.small_verification in
+  let registry = Memtrace.Region.create () in
+  let recorder = Memtrace.Recorder.create () in
+  ignore
+    (Memtrace.Recorder.add_sink recorder (Memtrace.Recorder.cache_sink cache));
+  let t0 = Unix.gettimeofday () in
+  inst.Core.Workload.trace registry recorder;
+  Memtrace.Recorder.flush recorder;
+  let trace_seconds = Unix.gettimeofday () -. t0 in
+  let events = Memtrace.Recorder.events_emitted recorder in
+  let event_rate =
+    if trace_seconds > 0.0 then float_of_int events /. trace_seconds else 0.0
+  in
+  Printf.printf
+    "service-graph traffic: %d events in %.3f s = %.2e events/sec\n" events
+    trace_seconds event_rate;
+  if Dvf_util.Telemetry.enabled telemetry then begin
+    Dvf_util.Telemetry.set_gauge telemetry "bench/chaos_trials_per_sec"
+      trial_rate;
+    Dvf_util.Telemetry.set_gauge telemetry
+      "bench/service_graph_replay_events_per_sec" event_rate
+  end
+
 (* --- Aspen DSL end-to-end --- *)
 
 let run_aspen () =
@@ -871,6 +923,9 @@ let sections =
     ( "inject",
       fun ~jobs ~telemetry ~tape:_ ~store:_ () -> run_inject ~jobs ~telemetry ()
     );
+    ( "chaos",
+      fun ~jobs ~telemetry ~tape:_ ~store:_ () -> run_chaos ~jobs ~telemetry ()
+    );
     ("aspen", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_aspen ());
     ("speed", fun ~jobs:_ ~telemetry:_ ~tape:_ ~store:_ () -> run_speed ());
     ( "serve",
@@ -966,6 +1021,12 @@ let write_bench_snapshot ~command ~jobs ~tape ~store_dir ~wall_clock_sec
         ( "store_save_bytes",
           J.Int (T.counter_value telemetry "store/save_bytes") );
         ("serve_requests_per_sec", gauge "bench/serve_requests_per_sec");
+        (* Chaos section rates (Null when that section did not run):
+           component-kill campaign throughput and the service-graph
+           synthesized-traffic replay rate. *)
+        ("chaos_trials_per_sec", gauge "bench/chaos_trials_per_sec");
+        ( "service_graph_replay_events_per_sec",
+          gauge "bench/service_graph_replay_events_per_sec" );
         ("telemetry", T.to_json telemetry);
       ]
   in

@@ -41,15 +41,24 @@ let param_overrides =
 
 let workload_conv =
   (* Case-insensitive registry lookup; the error names every registered
-     workload so typos are self-correcting. *)
+     workload so typos are self-correcting.  The built-in service-graph
+     workloads are opt-in (they would otherwise grow the pinned default
+     verify/inject tables), so a registry miss falls back to
+     [Service_workloads.find], which registers the named one on the way
+     out. *)
   let parse s =
     match Core.Workloads.find s with
     | Some w -> Ok w
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown workload %S (registered: %s)" s
-               (String.concat ", " (Core.Workloads.names ()))))
+    | None -> (
+        match Core.Service_workloads.find s with
+        | Some w -> Ok w
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown workload %S (registered: %s; on demand: %s)" s
+                   (String.concat ", " (Core.Workloads.names ()))
+                   (String.concat ", " (Core.Service_workloads.names ())))))
   in
   let print fmt (w : Core.Workload.t) =
     Format.pp_print_string fmt w.Core.Workload.name
@@ -156,7 +165,7 @@ let open_tape_store ~telemetry = function
   | None -> None
   | Some dir -> Some (Memtrace.Tape_store.create ~telemetry ~dir ())
 
-(* --- injection campaign knobs --- *)
+(* --- campaign knobs (dvf inject / dvf chaos / dvf windows) --- *)
 
 let seed =
   let doc = "Campaign seed; trial RNGs are derived from it." in
@@ -166,8 +175,44 @@ let seed =
     & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let csv =
-  let doc = "Also write the correlation rows to $(docv) as CSV." in
+  let doc = "Also write the report rows to $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let trials =
+  let doc =
+    "Trials per campaign target — per structure for bit flips, per \
+     endpoint for component kills (default: the fault model's own)."
+  in
+  Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+
+let kill_fraction =
+  let doc =
+    "Fraction of components killed per chaos trial, in [0, 1]; rounded \
+     to the nearest whole component count.  0 kills nothing (every \
+     trial is a clean run)."
+  in
+  Arg.(
+    value
+    & opt float Core.Fault_model.default_kill_fraction
+    & info [ "kill-fraction" ] ~docv:"F" ~doc)
+
+let check_kill_fraction f =
+  if (not (Float.is_finite f)) || f < 0.0 || f > 1.0 then begin
+    Printf.eprintf "error: --kill-fraction expects a value in [0, 1] (got %g)\n"
+      f;
+    exit 1
+  end;
+  f
+
+(* The knobs every campaign subcommand shares, validated once:
+   [dvf inject] and [dvf chaos] used to re-declare this plumbing. *)
+type campaign = {
+  c_jobs : int;
+  c_trials : int option;
+  c_seed : int;
+  c_csv : string option;
+  c_metrics : string option;
+}
 
 (* --- telemetry --- *)
 
@@ -194,3 +239,16 @@ let with_metrics metrics f =
       Dvf_util.Telemetry.write_file telemetry path;
       Printf.eprintf "metrics written to %s\n" path;
       result
+
+let campaign_term =
+  let make jobs trials seed csv metrics =
+    let jobs = check_jobs jobs in
+    (match trials with
+    | Some t when t < 1 ->
+        Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
+        exit 1
+    | _ -> ());
+    { c_jobs = jobs; c_trials = trials; c_seed = seed; c_csv = csv;
+      c_metrics = metrics }
+  in
+  Term.(const make $ jobs $ trials $ seed $ csv $ metrics)

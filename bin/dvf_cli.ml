@@ -303,26 +303,18 @@ let protect_cmd =
 (* --- inject: fault-injection campaigns vs the analytical DVF --- *)
 
 let inject_cmd =
-  let trials =
-    let doc = "Trials per structure (default: each injector's own)." in
-    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
-  in
-  let run jobs trials seed csv metrics workloads =
-    let jobs = Cli_common.check_jobs jobs in
-    (match trials with
-    | Some t when t < 1 ->
-        Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
-        exit 1
-    | _ -> ());
+  let run (c : Cli_common.campaign) workloads =
     List.iter
       (fun (w : Core.Workload.t) ->
         if Option.is_none w.Core.Workload.injector then
           Printf.eprintf "note: %s has no fault injector; skipping\n"
             w.Core.Workload.name)
       workloads;
-    Cli_common.with_metrics metrics (fun telemetry ->
+    Cli_common.with_metrics c.Cli_common.c_metrics (fun telemetry ->
         let results =
-          Core.Injection.run_all ~seed ?trials ~jobs ~telemetry workloads
+          Core.Injection.run_all ~seed:c.Cli_common.c_seed
+            ?trials:c.Cli_common.c_trials ~jobs:c.Cli_common.c_jobs ~telemetry
+            workloads
         in
         if results = [] then begin
           Printf.eprintf
@@ -342,7 +334,7 @@ let inject_cmd =
               (Dvf_util.Table.to_csv (Core.Injection.correlation_table corr));
             close_out oc;
             Printf.printf "wrote %s\n" path)
-          csv)
+          c.Cli_common.c_csv)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -351,16 +343,80 @@ let inject_cmd =
           intervals on SDC rates), compared against the analytical DVF by \
           Spearman rank correlation")
     Term.(
-      const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.csv
-      $ Cli_common.metrics $ Cli_common.workload_pos_args)
+      const run $ Cli_common.campaign_term $ Cli_common.workload_pos_args)
+
+(* --- chaos: component-kill campaigns over service graphs --- *)
+
+let chaos_cmd =
+  let workloads =
+    (* Unlike the other subcommands, the default set resolves inside
+       [run]: the service workloads are registered on demand, so a
+       module-initialization-time [Workloads.all ()] would miss them. *)
+    let doc =
+      "Workloads by registry name (default: the built-in service-graph \
+       workloads)."
+    in
+    Arg.(value & pos_all Cli_common.workload_conv [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let run (c : Cli_common.campaign) kill_fraction workloads =
+    let kill_fraction = Cli_common.check_kill_fraction kill_fraction in
+    let workloads =
+      match workloads with
+      | [] ->
+          Core.Service_workloads.ensure_registered ();
+          List.filter
+            (fun (w : Core.Workload.t) ->
+              Option.is_some w.Core.Workload.topology)
+            (Core.Workloads.all ())
+      | ws -> ws
+    in
+    List.iter
+      (fun (w : Core.Workload.t) ->
+        if Option.is_none w.Core.Workload.topology then
+          Printf.eprintf "note: %s has no service-graph topology; skipping\n"
+            w.Core.Workload.name)
+      workloads;
+    Cli_common.with_metrics c.Cli_common.c_metrics (fun telemetry ->
+        let reports =
+          Core.Chaos.run_all ~seed:c.Cli_common.c_seed
+            ?trials:c.Cli_common.c_trials ~jobs:c.Cli_common.c_jobs ~telemetry
+            ~kill_fraction workloads
+        in
+        if reports = [] then begin
+          Printf.eprintf
+            "error: none of the selected workloads has a service-graph \
+             topology\n";
+          exit 1
+        end;
+        List.iter
+          (fun r ->
+            Dvf_util.Table.print (Core.Chaos.to_table r);
+            Format.printf "%a" Core.Chaos.pp_summary r)
+          reports;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Core.Chaos.to_csv reports);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          c.Cli_common.c_csv)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos campaigns over service-graph workloads: kill a random \
+          component subset per trial, report per-endpoint availability \
+          (Wilson confidence intervals) and the mix-weighted request loss, \
+          and rank availability against the analytical DVF by Spearman \
+          correlation.  Runs on the same fault-model campaign engine as \
+          $(b,dvf inject)")
+    Term.(
+      const run $ Cli_common.campaign_term $ Cli_common.kill_fraction
+      $ workloads)
 
 (* --- windows: vulnerability vs. time --- *)
 
 let windows_cmd =
-  let trials =
-    let doc = "Trials per structure (default: each injector's own)." in
-    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
-  in
   let strategy =
     let doc =
       "Timed-replay strategy for the residency side: $(b,replay) \
@@ -373,16 +429,9 @@ let windows_cmd =
       & opt (enum Core.Verify.strategies) Core.Verify.Replay
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
   in
-  let run jobs trials seed bins strategy shards tape_store csv metrics
-      workloads =
-    let jobs = Cli_common.check_jobs jobs in
+  let run (c : Cli_common.campaign) bins strategy shards tape_store workloads =
     let bins = Cli_common.check_bins bins in
     let shards = Cli_common.check_shards shards in
-    (match trials with
-    | Some t when t < 1 ->
-        Printf.eprintf "error: --trials expects a positive integer (got %d)\n" t;
-        exit 1
-    | _ -> ());
     if strategy = Core.Verify.Retrace then begin
       Printf.eprintf
         "error: --strategy retrace has no tape and therefore no logical \
@@ -395,11 +444,12 @@ let windows_cmd =
           Printf.eprintf "note: %s has no fault injector; skipping\n"
             w.Core.Workload.name)
       workloads;
-    Cli_common.with_metrics metrics (fun telemetry ->
+    Cli_common.with_metrics c.Cli_common.c_metrics (fun telemetry ->
         let store = Cli_common.open_tape_store ~telemetry tape_store in
         let report =
-          Core.Windows.run ~jobs ~telemetry ~strategy ?shards ?store ~seed
-            ?trials ~bins ~workloads ()
+          Core.Windows.run ~jobs:c.Cli_common.c_jobs ~telemetry ~strategy
+            ?shards ?store ~seed:c.Cli_common.c_seed
+            ?trials:c.Cli_common.c_trials ~bins ~workloads ()
         in
         if report.Core.Windows.curves = [] then begin
           Printf.eprintf
@@ -415,7 +465,7 @@ let windows_cmd =
             output_string oc (Core.Windows.to_csv report);
             close_out oc;
             Printf.printf "wrote %s\n" path)
-          csv)
+          c.Cli_common.c_csv)
   in
   Cmd.v
     (Cmd.info "windows"
@@ -425,9 +475,9 @@ let windows_cmd =
           Spearman rank correlations per structure and between the \
           time-weighted DVF and the overall SDC rate")
     Term.(
-      const run $ Cli_common.jobs $ trials $ Cli_common.seed $ Cli_common.bins
-      $ strategy $ Cli_common.shards $ Cli_common.tape_store $ Cli_common.csv
-      $ Cli_common.metrics $ Cli_common.workload_pos_args)
+      const run $ Cli_common.campaign_term $ Cli_common.bins $ strategy
+      $ Cli_common.shards $ Cli_common.tape_store
+      $ Cli_common.workload_pos_args)
 
 (* --- serve / query: long-lived query daemon over line JSON ---
 
@@ -589,8 +639,8 @@ let query_cmd =
   in
   let op =
     let doc =
-      "Operation: verify, levels, timed, dvf, sweep, workloads, stats or \
-       ping."
+      "Operation: verify, levels, timed, dvf, sweep, chaos, workloads, \
+       stats or ping."
     in
     Arg.(value & opt string "verify" & info [ "op" ] ~docv:"OP" ~doc)
   in
@@ -623,6 +673,20 @@ let query_cmd =
     let doc = "Skip the trace-driven totals in $(b,--op sweep)." in
     Arg.(value & flag & info [ "no-simulate" ] ~doc)
   in
+  let trials =
+    let doc = "Trials per endpoint for $(b,--op chaos) (server default)." in
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let q_kill_fraction =
+    let doc =
+      "Components killed per trial for $(b,--op chaos), as a fraction in \
+       [0, 1] (server default)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kill-fraction" ] ~docv:"F" ~doc)
+  in
   let raw =
     let doc = "Print the raw JSON response line instead of a table." in
     Arg.(value & flag & info [ "raw" ] ~doc)
@@ -634,7 +698,8 @@ let query_cmd =
     in
     Arg.(value & opt (some string) None & info [ "request" ] ~docv:"JSON" ~doc)
   in
-  let build_request ~op ~workload ~levels ~bins ~capacities ~no_simulate =
+  let build_request ~op ~workload ~levels ~bins ~capacities ~no_simulate
+      ~trials ~kill_fraction =
     Json.to_string ~indent:false
       (Json.Obj
          ([ ("id", Json.Int 1); ("op", Json.Str op) ]
@@ -652,6 +717,12 @@ let query_cmd =
          @ (match capacities with
            | Some caps when op = "sweep" ->
                [ ("capacities", Json.List (List.map (fun c -> Json.Int c) caps)) ]
+           | _ -> [])
+         @ (match trials with
+           | Some t when op = "chaos" -> [ ("trials", Json.Int t) ]
+           | _ -> [])
+         @ (match kill_fraction with
+           | Some f when op = "chaos" -> [ ("kill_fraction", Json.Float f) ]
            | _ -> [])
          @
          if no_simulate && op = "sweep" then
@@ -708,6 +779,10 @@ let query_cmd =
                     Dvf_util.Table.print
                       (Core.Experiments.cache_sweep_table ~label
                          (Core.Serve.sweep_rows_of_result result))
+                | "chaos" ->
+                    let report = Core.Serve.chaos_report_of_result result in
+                    Dvf_util.Table.print (Core.Chaos.to_table report);
+                    Format.printf "%a" Core.Chaos.pp_summary report
                 | _ -> print_endline (Json.to_string result)
               with Failure msg ->
                 Printf.eprintf "error: %s\n" msg;
@@ -725,13 +800,14 @@ let query_cmd =
               exit 1)
   in
   let run jobs tape_store socket op workload levels bins capacities
-      no_simulate raw request =
+      no_simulate trials kill_fraction raw request =
     let jobs = Cli_common.check_jobs jobs in
     let line =
       match request with
       | Some r -> r
       | None ->
           build_request ~op ~workload ~levels ~bins ~capacities ~no_simulate
+            ~trials ~kill_fraction
     in
     (* Render according to the op actually sent, so --request still gets
        a table when it names a tabular op. *)
@@ -778,7 +854,8 @@ let query_cmd =
           render the rows as the matching CLI table (or --raw JSON)")
     Term.(
       const run $ Cli_common.jobs $ Cli_common.tape_store $ socket $ op
-      $ workload $ levels $ bins $ capacities $ no_simulate $ raw $ request)
+      $ workload $ levels $ bins $ capacities $ no_simulate $ trials
+      $ q_kill_fraction $ raw $ request)
 
 (* --- --model: any Aspen file through the full pipeline --- *)
 
@@ -878,7 +955,7 @@ let main_cmd =
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
       parse_cmd; models_cmd; components_cmd; protect_cmd; inject_cmd;
-      windows_cmd; serve_cmd; query_cmd;
+      chaos_cmd; windows_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -49,24 +49,21 @@ let of_app ?source (app : Compile.app) =
       trace = Core.Replay.trace app.Compile.spec;
     }
   in
-  {
-    Core.Workload.name = app.Compile.app_name;
-    computational_class = "Aspen model";
-    major_structures =
-      List.map
-        (fun (s : Ap.App_spec.structure) -> s.Ap.App_spec.name)
-        app.Compile.spec.Ap.App_spec.structures;
-    pattern_classes = pattern_classes app.Compile.spec;
-    example_benchmark =
-      (match source with Some path -> path | None -> "user model");
-    input_size = (fun _ -> describe_params app);
+  Core.Workload.make ~name:app.Compile.app_name
+    ~computational_class:"Aspen model"
+    ~major_structures:
+      (List.map
+         (fun (s : Ap.App_spec.structure) -> s.Ap.App_spec.name)
+         app.Compile.spec.Ap.App_spec.structures)
+    ~pattern_classes:(pattern_classes app.Compile.spec)
+    ~example_benchmark:
+      (match source with Some path -> path | None -> "user model")
+    ~input_size:(fun _ -> describe_params app)
     (* A model has one problem scale: its parameter values.  Both modes
-       return the same instance. *)
-    instance = (fun _ -> instance);
-    (* An Aspen model has no executable kernel to bombard. *)
-    injector = None;
-    aspen_source = source;
-  }
+       return the same instance.  An Aspen model has no executable
+       kernel to bombard, so no injector. *)
+    ~instance:(fun _ -> instance)
+    ?aspen_source:source ()
 
 let register ?source app =
   let w = of_app ?source app in

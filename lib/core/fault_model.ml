@@ -1,0 +1,55 @@
+module Fi = Kernels.Fault_injection
+
+type t = {
+  model : string;
+  label : string;
+  targets : string list;
+  default_trials : int;
+  trial : target:int -> Dvf_util.Rng.t -> Fi.outcome * float;
+}
+
+let of_injector (inj : Fi.injector) =
+  let structures = Array.of_list inj.Fi.structures in
+  {
+    model = "bit-flip";
+    label = inj.Fi.label;
+    targets = inj.Fi.structures;
+    default_trials = inj.Fi.default_trials;
+    trial = (fun ~target rng -> inj.Fi.trial ~structure:structures.(target) rng);
+  }
+
+let default_kill_fraction = 0.1
+
+let kill_count ~kill_fraction ~components =
+  if
+    (not (Float.is_finite kill_fraction))
+    || kill_fraction < 0.0 || kill_fraction > 1.0
+  then
+    invalid_arg
+      (Printf.sprintf "Fault_model.kill_count: kill fraction %g not in [0, 1]"
+         kill_fraction);
+  Dvf_util.Maths.clampi ~lo:0 ~hi:components
+    (int_of_float (Float.round (kill_fraction *. float_of_int components)))
+
+let component_kill ?(kill_fraction = default_kill_fraction) g =
+  let components = List.length g.Service_graph.components in
+  let k = kill_count ~kill_fraction ~components in
+  let served = Service_graph.evaluator g in
+  let radius = float_of_int k /. float_of_int components in
+  {
+    model = "component-kill";
+    label =
+      Printf.sprintf "%s (kill %d of %d components per trial)"
+        g.Service_graph.graph_name k components;
+    targets = Service_graph.endpoint_names g;
+    default_trials = 1000;
+    trial =
+      (fun ~target rng ->
+        let killed =
+          Dvf_util.Rng.sample_without_replacement rng ~n:components ~k
+        in
+        let outcome =
+          if served ~killed ~endpoint:target then Fi.Benign else Fi.Sdc
+        in
+        (outcome, radius));
+  }

@@ -1,0 +1,53 @@
+(** First-class fault models — the abstraction one campaign engine runs.
+
+    A fault model is a grid of targets plus a trial function: given a
+    target index and a per-trial RNG, perturb one run and classify the
+    outcome.  {!Injection.run_model} fans the (target, trial) grid over
+    {!Dvf_util.Parallel} domains with splitmix64-derived trial RNGs, so
+    every model inherits the engine's contract for free: parallel runs
+    are bit-identical to serial, tallies get Wilson intervals, and rates
+    correlate against DVF via Spearman rho.
+
+    Two implementations ship: {!of_injector} wraps the per-kernel
+    bit-flip injectors (the paper's §VI methodology, [dvf inject]), and
+    {!component_kill} draws random component-kill subsets of a service
+    graph (chaos campaigns, [dvf chaos]). *)
+
+type t = {
+  model : string;          (** e.g. ["bit-flip"], ["component-kill"] *)
+  label : string;          (** configuration label for reports *)
+  targets : string list;
+      (** the campaign grid: spec structures for bit flips, endpoints
+          for component kills; one tallied campaign per target *)
+  default_trials : int;
+  trial :
+    target:int -> Dvf_util.Rng.t -> Kernels.Fault_injection.outcome * float;
+      (** run one perturbed trial against [targets[target]], classify
+          it, and stamp a [0,1] fraction (flip time for bit flips,
+          blast radius for kills).  Must draw all randomness from the
+          supplied RNG — the bit-identity contract. *)
+}
+
+val of_injector : Kernels.Fault_injection.injector -> t
+(** The bit-flip model: targets are the injector's structures and
+    [trial ~target] is the injector's own trial on that structure, so an
+    {!Injection.run_model} campaign over the wrapped model reproduces
+    the historical [dvf inject] tallies bit for bit. *)
+
+val kill_count : kill_fraction:float -> components:int -> int
+(** Components killed per trial: [kill_fraction * components] rounded
+    to nearest, clamped to [[0, components]].  Raises
+    [Invalid_argument] unless [0 <= kill_fraction <= 1]. *)
+
+val component_kill : ?kill_fraction:float -> Service_graph.t -> t
+(** The chaos model over a service graph: targets are the graph's
+    endpoints; each trial kills a uniformly random {!kill_count}-sized
+    component subset ({!Dvf_util.Rng.sample_without_replacement}) and
+    asks {!Service_graph.evaluator} whether the endpoint survives —
+    [Benign] when served, [Sdc] when the request is lost.  The stamp is
+    the fraction of components down.  [kill_fraction] defaults to 0.1;
+    at 0 every subset is empty, so the campaign is a clean run (all
+    benign) — the chaos analogue of identity-flip. *)
+
+val default_kill_fraction : float
+(** 0.1. *)

@@ -13,44 +13,57 @@ type result = {
 
 let default_seed = 1234
 
-(* Fan the full (structure, trial) grid of one injector over the pool.
-   Each trial's RNG comes from [Fi.trial_rng], the same derivation the
-   serial [Fi.run_campaigns] uses, and [Pool.map] preserves input order,
-   so the tallies are bit-identical to the serial run at any job count.
-   Returns the raw per-trial (outcome, flip-time fraction) grid
-   alongside the tallied result so [run_timed] can re-bin it. *)
-let run_raw ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
-  let trials = Option.value trials ~default:inj.Fi.default_trials in
+(* THE campaign engine: fan the full (target, trial) grid of one fault
+   model over the pool.  Each trial's RNG comes from [Fi.trial_rng], the
+   same derivation the serial [Fi.run_campaigns] uses, and [Pool.map]
+   preserves input order, so the tallies are bit-identical to the serial
+   run at any job count.  [section] namespaces the telemetry ("inject"
+   for bit flips, "chaos" for component kills) so the two campaign kinds
+   stay separable in one metrics document.  Returns the raw per-trial
+   (outcome, fraction) grid alongside the tallies so [run_timed] can
+   re-bin it. *)
+let grid_raw ~telemetry ~section ~seed ~trials pool ~workload
+    (fm : Fault_model.t) =
+  let trials = Option.value trials ~default:fm.Fault_model.default_trials in
   if trials < 1 then invalid_arg "Injection.run: trials < 1";
-  let structures = Array.of_list inj.Fi.structures in
+  let targets = Array.of_list fm.Fault_model.targets in
   let tasks =
     Array.init
-      (Array.length structures * trials)
+      (Array.length targets * trials)
       (fun i -> (i / trials, i mod trials))
   in
   let t0 = Telemetry.now_ns telemetry in
   let outcomes =
     Dvf_util.Parallel.Pool.map pool
-      (fun (si, t) ->
-        inj.Fi.trial ~structure:structures.(si)
-          (Fi.trial_rng ~seed ~structure_index:si ~trial:t))
+      (fun (ti, t) ->
+        fm.Fault_model.trial ~target:ti
+          (Fi.trial_rng ~seed ~structure_index:ti ~trial:t))
       tasks
   in
   if Telemetry.enabled telemetry then begin
     let trial_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
     Telemetry.time_ns telemetry
-      (Printf.sprintf "inject/%s/trials" workload)
+      (Printf.sprintf "%s/%s/trials" section workload)
       trial_ns;
-    Telemetry.time_ns telemetry "inject/trials_total" trial_ns;
-    Telemetry.add telemetry ~n:(Array.length tasks) "inject/trials"
+    Telemetry.time_ns telemetry (section ^ "/trials_total") trial_ns;
+    Telemetry.add telemetry ~n:(Array.length tasks) (section ^ "/trials")
   end;
   let campaigns =
     List.mapi
-      (fun si structure ->
-        Fi.tally structure
+      (fun ti target ->
+        Fi.tally target
           (List.map fst
-             (Array.to_list (Array.sub outcomes (si * trials) trials))))
-      inj.Fi.structures
+             (Array.to_list (Array.sub outcomes (ti * trials) trials))))
+      fm.Fault_model.targets
+  in
+  (campaigns, outcomes, trials)
+
+(* The historical bit-flip entry point, now a wrapper over the shared
+   grid: same seeding coordinates, same tallies, byte for byte. *)
+let run_raw ~telemetry ~seed ~trials pool ~workload (inj : Fi.injector) =
+  let campaigns, outcomes, trials =
+    grid_raw ~telemetry ~section:"inject" ~seed ~trials pool ~workload
+      (Fault_model.of_injector inj)
   in
   let result =
     {
@@ -83,16 +96,50 @@ let make_injector ~telemetry ~workload make =
       (Int64.sub (Telemetry.now_ns telemetry) t0);
   inj
 
-let finalize_metrics telemetry =
+let finalize_metrics ?(section = "inject") telemetry =
   if Telemetry.enabled telemetry then begin
-    Telemetry.gauge_rate telemetry ~name:"inject/trials_per_sec"
-      ~counter:"inject/trials" ~span:"inject/trials_total";
-    let trials = Telemetry.counter_value telemetry "inject/trials" in
-    if trials > 0 then
+    Telemetry.gauge_rate telemetry
+      ~name:(section ^ "/trials_per_sec")
+      ~counter:(section ^ "/trials")
+      ~span:(section ^ "/trials_total");
+    (* Only bit-flip campaigns have a clean reference run to amortize. *)
+    let trials = Telemetry.counter_value telemetry (section ^ "/trials") in
+    if String.equal section "inject" && trials > 0 then
       Telemetry.set_gauge telemetry "inject/clean_run_amortization_sec"
         (Int64.to_float (Telemetry.span_ns telemetry "inject/setup_total")
         /. 1e9 /. float_of_int trials)
   end
+
+(* --- the generic fault-model entry points (chaos campaigns &c.) --- *)
+
+let default_section = "campaign"
+
+let run_model ?(seed = default_seed) ?trials ?(jobs = 1)
+    ?(telemetry = Telemetry.null) ?(section = default_section) ~workload fm =
+  let campaigns =
+    Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+        let campaigns, _, _ =
+          grid_raw ~telemetry ~section ~seed ~trials pool ~workload fm
+        in
+        campaigns)
+  in
+  finalize_metrics ~section telemetry;
+  campaigns
+
+let run_model_all ?(seed = default_seed) ?trials ?(jobs = 1)
+    ?(telemetry = Telemetry.null) ?(section = default_section) models =
+  let results =
+    Dvf_util.Parallel.with_pool ~telemetry ~jobs (fun pool ->
+        List.map
+          (fun (workload, fm) ->
+            let campaigns, _, _ =
+              grid_raw ~telemetry ~section ~seed ~trials pool ~workload fm
+            in
+            (workload, campaigns))
+          models)
+  in
+  finalize_metrics ~section telemetry;
+  results
 
 let run ?(seed = default_seed) ?trials ?(jobs = 1)
     ?(telemetry = Telemetry.null) (w : Workload.t) =

@@ -1,14 +1,17 @@
-(** Parallel fault-injection campaigns over registered workloads, and
-    their comparison against the analytical DVF (the paper's §VI
-    argument, run in both directions: DVF is cheap where injection is
-    expensive, and the two should rank structures alike).
+(** Parallel fault campaigns over registered workloads, and their
+    comparison against the analytical DVF (the paper's §VI argument, run
+    in both directions: DVF is cheap where injection is expensive, and
+    the two should rank structures alike).
 
-    The engine fans the (structure, trial) grid of a workload's
-    {!Workload.t.injector} over {!Dvf_util.Parallel} domains.  Trial RNGs
-    are derived from [(seed, structure index, trial index)] via
-    splitmix64 ({!Kernels.Fault_injection.trial_rng}), so the tallies are
+    One engine serves every {!Fault_model}: it fans the (target, trial)
+    grid over {!Dvf_util.Parallel} domains with trial RNGs derived from
+    [(seed, target index, trial index)] via splitmix64
+    ({!Kernels.Fault_injection.trial_rng}), so the tallies are
     bit-identical to the serial {!Kernels.Fault_injection.run_campaigns}
-    at any job count. *)
+    at any job count.  {!run}/{!run_all}/{!run_timed} are the historical
+    bit-flip entry points (wrapping {!Fault_model.of_injector});
+    {!run_model}/{!run_model_all} run any model — {!Chaos} drives them
+    with {!Fault_model.component_kill}. *)
 
 type result = {
   workload : string;                (** registry name, e.g. "CG" *)
@@ -47,6 +50,25 @@ val run_all :
 
 val to_table : result -> Dvf_util.Table.t
 (** Per-structure outcome counts, SDC rates and Wilson intervals. *)
+
+val run_model :
+  ?seed:int -> ?trials:int -> ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t -> ?section:string -> workload:string ->
+  Fault_model.t -> Kernels.Fault_injection.campaign list
+(** Run the shared engine over an arbitrary fault model: one campaign
+    per model target, [trials] trials each (default the model's own).
+    [section] (default ["campaign"]) namespaces the telemetry —
+    ["<section>/<workload>/trials"], ["<section>/trials"] and the
+    derived ["<section>/trials_per_sec"] gauge.  The seeding grid is the
+    one {!run} uses, so a bit-flip model round-trips bit-identically. *)
+
+val run_model_all :
+  ?seed:int -> ?trials:int -> ?jobs:int ->
+  ?telemetry:Dvf_util.Telemetry.t -> ?section:string ->
+  (string * Fault_model.t) list ->
+  (string * Kernels.Fault_injection.campaign list) list
+(** {!run_model} for several [(workload, model)] pairs, sharing one
+    domain pool across the whole batch. *)
 
 (** A campaign re-binned by {e when} each trial's flip landed (the
     fraction of the run completed at injection time), the ground truth

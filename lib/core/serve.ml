@@ -287,6 +287,68 @@ let sweep_row_of_json j =
       | v -> Some (as_float ~what v));
   }
 
+let chaos_row_to_json (r : Chaos.row) =
+  let lo, hi = r.Chaos.ci in
+  Json.Obj
+    [
+      ("endpoint", Json.Str r.Chaos.endpoint);
+      ("weight", Json.Float r.Chaos.weight);
+      ("trials", Json.Int r.Chaos.trials);
+      ("lost", Json.Int r.Chaos.lost);
+      ("availability", Json.Float r.Chaos.availability);
+      ("ci_lo", Json.Float lo);
+      ("ci_hi", Json.Float hi);
+      ("dvf", Json.Float r.Chaos.dvf);
+    ]
+
+let chaos_row_of_json j =
+  let what = "chaos row" in
+  {
+    Chaos.endpoint = str_field ~what "endpoint" j;
+    weight = float_field ~what "weight" j;
+    trials = int_field ~what "trials" j;
+    lost = int_field ~what "lost" j;
+    availability = float_field ~what "availability" j;
+    ci = (float_field ~what "ci_lo" j, float_field ~what "ci_hi" j);
+    dvf = float_field ~what "dvf" j;
+  }
+
+let chaos_report_to_json (r : Chaos.report) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Chaos.workload);
+      ("label", Json.Str r.Chaos.label);
+      ("kill_fraction", Json.Float r.Chaos.kill_fraction);
+      ("killed_per_trial", Json.Int r.Chaos.killed_per_trial);
+      ("components", Json.Int r.Chaos.components);
+      ("seed", Json.Int r.Chaos.seed);
+      ("requests_lost", Json.Float r.Chaos.requests_lost);
+      ( "rho",
+        match r.Chaos.rho with Some rho -> Json.Float rho | None -> Json.Null
+      );
+      ("rows", Json.List (List.map chaos_row_to_json r.Chaos.rows));
+    ]
+
+let chaos_report_of_result result =
+  let what = "chaos result" in
+  {
+    Chaos.workload = str_field ~what "workload" result;
+    label = str_field ~what "label" result;
+    kill_fraction = float_field ~what "kill_fraction" result;
+    killed_per_trial = int_field ~what "killed_per_trial" result;
+    components = int_field ~what "components" result;
+    seed = int_field ~what "seed" result;
+    requests_lost = float_field ~what "requests_lost" result;
+    rho =
+      (match get ~what "rho" result with
+      | Json.Null -> None
+      | v -> Some (as_float ~what v));
+    rows =
+      (match get ~what "rows" result with
+      | Json.List rows -> List.map chaos_row_of_json rows
+      | _ -> failwith (what ^ ": \"rows\" is not a list"));
+  }
+
 let rows_field result = get ~what:"response result" "rows" result
 
 let json_rows ~what of_row result =
@@ -394,6 +456,54 @@ let op_sweep t req =
     (Experiments.cache_sweep ~jobs:1 ~telemetry:t.telemetry ?capacities
        ~simulate ~capture capture.Verify.instance)
 
+(* Chaos runs take any workload with a topology: a served one, or a
+   built-in service workload registered on demand — so the op works
+   against a default server (which serves only the auto-registered
+   kernels) without changing any other op's workload set. *)
+let op_chaos t req =
+  let w =
+    match Json.member "workload" req with
+    | None | Some Json.Null -> Service_workloads.workload ()
+    | Some (Json.Str name) -> (
+        let key = String.lowercase_ascii name in
+        match
+          List.find_opt
+            (fun w -> String.lowercase_ascii w.Workload.name = key)
+            t.workloads
+        with
+        | Some w -> w
+        | None -> (
+            match Service_workloads.find name with
+            | Some w -> w
+            | None -> find_workload t name))
+    | Some _ -> failwith "\"workload\" must be a string"
+  in
+  let trials =
+    match Json.member "trials" req with
+    | None | Some Json.Null -> None
+    | Some (Json.Int n) -> Some n
+    | Some _ -> failwith "\"trials\" must be an integer"
+  in
+  let kill_fraction =
+    match Json.member "kill_fraction" req with
+    | None | Some Json.Null -> None
+    | Some v -> Some (as_float ~what:"\"kill_fraction\"" v)
+  in
+  let seed =
+    match Json.member "seed" req with
+    | None | Some Json.Null -> None
+    | Some (Json.Int s) -> Some s
+    | Some _ -> failwith "\"seed\" must be an integer"
+  in
+  match
+    Chaos.run ?seed ?trials ?kill_fraction ~telemetry:t.telemetry w
+  with
+  | Some report -> chaos_report_to_json report
+  | None ->
+      failwith
+        (Printf.sprintf "workload %S has no service-graph topology"
+           w.Workload.name)
+
 let op_stats t =
   Json.Obj
     [
@@ -407,7 +517,10 @@ let op_stats t =
     ]
 
 let ops =
-  [ "ping"; "workloads"; "verify"; "levels"; "timed"; "dvf"; "sweep"; "stats" ]
+  [
+    "ping"; "workloads"; "verify"; "levels"; "timed"; "dvf"; "sweep"; "chaos";
+    "stats";
+  ]
 
 let dispatch t ~op req =
   match op with
@@ -423,6 +536,7 @@ let dispatch t ~op req =
   | "timed" -> op_timed t req
   | "dvf" -> op_dvf t req
   | "sweep" -> op_sweep t req
+  | "chaos" -> op_chaos t req
   | "stats" -> op_stats t
   | other ->
       failwith

@@ -36,6 +36,15 @@
     - [sweep] — capacity sweep for one required ["workload"]; optional
       ["capacities"] (byte sizes) and ["simulate"] (default [true],
       trace-driven totals from the warm capture).
+    - [chaos] — component-kill chaos campaign over a service-graph
+      workload: optional ["workload"] (default the built-in
+      [service_graph]; a served workload, or a built-in service
+      workload registered on demand), ["trials"], ["kill_fraction"] and
+      ["seed"].  The result is one {!Chaos.report}: availability rows
+      (with Wilson intervals and per-endpoint DVF), the mix-weighted
+      loss rate and the availability-vs-DVF Spearman rho.  Decoded via
+      {!chaos_report_of_result}, it renders byte-identically to
+      [dvf chaos].
     - [stats] — request count, workload count, warm capture count, store
       directory.
 
@@ -106,6 +115,9 @@ val profile_row_to_json : Profile.row -> Dvf_util.Json.t
 val profile_row_of_json : Dvf_util.Json.t -> Profile.row
 val sweep_row_to_json : Experiments.sweep_row -> Dvf_util.Json.t
 val sweep_row_of_json : Dvf_util.Json.t -> Experiments.sweep_row
+val chaos_row_to_json : Chaos.row -> Dvf_util.Json.t
+val chaos_row_of_json : Dvf_util.Json.t -> Chaos.row
+val chaos_report_to_json : Chaos.report -> Dvf_util.Json.t
 
 val verify_rows_of_result : Dvf_util.Json.t -> Verify.row list
 (** Decode the ["rows"] of a [verify] response's [result]. *)
@@ -114,3 +126,6 @@ val level_rows_of_result : Dvf_util.Json.t -> Verify.level_row list
 val timed_rows_of_result : Dvf_util.Json.t -> Verify.time_row list
 val profile_rows_of_result : Dvf_util.Json.t -> Profile.row list
 val sweep_rows_of_result : Dvf_util.Json.t -> Experiments.sweep_row list
+
+val chaos_report_of_result : Dvf_util.Json.t -> Chaos.report
+(** Decode a [chaos] response's [result] back into the report. *)

@@ -1,0 +1,52 @@
+let name = "service_graph"
+
+let requests_of = function `Verification -> 4_000 | `Profiling -> 40_000
+
+let size_of = function `Verification -> "4x10^3" | `Profiling -> "4x10^4"
+
+let instance graph mode =
+  let requests = requests_of mode in
+  {
+    Workload.workload = name;
+    label =
+      Printf.sprintf "%s %s requests" graph.Service_graph.graph_name
+        (size_of mode);
+    spec = Service_graph.spec ~requests graph;
+    flops = Service_graph.flops ~requests graph;
+    trace = Service_graph.trace ~requests graph;
+  }
+
+let builtin () =
+  let graph = Service_graph.social_network in
+  Workload.make ~name ~computational_class:"Service dependency graph"
+    ~major_structures:(Service_graph.component_names graph)
+    ~pattern_classes:"Random (request mix)"
+    ~example_benchmark:"DeathStarBench social network"
+    ~input_size:(fun mode ->
+      Printf.sprintf "%s requests over %d components" (size_of mode)
+        (List.length graph.Service_graph.components))
+    ~instance:(instance graph) ~topology:graph ()
+
+let builtins = [ (name, builtin) ]
+
+let names () = List.map fst builtins
+
+let ensure_registered () =
+  List.iter
+    (fun (n, build) ->
+      match Workload.find n with
+      | Some _ -> ()
+      | None -> Workload.register (build ()))
+    builtins
+
+let workload () =
+  ensure_registered ();
+  Workload.of_name name
+
+let find candidate =
+  let key = String.uppercase_ascii candidate in
+  Option.map
+    (fun (n, _) ->
+      ensure_registered ();
+      Workload.of_name n)
+    (List.find_opt (fun (n, _) -> String.uppercase_ascii n = key) builtins)

@@ -1,0 +1,30 @@
+(** The built-in service-graph workloads, registered on demand.
+
+    Unlike the six paper kernels in {!Workloads}, service graphs do NOT
+    register at module-initialization time: the default [dvf verify] /
+    [dvf inject] tables over "every registered workload" are pinned
+    golden outputs, and silently growing them would change byte-stable
+    CLI behaviour.  Service workloads are opt-in instead — naming one on
+    a command line (or running [dvf chaos], whose default workload set
+    is the service family) registers it first, after which it flows
+    through the registry like any other workload. *)
+
+val name : string
+(** ["service_graph"] — the registry name of the built-in
+    {!Service_graph.social_network} workload. *)
+
+val names : unit -> string list
+(** The built-in service workload names, registered or not. *)
+
+val ensure_registered : unit -> unit
+(** Register every built-in service workload that is not yet in the
+    registry.  Idempotent. *)
+
+val workload : unit -> Workload.t
+(** The built-in social-network workload, registering it first if
+    needed. *)
+
+val find : string -> Workload.t option
+(** Case-insensitive lookup among the built-in service workloads,
+    registering the match on the way out; [None] for other names.  The
+    CLI's workload parser falls back to this after a registry miss. *)

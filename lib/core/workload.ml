@@ -18,7 +18,27 @@ type t = {
   instance : mode -> instance;
   injector : (unit -> Kernels.Fault_injection.injector) option;
   aspen_source : string option;
+  topology : Service_graph.t option;
 }
+
+(* The smart constructor every registrant goes through: optional fields
+   default here, so the record can grow (as it did with [injector],
+   [aspen_source] and now [topology]) without touching each caller. *)
+let make ~name ~computational_class ~major_structures ~pattern_classes
+    ~example_benchmark ~input_size ~instance ?injector ?aspen_source ?topology
+    () =
+  {
+    name;
+    computational_class;
+    major_structures;
+    pattern_classes;
+    example_benchmark;
+    input_size;
+    instance;
+    injector;
+    aspen_source;
+    topology;
+  }
 
 let key name = String.uppercase_ascii name
 

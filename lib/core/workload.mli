@@ -34,7 +34,22 @@ type t = {
           (e.g. ones compiled from Aspen models).  A thunk, so clean-run
           precomputation is deferred past registration time. *)
   aspen_source : string option;       (** path of an equivalent .aspen model *)
+  topology : Service_graph.t option;
+      (** the service dependency graph behind a service-graph workload;
+          [None] for single-kernel workloads.  Drives {!Chaos}
+          component-kill campaigns — analytics and tracing go through
+          [instance] like every other workload. *)
 }
+
+val make :
+  name:string -> computational_class:string -> major_structures:string list ->
+  pattern_classes:string -> example_benchmark:string ->
+  input_size:(mode -> string) -> instance:(mode -> instance) ->
+  ?injector:(unit -> Kernels.Fault_injection.injector) ->
+  ?aspen_source:string -> ?topology:Service_graph.t -> unit -> t
+(** The smart constructor: registrants name the fields they have and the
+    optional ones default to [None], so the record can gain fields
+    without breaking every construction site. *)
 
 val register : t -> unit
 (** Raises [Invalid_argument] if a workload with the same name (ignoring

@@ -45,38 +45,26 @@ let sizes ~verification ~profiling = function
   | `Profiling -> profiling
 
 let vm =
-  {
-    Workload.name = "VM";
-    computational_class = "Dense linear algebra";
-    major_structures = [ "A"; "B"; "C" ];
-    pattern_classes = "Streaming";
-    example_benchmark = "Homemade code";
-    input_size =
-      sizes ~verification:"10^3 integer array" ~profiling:"10^5 integer array";
-    instance =
-      (function
+  Workload.make ~name:"VM" ~computational_class:"Dense linear algebra"
+    ~major_structures:[ "A"; "B"; "C" ] ~pattern_classes:"Streaming"
+    ~example_benchmark:"Homemade code"
+    ~input_size:
+      (sizes ~verification:"10^3 integer array" ~profiling:"10^5 integer array")
+    ~instance:(function
       | `Verification -> vm_instance Kernels.Vm.verification "VM 10^3"
-      | `Profiling -> vm_instance Kernels.Vm.profiling "VM 10^5");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.vm_injector
-            (Kernels.Vm.make_params 2_000));
-    aspen_source = Some "models/vm.aspen";
-  }
+      | `Profiling -> vm_instance Kernels.Vm.profiling "VM 10^5")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.vm_injector (Kernels.Vm.make_params 2_000))
+    ~aspen_source:"models/vm.aspen" ()
 
 let cg =
-  {
-    Workload.name = "CG";
-    computational_class = "Sparse linear algebra";
-    major_structures = [ "A"; "x"; "p"; "r" ];
-    pattern_classes = "Template+Reuse+Streaming";
-    example_benchmark = "NPB CG";
-    input_size =
-      sizes ~verification:"500x500 double matrix"
-        ~profiling:"800x800 double matrix";
-    instance =
-      (function
+  Workload.make ~name:"CG" ~computational_class:"Sparse linear algebra"
+    ~major_structures:[ "A"; "x"; "p"; "r" ]
+    ~pattern_classes:"Template+Reuse+Streaming" ~example_benchmark:"NPB CG"
+    ~input_size:
+      (sizes ~verification:"500x500 double matrix"
+         ~profiling:"800x800 double matrix")
+    ~instance:(function
       | `Verification ->
           (* Trace-driven simulation of the full 500x500 solve is feasible
              but slow in CI; 8 capped iterations exercise every phase. *)
@@ -86,105 +74,73 @@ let cg =
       | `Profiling ->
           cg_instance
             (Kernels.Cg.make_params ~max_iterations:25 ~tolerance:0.0 800)
-            "CG 800x800");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.cg_injector
-            (Kernels.Cg.make_params ~max_iterations:200 ~tolerance:1e-9 60));
-    aspen_source = Some "models/cg.aspen";
-  }
+            "CG 800x800")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.cg_injector
+        (Kernels.Cg.make_params ~max_iterations:200 ~tolerance:1e-9 60))
+    ~aspen_source:"models/cg.aspen" ()
 
 let nb =
-  {
-    Workload.name = "NB";
-    computational_class = "N-body method";
-    major_structures = [ "T"; "P" ];
-    pattern_classes = "Random";
-    example_benchmark = "Barnes-Hut (GitHub)";
-    input_size = sizes ~verification:"1000 particles" ~profiling:"6000 particles";
-    instance =
-      (function
+  Workload.make ~name:"NB" ~computational_class:"N-body method"
+    ~major_structures:[ "T"; "P" ] ~pattern_classes:"Random"
+    ~example_benchmark:"Barnes-Hut (GitHub)"
+    ~input_size:
+      (sizes ~verification:"1000 particles" ~profiling:"6000 particles")
+    ~instance:(function
       | `Verification ->
           nb_instance Kernels.Barnes_hut.verification "NB 1000 particles"
       | `Profiling ->
-          nb_instance Kernels.Barnes_hut.profiling "NB 6000 particles");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.nb_injector
-            (Kernels.Barnes_hut.make_params 400));
-    aspen_source = Some "models/nb.aspen";
-  }
+          nb_instance Kernels.Barnes_hut.profiling "NB 6000 particles")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.nb_injector (Kernels.Barnes_hut.make_params 400))
+    ~aspen_source:"models/nb.aspen" ()
 
 let mg =
-  {
-    Workload.name = "MG";
-    computational_class = "Structured grids";
-    major_structures = [ "R" ];
-    pattern_classes = "Template-based";
-    example_benchmark = "NPB MG";
-    input_size =
-      sizes ~verification:"Problem class = S (32^3)"
-        ~profiling:"Problem class = W (scaled to 64^3)";
-    instance =
-      (function
+  Workload.make ~name:"MG" ~computational_class:"Structured grids"
+    ~major_structures:[ "R" ] ~pattern_classes:"Template-based"
+    ~example_benchmark:"NPB MG"
+    ~input_size:
+      (sizes ~verification:"Problem class = S (32^3)"
+         ~profiling:"Problem class = W (scaled to 64^3)")
+    ~instance:(function
       | `Verification ->
           mg_instance (Kernels.Multigrid.make_params ~v_cycles:1 32) "MG 32^3"
-      | `Profiling -> mg_instance Kernels.Multigrid.profiling "MG 64^3");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.mg_injector
-            (Kernels.Multigrid.make_params ~v_cycles:1 16));
-    aspen_source = Some "models/mg.aspen";
-  }
+      | `Profiling -> mg_instance Kernels.Multigrid.profiling "MG 64^3")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.mg_injector
+        (Kernels.Multigrid.make_params ~v_cycles:1 16))
+    ~aspen_source:"models/mg.aspen" ()
 
 let ft =
-  {
-    Workload.name = "FT";
-    computational_class = "Spectral methods";
-    major_structures = [ "X" ];
-    pattern_classes = "Template-based";
-    example_benchmark = "NPB FT";
-    input_size =
-      sizes ~verification:"Problem class = S (2^14 points)"
-        ~profiling:"Problem class = S (2^11 points, ~32KB)";
-    instance =
-      (function
+  Workload.make ~name:"FT" ~computational_class:"Spectral methods"
+    ~major_structures:[ "X" ] ~pattern_classes:"Template-based"
+    ~example_benchmark:"NPB FT"
+    ~input_size:
+      (sizes ~verification:"Problem class = S (2^14 points)"
+         ~profiling:"Problem class = S (2^11 points, ~32KB)")
+    ~instance:(function
       | `Verification -> ft_instance Kernels.Fft.verification "FT 2^14"
-      | `Profiling -> ft_instance Kernels.Fft.profiling "FT 2^11");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.ft_injector (Kernels.Fft.make_params 512));
-    aspen_source = Some "models/ft.aspen";
-  }
+      | `Profiling -> ft_instance Kernels.Fft.profiling "FT 2^11")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.ft_injector (Kernels.Fft.make_params 512))
+    ~aspen_source:"models/ft.aspen" ()
 
 let mc =
-  {
-    Workload.name = "MC";
-    computational_class = "Monte Carlo";
-    major_structures = [ "G"; "E" ];
-    pattern_classes = "Random";
-    example_benchmark = "XSBench";
-    input_size =
-      sizes ~verification:"Size = small, lookups = 10^3"
-        ~profiling:"Size = small (16384x32 grid), lookups = 10^5";
-    instance =
-      (function
+  Workload.make ~name:"MC" ~computational_class:"Monte Carlo"
+    ~major_structures:[ "G"; "E" ] ~pattern_classes:"Random"
+    ~example_benchmark:"XSBench"
+    ~input_size:
+      (sizes ~verification:"Size = small, lookups = 10^3"
+         ~profiling:"Size = small (16384x32 grid), lookups = 10^5")
+    ~instance:(function
       | `Verification ->
           mc_instance Kernels.Monte_carlo.verification "MC 10^3 lookups"
       | `Profiling ->
-          mc_instance Kernels.Monte_carlo.profiling "MC 10^5 lookups");
-    injector =
-      Some
-        (fun () ->
-          Kernels.Fault_injection.mc_injector
-            (Kernels.Monte_carlo.make_params ~grid_points:2_048 ~nuclides:16
-               2_000));
-    aspen_source = Some "models/mc.aspen";
-  }
+          mc_instance Kernels.Monte_carlo.profiling "MC 10^5 lookups")
+    ~injector:(fun () ->
+      Kernels.Fault_injection.mc_injector
+        (Kernels.Monte_carlo.make_params ~grid_points:2_048 ~nuclides:16 2_000))
+    ~aspen_source:"models/mc.aspen" ()
 
 (* Registration happens when this module is initialized — before any
    consumer code runs, since every consumer references this module. *)

@@ -143,17 +143,12 @@ let test_parallel_matches_serial () =
   let inj = Fi.mc_injector mc_params in
   let serial = Fi.run_campaigns ~seed:11 ~trials:40 inj in
   let fake_workload name injector =
-    {
-      Core.Workload.name;
-      computational_class = "test";
-      major_structures = inj.Fi.structures;
-      pattern_classes = "test";
-      example_benchmark = "test";
-      input_size = (fun _ -> "test");
-      instance = (fun _ -> failwith "not used");
-      injector;
-      aspen_source = None;
-    }
+    Core.Workload.make ~name ~computational_class:"test"
+      ~major_structures:inj.Fi.structures ~pattern_classes:"test"
+      ~example_benchmark:"test"
+      ~input_size:(fun _ -> "test")
+      ~instance:(fun _ -> failwith "not used")
+      ?injector ()
   in
   let w = fake_workload "MCTEST" (Some (fun () -> inj)) in
   List.iter
@@ -172,17 +167,11 @@ let test_parallel_matches_serial () =
 let test_run_all_skips_and_shares_pool () =
   let inj = Fi.ft_injector ft_params in
   let mk name injector =
-    {
-      Core.Workload.name;
-      computational_class = "test";
-      major_structures = [];
-      pattern_classes = "test";
-      example_benchmark = "test";
-      input_size = (fun _ -> "test");
-      instance = (fun _ -> failwith "not used");
-      injector;
-      aspen_source = None;
-    }
+    Core.Workload.make ~name ~computational_class:"test"
+      ~major_structures:[] ~pattern_classes:"test" ~example_benchmark:"test"
+      ~input_size:(fun _ -> "test")
+      ~instance:(fun _ -> failwith "not used")
+      ?injector ()
   in
   let results =
     Inj.run_all ~seed:3 ~trials:10 ~jobs:2
