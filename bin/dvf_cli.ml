@@ -13,6 +13,7 @@
      windows     vulnerability-vs-time: windowed residency vs flip-time SDC
      serve       long-lived line-JSON query daemon over warm trace tapes
      query       one-shot client for serve's protocol (or in-process)
+     tape        inspect persistent .dvftape trace files (tape info)
 
    Shared arguments (-j/--jobs, --seed, --csv, -m/--machine, --metrics,
    --tape-store) are declared once in Cli_common and composed per
@@ -948,6 +949,42 @@ let default_term =
       (const run $ model $ Cli_common.param_overrides $ Cli_common.jobs
       $ Cli_common.metrics))
 
+(* --- tape: on-disk trace tape inspection --- *)
+
+let tape_cmd =
+  let info_cmd =
+    let file =
+      let doc = "The .dvftape file to inspect." in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    in
+    let json =
+      let doc = "Print one JSON line instead of the table." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run file json =
+      match Core.Serve.tape_info_of_file file with
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n" file
+            (Memtrace.Tape_io.error_to_string e);
+          exit 1
+      | Ok ti ->
+          if json then
+            print_endline
+              (Json.to_string ~indent:false (Core.Serve.tape_info_to_json ti))
+          else Dvf_util.Table.print (Core.Serve.tape_info_table ti)
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Print a tape file's header, provenance and partition-index \
+            summary (byte-stable; $(b,--json) for the machine-readable \
+            line)")
+      Term.(const run $ file $ json)
+  in
+  Cmd.group
+    (Cmd.info "tape" ~doc:"Inspect persistent .dvftape trace files")
+    [ info_cmd ]
+
 let main_cmd =
   let doc = "Data Vulnerability Factor modeling (SC'14 reproduction)" in
   Cmd.group ~default:default_term
@@ -955,7 +992,7 @@ let main_cmd =
     [
       profile_cmd; verify_cmd; tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
       parse_cmd; models_cmd; components_cmd; protect_cmd; inject_cmd;
-      chaos_cmd; windows_cmd; serve_cmd; query_cmd;
+      chaos_cmd; windows_cmd; serve_cmd; query_cmd; tape_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

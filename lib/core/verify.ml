@@ -40,6 +40,20 @@ let check_shard_count shards =
       (Printf.sprintf
          "Verify: shards must be a positive power of two (got %d)" shards)
 
+(* Central shard-count clamp.  The engine clamps per call
+   ([access_batch_sharded] lowers its effective width to the cache's set
+   count), but a width above the smallest consumer's set count would
+   still spawn tasks that own no line of that consumer — and would leave
+   the partition view and the walk disagreeing about how many tasks
+   exist.  Clamping once, where the width is chosen, keeps task fan-out,
+   partition views and telemetry on the same number.  Set counts are
+   powers of two, so the clamped width still is; rows never depend on
+   the width, so the clamp is invisible in the output. *)
+let clamp_shards ~configs shards =
+  List.fold_left
+    (fun acc (c : Cachesim.Config.t) -> min acc c.Cachesim.Config.sets)
+    shards configs
+
 (* Turn one simulated cache's final state into Fig. 4 rows: run the
    analytical model (under a ["model"] span) and pair each structure's
    estimate with the simulator's per-owner main-memory count. *)
@@ -226,11 +240,22 @@ let replay_capture_fused ?(telemetry = Telemetry.null) ~caches cap =
    and flushes.  Replicas share nothing, so the tasks run on any domains
    with zero locking; merging each cache's replica statistics in shard
    order ([Stats.sum], commutative addition) reproduces the serial fused
-   statistics bit for bit. *)
+   statistics bit for bit.
+
+   The tape is partitioned up front ([Tape.partition]): each shard task
+   walks only the chunks whose partition index intersects its shard,
+   instead of rescanning the whole tape and discarding.  Returns the
+   views alongside the merged statistics so the caller can report the
+   skip telemetry. *)
 let sharded_shard_stats ?pool ~caches ~shards cap =
+  let views =
+    Memtrace.Tape.partition cap.tape
+      (Array.of_list (List.map Cachesim.Cache.create caches))
+      ~shards
+  in
   let run_shard shard =
     let sims = Array.of_list (List.map Cachesim.Cache.create caches) in
-    Memtrace.Tape.replay_fused_sharded cap.tape sims ~shards ~shard;
+    Memtrace.Tape.replay_view views.(shard) sims;
     Array.iter Cachesim.Cache.flush sims;
     Array.map Cachesim.Cache.stats sims
   in
@@ -240,18 +265,26 @@ let sharded_shard_stats ?pool ~caches ~shards cap =
     | Some pool -> Dvf_util.Parallel.Pool.map_list pool run_shard shard_ids
     | None -> List.map run_shard shard_ids
   in
-  List.mapi
-    (fun i _ -> Cachesim.Stats.sum (List.map (fun stats -> stats.(i)) per_shard))
-    caches
+  let merged =
+    List.mapi
+      (fun i _ ->
+        Cachesim.Stats.sum (List.map (fun stats -> stats.(i)) per_shard))
+      caches
+  in
+  (merged, views)
+
+let sum_over_views views f =
+  Array.fold_left (fun acc v -> acc + f v) 0 views
 
 let replay_capture_sharded ?(telemetry = Telemetry.null) ?pool ~caches ~shards
     cap =
   check_shard_count shards;
+  let shards = clamp_shards ~configs:caches shards in
   Telemetry.span telemetry
     (Printf.sprintf "verify/%s/sharded" cap.instance.Workload.workload)
   @@ fun () ->
   let t0 = Telemetry.now_ns telemetry in
-  let merged = sharded_shard_stats ?pool ~caches ~shards cap in
+  let merged, views = sharded_shard_stats ?pool ~caches ~shards cap in
   let replay_ns = Int64.sub (Telemetry.now_ns telemetry) t0 in
   if Telemetry.enabled telemetry then begin
     (* Logical event count, independent of the shard fan-out: every cache
@@ -261,22 +294,21 @@ let replay_capture_sharded ?(telemetry = Telemetry.null) ?pool ~caches ~shards
       ~n:(List.length caches * Memtrace.Tape.length cap.tape)
       "tape/replay_events";
     Telemetry.add telemetry ~n:shards "shard/tasks";
-    (* Engine-side work: shard task [s] walks the full stream once for
-       every cache whose effective shard count exceeds [s] (tasks past a
-       cache's clamp skip it without scanning), so the walked total is
-       len x sum over caches of min(shards, sets).  The aggregate
+    (* Engine-side work: after the central clamp every cache owns lines
+       in every shard task, and each task walks only the chunks its
+       partition view selected — so the walked total is caches x sum
+       over shards of the view's event count.  The aggregate
        walked-events rate is the sharded engine's throughput summed over
        its domains — the figure wall-clock converges to when the shard
        tasks really run in parallel. *)
     Telemetry.add telemetry
       ~n:
-        (List.fold_left
-           (fun acc (cache : Cachesim.Config.t) ->
-             acc
-             + (min shards cache.Cachesim.Config.sets
-               * Memtrace.Tape.length cap.tape))
-           0 caches)
+        (List.length caches
+        * sum_over_views views Memtrace.Tape.view_events)
       "shard/walked_events";
+    Telemetry.add telemetry
+      ~n:(sum_over_views views Memtrace.Tape.view_chunks_skipped)
+      "tape/chunks_skipped";
     Telemetry.set_gauge telemetry "shard/count" (float_of_int shards);
     Telemetry.time_ns telemetry "verify/replay_total" replay_ns
   end;
@@ -348,14 +380,15 @@ let run_all ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay) ?shards
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
   in
-  let shards =
-    match shards with
-    | Some s ->
-        check_shard_count s;
-        s
-    | None -> pow2_floor (max 1 jobs)
-  in
   let caches = Cachesim.Config.verification_set in
+  let shards =
+    clamp_shards ~configs:caches
+      (match shards with
+      | Some s ->
+          check_shard_count s;
+          s
+      | None -> pow2_floor (max 1 jobs))
+  in
   (* Absolute timer rather than an enclosing [span]: instance spans run in
      worker domains (fresh span stacks) under [-j N], so an enclosing span
      would prefix their paths only in the serial case and the two metrics
@@ -545,14 +578,17 @@ let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
     | Some j -> j
     | None -> Dvf_util.Parallel.recommended_jobs ()
   in
-  let shards =
-    match shards with
-    | Some s ->
-        check_shard_count s;
-        s
-    | None -> pow2_floor (max 1 jobs)
-  in
   let bases = Cachesim.Config.verification_set in
+  (* Deeper hierarchy levels only ever gain sets ([hierarchy_of]), so the
+     base geometries bound the hierarchy-wide effective width. *)
+  let shards =
+    clamp_shards ~configs:bases
+      (match shards with
+      | Some s ->
+          check_shard_count s;
+          s
+      | None -> pow2_floor (max 1 jobs))
+  in
   let process ?pool cap =
     match strategy with
     | Retrace -> assert false (* rejected above *)
@@ -561,10 +597,14 @@ let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
         List.concat_map
           (fun base ->
             let configs = Cachesim.Config.hierarchy_of ~levels base in
+            let views =
+              Memtrace.Tape.partition_hierarchies cap.tape
+                [| Cachesim.Hierarchy.create configs |]
+                ~shards
+            in
             let run_shard shard =
               let h = Cachesim.Hierarchy.create configs in
-              Memtrace.Tape.replay_hierarchies_sharded cap.tape [| h |]
-                ~shards ~shard;
+              Memtrace.Tape.replay_view_hierarchies views.(shard) [| h |];
               Cachesim.Hierarchy.flush h;
               hierarchy_level_stats h
             in
@@ -580,6 +620,10 @@ let run_all_levels ?jobs ?(telemetry = Telemetry.null) ?(strategy = Replay)
                   Cachesim.Stats.sum
                     (List.map (fun stats -> List.nth stats li) per_shard))
             in
+            if Telemetry.enabled telemetry then
+              Telemetry.add telemetry
+                ~n:(sum_over_views views Memtrace.Tape.view_chunks_skipped)
+                "tape/chunks_skipped";
             record_level_counters telemetry ~configs stats_list;
             level_rows_of_stats ~registry:cap.registry cap.instance ~base
               ~configs stats_list)
@@ -755,6 +799,7 @@ let timed_level_snapshots ?(telemetry = Telemetry.null) ?pool
       "Verify.timed_level_snapshots: the retrace strategy has no tape and \
        therefore no logical clock; use replay, fused or sharded";
   check_shard_count shards;
+  let shards = clamp_shards ~configs shards in
   if bins <= 0 then
     invalid_arg "Verify.timed_level_snapshots: bins must be positive";
   let t0 = Telemetry.now_ns telemetry in

@@ -32,7 +32,9 @@ type strategy =
   | Sharded  (** fused walk partitioned by cache-set index: one
                  independent task per shard over private cache replicas,
                  statistics merged afterwards — bit-identical to
-                 {!Fused} (see {!Memtrace.Tape.replay_fused_sharded}) *)
+                 {!Fused}.  The tape is pre-partitioned
+                 ({!Memtrace.Tape.partition}): each task walks only the
+                 chunks whose partition index intersects its shard. *)
 
 val strategies : (string * strategy) list
 (** CLI-friendly names, e.g. for [Cmdliner.Arg.enum]. *)
@@ -108,20 +110,24 @@ val replay_capture_sharded :
   ?pool:Dvf_util.Parallel.Pool.t ->
   caches:Cachesim.Config.t list ->
   shards:int -> capture -> row list
-(** Replay one tape into all [caches] as [shards] set-partitioned tasks:
-    each task owns a private replica of every cache and walks the tape
+(** Replay one tape into all [caches] as set-partitioned tasks: each
+    task owns a private replica of every cache and walks only the chunks
+    its pre-partitioned view ({!Memtrace.Tape.partition}) selected,
     touching only its shard's lines; replica statistics are merged in
     shard order afterwards.  Rows are bit-identical to
-    {!replay_capture_fused}.  Tasks run on [pool]'s domains when given,
-    serially otherwise (same results either way).  Raises
-    [Invalid_argument] unless [shards] is a positive power of two.
-    Telemetry: span ["verify/<workload>/sharded"], the usual replay
-    counters (["tape/replay_events"] counts the logical stream — events
-    x caches — independent of the fan-out), plus ["shard/tasks"],
-    ["shard/walked_events"] (engine-side work: every shard task scans the
-    full stream for each cache it owns sets of, so this counts events x
-    sum over caches of min(shards, sets) — the basis of the aggregate
-    all-domains throughput figure) and the ["shard/count"] gauge. *)
+    {!replay_capture_fused}.  [shards] is clamped centrally to the
+    smallest cache's set count (so the partition view, the task fan-out
+    and the walk agree on one effective width); tasks run on [pool]'s
+    domains when given, serially otherwise (same results either way).
+    Raises [Invalid_argument] unless [shards] is a positive power of
+    two.  Telemetry: span ["verify/<workload>/sharded"], the usual
+    replay counters (["tape/replay_events"] counts the logical stream —
+    events x caches — independent of the fan-out), plus ["shard/tasks"],
+    ["shard/walked_events"] (engine-side work: caches x the events in
+    the chunks the views actually walk — the basis of the aggregate
+    all-domains throughput figure), ["tape/chunks_skipped"] (chunks the
+    partition index excluded) and the ["shard/count"] gauge (the clamped
+    width). *)
 
 val run_all :
   ?jobs:int ->
@@ -133,8 +139,9 @@ val run_all :
 (** Fig. 4: every workload (Table V sizes) against both verification cache
     configurations.  [workloads] defaults to everything registered;
     [strategy] defaults to {!Replay}.  [shards] (used by {!Sharded} only;
-    default: largest power of two <= [jobs]) is the set-partition width;
-    rows do not depend on it.  [store] routes every capture through a
+    default: largest power of two <= [jobs], clamped to the smallest
+    verification cache's set count) is the set-partition width; rows do
+    not depend on it.  [store] routes every capture through a
     persistent tape store (see {!capture}); rows are bit-identical with
     or without it.  Raises [Invalid_argument] when [store] is combined
     with {!Retrace}, which never captures.
@@ -196,8 +203,12 @@ val run_all_levels :
     structure (registration order).  [levels = 1] reports exactly the
     single-cache traffic the classic rows simulate.  Raises
     [Invalid_argument] for {!Retrace} (a hierarchy can only be driven
-    from a captured tape) and outside [1 <= levels <= 3].  Telemetry:
-    per-level ["hierarchy/l<n>/accesses"|"misses"|"writebacks"] counters
+    from a captured tape) and outside [1 <= levels <= 3].  Under
+    {!Sharded} the tape is pre-partitioned per base geometry
+    ({!Memtrace.Tape.partition_hierarchies}, width clamped centrally to
+    the base set counts) and ["tape/chunks_skipped"] records the chunks
+    the partition index excluded.  Telemetry: per-level
+    ["hierarchy/l<n>/accesses"|"misses"|"writebacks"] counters
     (deterministic at any [jobs]/[shards]) and a ["hierarchy/levels"]
     gauge. *)
 
@@ -250,9 +261,12 @@ val timed_level_snapshots :
     horizon is the tape length.  {!Sharded} runs one replica per shard
     (on [pool] when given) and merges with {!Cachesim.Residency.sum};
     {!Replay} and {!Fused} take the same single-walk path — all three
-    produce bit-identical snapshots.  Raises [Invalid_argument] for
-    {!Retrace} (no tape, no logical clock), a bad [shards], or
-    [bins <= 0].  Telemetry: ["tape/timed_replay_events"],
+    produce bit-identical snapshots.  [shards] is clamped centrally to
+    the smallest level's set count; chunk skipping stays off here (a
+    residency accumulator needs the logical clock to advance over every
+    event), so every shard walks the full tape.  Raises
+    [Invalid_argument] for {!Retrace} (no tape, no logical clock), a bad
+    [shards], or [bins <= 0].  Telemetry: ["tape/timed_replay_events"],
     ["residency/clean_line_events"|"dirty_line_events"|"fills"|
     "evictions"] counters and the ["verify/timed_total"] accumulator. *)
 

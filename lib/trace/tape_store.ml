@@ -68,12 +68,19 @@ let meta_matches (m : Tape_io.meta) key =
 
 (* A missing file is a plain miss; anything else untrustworthy about an
    existing file gets it evicted so the caller recaptures over it. *)
+let timed_load t p =
+  let start = Telemetry.now_ns t.telemetry in
+  let r = Tape_io.load ~telemetry:t.telemetry p in
+  Telemetry.time_ns t.telemetry "store/load_ns"
+    (Int64.sub (Telemetry.now_ns t.telemetry) start);
+  r
+
 let find t key =
   let p = path t key in
   if not (Sys.file_exists p) then None
   else
     let bytes = file_bytes p in
-    match Tape_io.load p with
+    match timed_load t p with
     | Ok (meta, registry, tape) when meta_matches meta key ->
         count t "store/load_bytes" bytes;
         (* Touch the entry so [gc ~max_bytes] evicts least-recently-used
@@ -115,9 +122,19 @@ let list t =
   |> List.filter_map (fun file ->
          if not (Filename.check_suffix file suffix) then None
          else
+           let p = Filename.concat t.dir file in
+           (* [Tape_io.load] still reads v1 files, but the store keys
+              entries on the current format version: any other version
+              on disk is a retired entry no lookup will ever hit again —
+              label it stale so [gc] reaps it. *)
            let status =
-             match Tape_io.read_meta (Filename.concat t.dir file) with
-             | Ok meta -> `Ok meta
+             match Tape_io.read_version p with
+             | Ok v when v <> Tape_io.format_version -> `Stale v
+             | Ok _ -> (
+                 match Tape_io.read_meta p with
+                 | Ok meta -> `Ok meta
+                 | Error (Tape_io.Version_mismatch v) -> `Stale v
+                 | Error e -> `Corrupt (Tape_io.error_to_string e))
              | Error (Tape_io.Version_mismatch v) -> `Stale v
              | Error e -> `Corrupt (Tape_io.error_to_string e)
            in

@@ -12,9 +12,11 @@
     match the key — are {e evicted, never trusted}; the caller
     recaptures and the fresh capture overwrites the bad file.
 
-    Telemetry counters (when the store carries a live collector):
+    Telemetry (when the store carries a live collector): counters
     [store/hits], [store/misses], [store/load_bytes],
-    [store/save_bytes], [store/evictions]. *)
+    [store/save_bytes], [store/evictions], [tape/mmap_bytes] (payload
+    bytes the loader mapped zero-copy), and the [store/load_ns]
+    duration accumulating wall-clock {!Tape_io.load} time. *)
 
 type t
 
@@ -61,7 +63,11 @@ type entry = {
 
 val list : t -> entry list
 (** All [.dvftape] entries (sorted by file name) with their header
-    status.  Cheap: reads headers only, does not checksum payloads. *)
+    status.  Any format version other than {!Tape_io.format_version} is
+    [`Stale] — even ones {!Tape_io.load} could still read — because the
+    store keys entries on the current version, so no lookup will ever
+    hit them again.  Cheap: reads headers only, does not checksum
+    payloads. *)
 
 val gc : ?max_bytes:int -> t -> string list
 (** Remove every [`Stale] and [`Corrupt] entry, plus any orphaned

@@ -210,6 +210,62 @@ let test_row_codecs_roundtrip () =
       Alcotest.(check bool) "profile row (exact floats)" true (row = back))
     profile
 
+(* --- tape info (the dvf tape info payload) --- *)
+
+let test_tape_info () =
+  let path = Printf.sprintf "serve_tape_info_%d.dvftape" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let module Mt = Memtrace in
+      let registry = Mt.Region.create () in
+      ignore (Mt.Region.register registry ~name:"A" ~elements:256 ~elem_size:8);
+      ignore (Mt.Region.register registry ~name:"B" ~elements:64 ~elem_size:4);
+      let tape = Mt.Tape.create ~chunk_events:64 () in
+      for i = 0 to 199 do
+        Mt.Tape.append tape (Mt.Event.read ~owner:1 ~addr:(i * 32) ~size:4)
+      done;
+      Mt.Tape_io.save ~path
+        ~meta:{ Mt.Tape_io.workload = "VM"; size = "n=64"; seed = 3 }
+        ~registry ~tape;
+      let info =
+        match Core.Serve.tape_info_of_file path with
+        | Ok i -> i
+        | Error e ->
+            Alcotest.failf "tape_info_of_file: %s" (Mt.Tape_io.error_to_string e)
+      in
+      Alcotest.(check int) "version" Mt.Tape_io.format_version
+        info.Core.Serve.ti_version;
+      Alcotest.(check string) "workload" "VM" info.Core.Serve.ti_workload;
+      Alcotest.(check int) "events" 200 info.Core.Serve.ti_events;
+      Alcotest.(check int) "chunks" 4 info.Core.Serve.ti_chunks;
+      Alcotest.(check int) "regions" 2 info.Core.Serve.ti_regions;
+      Alcotest.(check int) "granule" (1 lsl Mt.Tape.granule_shift)
+        info.Core.Serve.ti_granule;
+      Alcotest.(check int) "buckets" Mt.Tape.partition_buckets
+        info.Core.Serve.ti_buckets;
+      (* Addresses 0, 32, .. 199*32: granule lines 0 .. 796 step 4. *)
+      Alcotest.(check int) "min line" 0 info.Core.Serve.ti_min_line;
+      Alcotest.(check int) "max line" (199 * 4) info.Core.Serve.ti_max_line;
+      Alcotest.(check int) "covered buckets (stride 4)"
+        (Mt.Tape.partition_buckets / 4)
+        info.Core.Serve.ti_buckets_covered;
+      Alcotest.(check int) "no saturated chunks" 0
+        info.Core.Serve.ti_saturated_chunks;
+      (* The codec round-trips exactly and the JSON line is stable. *)
+      let json = Core.Serve.tape_info_to_json info in
+      Alcotest.(check bool) "json round-trip" true
+        (Core.Serve.tape_info_of_json json = info);
+      Alcotest.(check string) "json encoding stable"
+        (J.to_string ~indent:false json)
+        (J.to_string ~indent:false (Core.Serve.tape_info_to_json info));
+      (* The rendered table is byte-stable across loads of the file. *)
+      let render i = Dvf_util.Table.render (Core.Serve.tape_info_table i) in
+      match Core.Serve.tape_info_of_file path with
+      | Ok again -> Alcotest.(check string) "table stable" (render info) (render again)
+      | Error e ->
+          Alcotest.failf "second load: %s" (Mt.Tape_io.error_to_string e))
+
 (* --- Json.parse_line (the protocol's framing helper) --- *)
 
 let test_json_parse_line () =
@@ -298,6 +354,7 @@ let suite =
     Alcotest.test_case "batch order and equivalence" `Quick
       test_batch_order_and_equivalence;
     Alcotest.test_case "row codecs round-trip" `Quick test_row_codecs_roundtrip;
+    Alcotest.test_case "tape info" `Quick test_tape_info;
     Alcotest.test_case "Json.parse_line" `Quick test_json_parse_line;
     Alcotest.test_case "end-to-end: dvf serve over pipes" `Quick
       test_end_to_end_binary;

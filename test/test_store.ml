@@ -164,6 +164,53 @@ let test_meta_mismatch_evicted () =
       Alcotest.(check bool) "mismatched entry removed" false
         (Sys.file_exists (Mt.Tape_store.path store key)))
 
+let test_format_bump_retires_v1_entries () =
+  with_store (fun store ->
+      let registry, tape = make_capture 64 () in
+      (* An entry left behind by a v1-era build: same logical key, but
+         filed under the name that build computed (the key hash embeds
+         the format version) and written in the v1 on-disk format. *)
+      let v1_name =
+        Printf.sprintf "%s-%016Lx.dvftape" key.Mt.Tape_store.workload
+          (Int64.of_int
+             (Mt.Tape_io.hash_string
+                (Printf.sprintf "v1|%s|%s|%d" key.Mt.Tape_store.workload
+                   key.Mt.Tape_store.size key.Mt.Tape_store.seed)))
+      in
+      let v1_path = Filename.concat (Mt.Tape_store.dir store) v1_name in
+      Mt.Tape_io.save_v1 ~path:v1_path
+        ~meta:
+          {
+            Mt.Tape_io.workload = key.Mt.Tape_store.workload;
+            size = key.Mt.Tape_store.size;
+            seed = key.Mt.Tape_store.seed;
+          }
+        ~registry ~tape;
+      (* This build never probes the v1 name: a clean miss, and the old
+         file is left for gc rather than eagerly evicted. *)
+      Alcotest.(check bool) "v1 entry is not served" true
+        (Mt.Tape_store.find store key = None);
+      Alcotest.(check bool) "v1 file awaits gc" true (Sys.file_exists v1_path);
+      (* list labels it stale — the file is readable (load still accepts
+         v1) but its declared version is not this build's. *)
+      (match Mt.Tape_store.list store with
+      | [ e ] ->
+          Alcotest.(check bool) "labelled Stale 1" true
+            (e.Mt.Tape_store.status = `Stale 1)
+      | es -> Alcotest.failf "expected one entry, got %d" (List.length es));
+      (* find_or_capture recaptures under the current name... *)
+      let _, _, hit =
+        Mt.Tape_store.find_or_capture store key ~capture:(make_capture 64)
+      in
+      Alcotest.(check bool) "recaptured" false hit;
+      Alcotest.(check bool) "current-format entry on disk" true
+        (Sys.file_exists (Mt.Tape_store.path store key));
+      (* ...and gc reaps the retired v1 file, keeping the fresh one. *)
+      let removed = Mt.Tape_store.gc store in
+      Alcotest.(check (list string)) "gc reaps the v1 entry" [ v1_name ] removed;
+      Alcotest.(check bool) "fresh entry survives" true
+        (Mt.Tape_store.find store key <> None))
+
 (* --- list / gc --- *)
 
 let test_list_and_gc () =
@@ -324,6 +371,8 @@ let suite =
     Alcotest.test_case "corrupt entry evicted" `Quick test_corrupt_entry_evicted;
     Alcotest.test_case "stale version evicted" `Quick test_stale_version_evicted;
     Alcotest.test_case "meta mismatch evicted" `Quick test_meta_mismatch_evicted;
+    Alcotest.test_case "format bump retires v1 entries" `Quick
+      test_format_bump_retires_v1_entries;
     Alcotest.test_case "list and gc" `Quick test_list_and_gc;
     Alcotest.test_case "gc removes orphaned temporaries" `Quick
       test_gc_orphaned_temps;

@@ -75,6 +75,10 @@ let check_roundtrip n =
       Alcotest.(check int) "length" (Mt.Tape.length tape) (Mt.Tape.length tape');
       Alcotest.(check int) "chunks" (Mt.Tape.chunk_count tape)
         (Mt.Tape.chunk_count tape');
+      (* The partition index written to the chunk table and adopted on
+         load must equal the one capture built. *)
+      Alcotest.(check bool) "partition index" true
+        (Mt.Tape.chunk_infos tape = Mt.Tape.chunk_infos tape');
       Alcotest.(check bool) "events" true
         (List.for_all2 Mt.Event.equal (Mt.Tape.to_list tape)
            (Mt.Tape.to_list tape')))
@@ -161,6 +165,59 @@ let expect_error name path check =
         (Printf.sprintf "%s (%s)" name (Mt.Tape_io.error_to_string e))
         true (check e)
 
+(* --- legacy v1 format and version probing --- *)
+
+let test_v1_roundtrip () =
+  with_tape_file (fun path ->
+      let registry = make_registry () in
+      let tape = make_tape 200 in
+      Mt.Tape_io.save_v1 ~path ~meta ~registry ~tape;
+      (match Mt.Tape_io.read_version path with
+      | Ok 1 -> ()
+      | Ok v -> Alcotest.failf "save_v1 wrote version %d" v
+      | Error e ->
+          Alcotest.failf "read_version: %s" (Mt.Tape_io.error_to_string e));
+      let meta', registry', tape' = load_exn path in
+      check_meta "v1 meta" meta meta';
+      Alcotest.(check bool) "v1 registry" true
+        (Mt.Region.export registry = Mt.Region.export registry');
+      Alcotest.(check bool) "v1 events" true
+        (List.for_all2 Mt.Event.equal (Mt.Tape.to_list tape)
+           (Mt.Tape.to_list tape'));
+      (* The streamed v1 load rebuilds the partition index from the
+         words, so it replays — and shards — exactly like the
+         original. *)
+      Alcotest.(check bool) "v1 partition index rebuilt" true
+        (Mt.Tape.chunk_infos tape = Mt.Tape.chunk_infos tape');
+      let cfg = C.Config.small_verification in
+      let a = C.Cache.create cfg and b = C.Cache.create cfg in
+      Mt.Tape.replay tape a;
+      Mt.Tape.replay tape' b;
+      C.Cache.flush a;
+      C.Cache.flush b;
+      Alcotest.(check bool) "v1 replay identical" true (snap a = snap b))
+
+let test_read_version () =
+  with_tape_file (fun path ->
+      save_good path;
+      (match Mt.Tape_io.read_version path with
+      | Ok v ->
+          Alcotest.(check int) "current files declare format_version"
+            Mt.Tape_io.format_version v
+      | Error e ->
+          Alcotest.failf "read_version: %s" (Mt.Tape_io.error_to_string e));
+      (* read_version reports whatever version a well-formed header
+         declares — including ones [load] rejects — so Tape_store.list
+         can label entries from foreign builds as stale, not corrupt. *)
+      let b = Bytes.of_string (read_file path) in
+      Bytes.set_int32_le b 8 99l;
+      write_file path (Bytes.to_string b);
+      (match Mt.Tape_io.read_version path with
+      | Ok 99 -> ()
+      | Ok v -> Alcotest.failf "expected Ok 99, got Ok %d" v
+      | Error e ->
+          Alcotest.failf "read_version: %s" (Mt.Tape_io.error_to_string e)))
+
 let test_missing_file () =
   expect_error "missing file" "tape_io_no_such_file.dvftape" (function
     | Mt.Tape_io.Io_error _ -> true
@@ -197,12 +254,41 @@ let test_corrupt_payload () =
         | Mt.Tape_io.Corrupt _ -> true
         | _ -> false))
 
+let test_corrupt_chunk_table () =
+  with_tape_file (fun path ->
+      save_good path;
+      let b = Bytes.of_string (read_file path) in
+      (* The payload is exactly 16 bytes/event at the tail; 16 bytes
+         before it lands in the chunk-table region (the last entry's
+         line range or the index checksum, depending on alignment
+         padding).  Either way the index checksum must refuse the table
+         before any deferred chunk is adopted. *)
+      let total = Int64.to_int (Bytes.get_int64_le b 16) in
+      let pos = Bytes.length b - (16 * total) - 16 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x08));
+      write_file path (Bytes.to_string b);
+      expect_error "corrupt chunk table" path (function
+        | Mt.Tape_io.Corrupt _ -> true
+        | _ -> false))
+
 let test_truncated () =
   with_tape_file (fun path ->
       save_good path;
       let whole = read_file path in
       write_file path (String.sub whole 0 (String.length whole / 2));
       expect_error "truncated" path (function
+        | Mt.Tape_io.Corrupt _ -> true
+        | _ -> false))
+
+let test_truncated_payload_tail () =
+  with_tape_file (fun path ->
+      save_good path;
+      let whole = read_file path in
+      (* Drop only the final 8 bytes: header and chunk table stay
+         intact, so the exact-size check on the mapped payload is what
+         must catch it — no partial chunk may be adopted. *)
+      write_file path (String.sub whole 0 (String.length whole - 8));
+      expect_error "truncated payload" path (function
         | Mt.Tape_io.Corrupt _ -> true
         | _ -> false))
 
@@ -219,6 +305,36 @@ let test_save_is_atomic () =
       save_good path;
       (* No .tmp debris left behind after a successful save. *)
       Alcotest.(check bool) "tmp removed" false (Sys.file_exists (path ^ ".tmp")))
+
+(* --- eager vs lazy (mmap decode-on-demand) loads --- *)
+
+let test_eager_and_lazy_loads_agree () =
+  with_tape_file (fun path ->
+      save_good path;
+      let load ~eager =
+        match Mt.Tape_io.load ~eager path with
+        | Ok (_, _, t) -> t
+        | Error e -> Alcotest.failf "load: %s" (Mt.Tape_io.error_to_string e)
+      in
+      let lazy_tape = load ~eager:false in
+      let eager_tape = load ~eager:true in
+      Alcotest.(check bool) "event streams agree" true
+        (List.for_all2 Mt.Event.equal
+           (Mt.Tape.to_list lazy_tape)
+           (Mt.Tape.to_list eager_tape));
+      let cfg = C.Config.large_verification in
+      let a = C.Cache.create cfg and b = C.Cache.create cfg in
+      Mt.Tape.replay lazy_tape a;
+      Mt.Tape.replay eager_tape b;
+      C.Cache.flush a;
+      C.Cache.flush b;
+      Alcotest.(check bool) "replays agree" true (snap a = snap b);
+      (* materialize is idempotent on both. *)
+      Mt.Tape.materialize lazy_tape;
+      Mt.Tape.materialize lazy_tape;
+      Alcotest.(check int) "materialize preserves length"
+        (Mt.Tape.length eager_tape)
+        (Mt.Tape.length lazy_tape))
 
 (* --- fold_chunks (the walk everything else is built on) --- *)
 
@@ -262,12 +378,21 @@ let suite =
     Alcotest.test_case "loaded tape replays identically (fused + sharded)"
       `Quick test_loaded_tape_replays_identically;
     Alcotest.test_case "read_meta" `Quick test_read_meta;
+    Alcotest.test_case "v1 roundtrip (legacy streamed load)" `Quick
+      test_v1_roundtrip;
+    Alcotest.test_case "read_version probes without loading" `Quick
+      test_read_version;
     Alcotest.test_case "missing file is Io_error" `Quick test_missing_file;
     Alcotest.test_case "bad magic" `Quick test_bad_magic;
     Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
     Alcotest.test_case "corrupt payload" `Quick test_corrupt_payload;
+    Alcotest.test_case "corrupt chunk table" `Quick test_corrupt_chunk_table;
     Alcotest.test_case "truncated file" `Quick test_truncated;
+    Alcotest.test_case "truncated payload tail" `Quick
+      test_truncated_payload_tail;
     Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+    Alcotest.test_case "eager and lazy loads agree" `Quick
+      test_eager_and_lazy_loads_agree;
     Alcotest.test_case "save leaves no tmp file" `Quick test_save_is_atomic;
     Alcotest.test_case "fold_chunks equivalence" `Quick
       test_fold_chunks_equivalence;
